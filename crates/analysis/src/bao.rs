@@ -1,0 +1,377 @@
+//! Other-core bus access bounds: Eq. (3)–(6) and Lemma 2.
+//!
+//! Tasks on remote cores are not synchronised with the task under analysis,
+//! so the worst case lets the first ("carry-in") job of each remote task
+//! finish as late as possible — just before its WCRT — and all later jobs
+//! execute as early as possible. `N_{k,l}^y(t)` (Eq. (6)) counts the jobs
+//! that fit *entirely* inside the window; `W^y_{k,l,cout}` (Eq. (5)) adds
+//! the accesses of the partially overlapping carry-out job, at most one
+//! access per elapsed `d_mem` of overlap.
+
+use cpa_model::{CoreId, TaskId, Time};
+
+use crate::{cpro, demand, AnalysisContext, PersistenceMode};
+
+/// Eq. (6): `N_{k,l}^y(t)`, the maximum number of jobs of a remote task
+/// that fully execute within a window of length `t`, given the remote
+/// task's current response-time estimate `r_l` and its per-job bus charge
+/// `cost = MD_l + γ_{k,l,y}`.
+///
+/// The paper's numerator `t + R_l − cost·d_mem` is clamped at zero: for
+/// tiny windows no job fits.
+#[must_use]
+pub fn n_jobs(t: Time, r_l: Time, cost: u64, d_mem: Time, period: Time) -> u64 {
+    let numerator = t
+        .saturating_add(r_l)
+        .saturating_sub(d_mem.saturating_mul(cost));
+    numerator.div_floor(period)
+}
+
+/// Eq. (5): `W^y_{k,l,cout}(t)`, the carry-out job's bus accesses — the
+/// window length left after the `N` full jobs, divided by `d_mem` (one
+/// access cannot complete faster), capped at the per-job charge `cost`.
+#[must_use]
+pub fn w_cout(t: Time, r_l: Time, cost: u64, d_mem: Time, period: Time, n: u64) -> u64 {
+    let overlap = t
+        .saturating_add(r_l)
+        .saturating_sub(d_mem.saturating_mul(cost))
+        .saturating_sub(period.saturating_mul(n));
+    overlap.div_ceil(d_mem).min(cost)
+}
+
+/// Which priority band of the remote core contributes (Eq. (3) vs the
+/// `BAO_{i,low}` term of Eq. (7)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriorityBand {
+    /// `Γy ∩ hep(k)`: priority `k` or higher (Eq. (3)).
+    HigherOrEqual,
+    /// `Γy ∩ lp(k)`: strictly lower priority (the FP-bus blocking sum).
+    Lower,
+}
+
+/// How the carry-out job of Eq. (5) is charged.
+///
+/// The exact term grows by one access per elapsed `d_mem`, which makes the
+/// WCRT fixed point advance in `d_mem`-sized steps ("creep") near
+/// convergence. [`CarryOut::Capped`] replaces Eq. (5) by its own upper cap
+/// `MD_l + γ` — a sound over-approximation whose value only changes at
+/// period-scale events, so fixed-point iterations converge in a number of
+/// steps bounded by the job releases in the window. The WCRT driver uses
+/// `Capped` to bracket the fixed point and then refines downwards with
+/// `Exact` (see [`crate::wcrt`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CarryOut {
+    /// Eq. (5) as printed.
+    Exact,
+    /// The cap `MD_l + γ_{k,l,y}` (the `min`'s second argument).
+    Capped,
+}
+
+/// Eq. (3) / Lemma 2, generalised over persistence mode and priority band:
+/// upper bound on the bus accesses issued by tasks of `band` relative to
+/// priority `k` on remote core `y` in a window of length `t`.
+///
+/// `resp` holds the current response-time estimates of all tasks (indexed
+/// by [`TaskId`]); the bound is monotone in these estimates, which is what
+/// makes the outer fixed-point loop of [`crate::wcrt`] sound.
+///
+/// For [`PersistenceMode::Aware`] this is Lemma 2: each remote task's full
+/// jobs are charged `min(N·MD_l ; M̂D_l(N) + ρ̂_l(N))` plus CRPD, instead
+/// of `N·(MD_l + γ)`.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // mirrors the equation's parameter list
+pub fn bao(
+    ctx: &AnalysisContext<'_>,
+    k: TaskId,
+    y: CoreId,
+    t: Time,
+    resp: &[Time],
+    mode: PersistenceMode,
+    band: PriorityBand,
+    carry: CarryOut,
+) -> u64 {
+    let tasks = ctx.tasks();
+    let d_mem = ctx.d_mem();
+    let mut total = 0u64;
+    let members: Vec<TaskId> = match band {
+        PriorityBand::HigherOrEqual => tasks.hep_on(k, y).collect(),
+        PriorityBand::Lower => tasks.lp_on(k, y).collect(),
+    };
+    for l in members {
+        let task = &tasks[l];
+        let gamma = ctx.gamma(k, l);
+        let cost = task.memory_demand().saturating_add(gamma);
+        let r_l = resp[l.index()];
+        let period = task.period();
+        let n = n_jobs(t, r_l, cost, d_mem, period);
+        // Cap on the carry-out job's charge. For the oblivious analysis it
+        // is Eq. (5)'s own `MD_l + γ`. For the persistence-aware analysis
+        // the carry-out is additionally capped by the (n+1)-th job's share
+        // of the persistence bound, `ΔM̂D + Δρ̂ + γ`: charging the n full
+        // jobs at the n-job persistence bound plus this increment equals
+        // the (n+1)-job persistence bound, so the cap is sound — and it
+        // keeps the whole term *monotone* in `t` (with the raw Eq. (5)
+        // cap, an N-increment trades a carry-out worth up to `MD + γ` for
+        // a full-job increment worth as little as `MD^r`, making the
+        // right-hand side of Eq. (19) non-monotone and fixed-point
+        // iteration unsound to refine).
+        let cout_cap = match mode {
+            PersistenceMode::Oblivious => cost,
+            PersistenceMode::Aware => {
+                let overlap = ctx.cpro_overlap(l, k);
+                let d_md_hat = demand::md_hat(task, n.saturating_add(1))
+                    .saturating_sub(demand::md_hat(task, n));
+                let d_cpro = cpro::cpro(overlap, n.saturating_add(1))
+                    .saturating_sub(cpro::cpro(overlap, n));
+                cost.min(d_md_hat.saturating_add(d_cpro).saturating_add(gamma))
+            }
+        };
+        let cout = match carry {
+            CarryOut::Exact => w_cout(t, r_l, cost, d_mem, period, n).min(cout_cap),
+            CarryOut::Capped => cout_cap,
+        };
+        let full_jobs = match mode {
+            PersistenceMode::Oblivious => n.saturating_mul(cost),
+            PersistenceMode::Aware => {
+                let oblivious = n.saturating_mul(task.memory_demand());
+                let persistent =
+                    demand::md_hat(task, n).saturating_add(cpro::cpro(ctx.cpro_overlap(l, k), n));
+                oblivious.min(persistent).saturating_add(n.saturating_mul(gamma))
+            }
+        };
+        total = total.saturating_add(full_jobs).saturating_add(cout);
+    }
+    total
+}
+
+/// Eq. (3): the persistence-oblivious `BAO_k^y(t)` over `Γy ∩ hep(k)`.
+#[must_use]
+pub fn bao_oblivious(ctx: &AnalysisContext<'_>, k: TaskId, y: CoreId, t: Time, resp: &[Time]) -> u64 {
+    bao(
+        ctx,
+        k,
+        y,
+        t,
+        resp,
+        PersistenceMode::Oblivious,
+        PriorityBand::HigherOrEqual,
+        CarryOut::Exact,
+    )
+}
+
+/// Lemma 2: the persistence-aware `BÂO_k^y(t)` over `Γy ∩ hep(k)`.
+#[must_use]
+pub fn bao_aware(ctx: &AnalysisContext<'_>, k: TaskId, y: CoreId, t: Time, resp: &[Time]) -> u64 {
+    bao(
+        ctx,
+        k,
+        y,
+        t,
+        resp,
+        PersistenceMode::Aware,
+        PriorityBand::HigherOrEqual,
+        CarryOut::Exact,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpa_model::{CacheBlockSet, CoreId, Platform, Priority, Task, TaskSet};
+    use proptest::prelude::*;
+
+    fn fig1() -> (Platform, TaskSet) {
+        let platform = Platform::builder()
+            .cores(2)
+            .memory_latency(Time::from_cycles(1))
+            .build()
+            .unwrap();
+        let tau1 = Task::builder("tau1")
+            .processing_demand(Time::from_cycles(4))
+            .memory_demand(6)
+            .residual_memory_demand(1)
+            .period(Time::from_cycles(20))
+            .deadline(Time::from_cycles(20))
+            .core(CoreId::new(0))
+            .priority(Priority::new(1))
+            .ecb(CacheBlockSet::from_blocks(256, 5..=10).unwrap())
+            .pcb(CacheBlockSet::from_blocks(256, [5, 6, 7, 8, 10]).unwrap())
+            .build()
+            .unwrap();
+        let tau2 = Task::builder("tau2")
+            .processing_demand(Time::from_cycles(32))
+            .memory_demand(8)
+            .period(Time::from_cycles(200))
+            .deadline(Time::from_cycles(200))
+            .core(CoreId::new(0))
+            .priority(Priority::new(2))
+            .ecb(CacheBlockSet::from_blocks(256, 1..=6).unwrap())
+            .ucb(CacheBlockSet::from_blocks(256, [5, 6]).unwrap())
+            .build()
+            .unwrap();
+        let tau3 = Task::builder("tau3")
+            .processing_demand(Time::from_cycles(4))
+            .memory_demand(6)
+            .residual_memory_demand(1)
+            .period(Time::from_cycles(16))
+            .deadline(Time::from_cycles(16))
+            .core(CoreId::new(1))
+            .priority(Priority::new(3))
+            .ecb(CacheBlockSet::from_blocks(256, 5..=10).unwrap())
+            .pcb(CacheBlockSet::from_blocks(256, [5, 6, 7, 8, 10]).unwrap())
+            .build()
+            .unwrap();
+        (platform, TaskSet::new(vec![tau1, tau2, tau3]).unwrap())
+    }
+
+    #[test]
+    fn n_jobs_clamps_small_windows() {
+        let d = Time::from_cycles(10);
+        let p = Time::from_cycles(100);
+        // t + R − cost·d_mem = 0 + 50 − 60 < 0 ⇒ 0 jobs.
+        assert_eq!(n_jobs(Time::ZERO, Time::from_cycles(50), 6, d, p), 0);
+        // 300 + 50 − 60 = 290 ⇒ 2 full periods.
+        assert_eq!(n_jobs(Time::from_cycles(300), Time::from_cycles(50), 6, d, p), 2);
+    }
+
+    #[test]
+    fn w_cout_caps_at_per_job_cost() {
+        let d = Time::from_cycles(10);
+        let p = Time::from_cycles(100);
+        let t = Time::from_cycles(300);
+        let r = Time::from_cycles(50);
+        let n = n_jobs(t, r, 6, d, p);
+        assert_eq!(n, 2);
+        // Overlap = 290 − 200 = 90 ⇒ ⌈90/10⌉ = 9, capped at cost 6.
+        assert_eq!(w_cout(t, r, 6, d, p, n), 6);
+        // Tiny leftover: t = 215 ⇒ overlap = 5 ⇒ 1 access.
+        let t = Time::from_cycles(215);
+        let n = n_jobs(t, r, 6, d, p);
+        assert_eq!(n, 2);
+        assert_eq!(w_cout(t, r, 6, d, p, n), 1);
+        // No overlap at all.
+        assert_eq!(w_cout(Time::ZERO, r, 6, d, p, 0), 0);
+    }
+
+    #[test]
+    fn fig1_bao_tau3() {
+        // The paper's example: during τ2's response time, BAO_3^y counts 4
+        // full jobs of τ3 at MD_3 = 6 ⇒ 24 (Eq. (13)); with persistence the
+        // same 4 jobs cost M̂D_3(4) = 9.
+        let (platform, tasks) = fig1();
+        let ctx = AnalysisContext::new(&platform, &tasks).unwrap();
+        let t2 = tasks.id_of("tau2").unwrap();
+        let t3 = tasks.id_of("tau3").unwrap();
+        let y = CoreId::new(1);
+        // Choose window/R so that N = 4 and the carry-out term is zero:
+        // t + R − 6·1 = 64 ⇒ N = ⌊64/16⌋ = 4, overlap 0.
+        let t = Time::from_cycles(60);
+        let mut resp = vec![Time::ZERO; 3];
+        resp[t3.index()] = Time::from_cycles(10);
+        assert_eq!(n_jobs(t, resp[t3.index()], 6, ctx.d_mem(), Time::from_cycles(16)), 4);
+        // The paper evaluates BAO at level 3 (τ3's own priority); from τ2's
+        // level the hep-band on core y is empty.
+        assert_eq!(bao_oblivious(&ctx, t2, y, t, &resp), 0);
+        assert_eq!(bao_oblivious(&ctx, t3, y, t, &resp), 24);
+        assert_eq!(bao_aware(&ctx, t3, y, t, &resp), 9);
+    }
+
+    #[test]
+    fn lower_band_only_counts_lp_tasks() {
+        let (platform, tasks) = fig1();
+        let ctx = AnalysisContext::new(&platform, &tasks).unwrap();
+        let t2 = tasks.id_of("tau2").unwrap();
+        let t3 = tasks.id_of("tau3").unwrap();
+        let y = CoreId::new(1);
+        let t = Time::from_cycles(60);
+        let mut resp = vec![Time::ZERO; 3];
+        resp[t3.index()] = Time::from_cycles(10);
+        // τ3 is the only task on core y and has lower priority than τ2, so
+        // the lower band equals the full bound for k = τ2 ...
+        let low = bao(
+            &ctx,
+            t2,
+            y,
+            t,
+            &resp,
+            PersistenceMode::Oblivious,
+            PriorityBand::Lower,
+            CarryOut::Exact,
+        );
+        assert_eq!(low, 24);
+        // ... and the hep-band is empty (τ3 ∉ hep(τ2)).
+        assert_eq!(bao_oblivious(&ctx, t2, y, t, &resp), 0);
+        // From the lowest priority's perspective, hep covers τ3.
+        assert_eq!(bao_oblivious(&ctx, t3, y, t, &resp), 24);
+    }
+
+    proptest! {
+        #[test]
+        fn aware_never_exceeds_oblivious(
+            t in 0u64..5_000,
+            r in 0u64..2_000,
+        ) {
+            let (platform, tasks) = fig1();
+            let ctx = AnalysisContext::new(&platform, &tasks).unwrap();
+            let resp = vec![Time::from_cycles(r); 3];
+            let t = Time::from_cycles(t);
+            for k in tasks.ids() {
+                for y in [CoreId::new(0), CoreId::new(1)] {
+                    prop_assert!(bao_aware(&ctx, k, y, t, &resp)
+                        <= bao_oblivious(&ctx, k, y, t, &resp));
+                }
+            }
+        }
+
+        #[test]
+        fn monotone_in_window_and_response(
+            a in 0u64..5_000,
+            b in 0u64..5_000,
+            ra in 0u64..2_000,
+            rb in 0u64..2_000,
+        ) {
+            let (t_lo, t_hi) = (a.min(b), a.max(b));
+            let (r_lo, r_hi) = (ra.min(rb), ra.max(rb));
+            let (platform, tasks) = fig1();
+            let ctx = AnalysisContext::new(&platform, &tasks).unwrap();
+            let k = tasks.lowest_priority_id();
+            for y in [CoreId::new(0), CoreId::new(1)] {
+                for mode in [PersistenceMode::Oblivious, PersistenceMode::Aware] {
+                    for carry in [CarryOut::Exact, CarryOut::Capped] {
+                        let lo = bao(&ctx, k, y, Time::from_cycles(t_lo),
+                            &[Time::from_cycles(r_lo); 3], mode,
+                            PriorityBand::HigherOrEqual, carry);
+                        let hi = bao(&ctx, k, y, Time::from_cycles(t_hi),
+                            &[Time::from_cycles(r_hi); 3], mode,
+                            PriorityBand::HigherOrEqual, carry);
+                        prop_assert!(lo <= hi);
+                        // Capped carry-out over-approximates the exact term.
+                        let exact = bao(&ctx, k, y, Time::from_cycles(t_hi),
+                            &[Time::from_cycles(r_hi); 3], mode,
+                            PriorityBand::HigherOrEqual, CarryOut::Exact);
+                        let capped = bao(&ctx, k, y, Time::from_cycles(t_hi),
+                            &[Time::from_cycles(r_hi); 3], mode,
+                            PriorityBand::HigherOrEqual, CarryOut::Capped);
+                        prop_assert!(exact <= capped);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn carry_out_bounded_by_cost(
+            t in 0u64..100_000,
+            r in 0u64..10_000,
+            cost in 0u64..1_000,
+            d in 1u64..100,
+            p in 1u64..10_000,
+        ) {
+            let d = Time::from_cycles(d);
+            let p = Time::from_cycles(p);
+            let t = Time::from_cycles(t);
+            let r = Time::from_cycles(r);
+            let n = n_jobs(t, r, cost, d, p);
+            prop_assert!(w_cout(t, r, cost, d, p, n) <= cost);
+        }
+    }
+}

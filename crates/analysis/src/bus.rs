@@ -1,0 +1,333 @@
+//! Total bus access bounds per arbitration policy: Eq. (7), (8), (9).
+
+use cpa_model::{TaskId, Time};
+
+use crate::bao::{bao, PriorityBand};
+use crate::{bas, AnalysisConfig, AnalysisContext, BusPolicy};
+
+pub use crate::bao::CarryOut;
+
+/// `BAT_i^x(t)`: total number of bus accesses that may delay the execution
+/// of `τi` in a window of length `t`, under the configured bus policy and
+/// persistence mode.
+///
+/// * **Fixed-priority bus** (Eq. (7)): same-core demand, plus all
+///   higher-or-equal-priority remote demand, plus lower-priority remote
+///   accesses capped at one blocking access per own access (`min(BAS, Σ
+///   BAO_low)`), plus the `+1` same-core blocking access.
+/// * **Round-robin bus** (Eq. (8)): each remote core contributes at most
+///   `s` slots per own access (`min(BAO_n, s·BAS)`), where `BAO_n` is taken
+///   at the lowest priority level (RR does not look at priorities).
+/// * **TDMA bus** (Eq. (9)): non-work-conserving — every own access may
+///   wait for the other `L−1` cores' `s` slots regardless of actual remote
+///   demand, with cycle length `L·s` and `L` the number of cores.
+/// * **Perfect bus**: no cross-core contention at all; only the same-core
+///   demand `BAS` remains (the Fig. 2 reference line; see
+///   [`crate::wcrt::analyze`] for the accompanying bus-utilization test).
+///
+/// Following the worked example of the paper (Fig. 1, Eq. (12) and its
+/// footnote), the trailing `+1` — one already-in-service bus access from a
+/// same-core lower-priority task — is only charged when such a task exists.
+///
+/// `resp` carries the current response-time estimates of all tasks,
+/// consumed by the remote-core bound (Eq. (5)/(6)).
+#[must_use]
+pub fn bat(
+    ctx: &AnalysisContext<'_>,
+    i: TaskId,
+    t: Time,
+    resp: &[Time],
+    config: &AnalysisConfig,
+) -> u64 {
+    bat_with(ctx, i, t, resp, config, CarryOut::Exact)
+}
+
+/// [`bat`] with an explicit carry-out mode (see [`CarryOut`]); used by the
+/// WCRT driver to bracket the fixed point.
+#[must_use]
+pub fn bat_with(
+    ctx: &AnalysisContext<'_>,
+    i: TaskId,
+    t: Time,
+    resp: &[Time],
+    config: &AnalysisConfig,
+    carry: CarryOut,
+) -> u64 {
+    let tasks = ctx.tasks();
+    let core = tasks[i].core();
+    let mode = config.persistence;
+    let own = bas::bas(ctx, i, t, mode);
+    let blocking = u64::from(tasks.lp_on(i, core).next().is_some());
+    let remote_cores = || {
+        (0..ctx.platform().cores())
+            .map(cpa_model::CoreId::new)
+            .filter(move |&y| y != core)
+    };
+
+    match config.bus {
+        BusPolicy::FixedPriority => {
+            let higher: u64 = remote_cores()
+                .map(|y| bao(ctx, i, y, t, resp, mode, PriorityBand::HigherOrEqual, carry))
+                .fold(0u64, u64::saturating_add);
+            let lower: u64 = remote_cores()
+                .map(|y| bao(ctx, i, y, t, resp, mode, PriorityBand::Lower, carry))
+                .fold(0u64, u64::saturating_add);
+            own.saturating_add(higher)
+                .saturating_add(own.min(lower))
+                .saturating_add(blocking)
+        }
+        BusPolicy::RoundRobin { slots } => {
+            let n = tasks.lowest_priority_id();
+            let remote: u64 = remote_cores()
+                .map(|y| {
+                    let all = bao(ctx, n, y, t, resp, mode, PriorityBand::HigherOrEqual, carry);
+                    all.min(slots.saturating_mul(own))
+                })
+                .fold(0u64, u64::saturating_add);
+            own.saturating_add(remote).saturating_add(blocking)
+        }
+        BusPolicy::Tdma { slots } => {
+            let cores = ctx.platform().cores() as u64;
+            let wait_slots = cores.saturating_sub(1).saturating_mul(slots);
+            own.saturating_add(wait_slots.saturating_mul(own))
+                .saturating_add(blocking)
+        }
+        BusPolicy::Perfect => own,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PersistenceMode;
+    use cpa_model::{CacheBlockSet, CoreId, Platform, Priority, Task, TaskSet};
+    use proptest::prelude::*;
+
+    fn fig1() -> (Platform, TaskSet) {
+        let platform = Platform::builder()
+            .cores(2)
+            .memory_latency(Time::from_cycles(1))
+            .build()
+            .unwrap();
+        let tau1 = Task::builder("tau1")
+            .processing_demand(Time::from_cycles(4))
+            .memory_demand(6)
+            .residual_memory_demand(1)
+            .period(Time::from_cycles(20))
+            .deadline(Time::from_cycles(20))
+            .core(CoreId::new(0))
+            .priority(Priority::new(1))
+            .ecb(CacheBlockSet::from_blocks(256, 5..=10).unwrap())
+            .pcb(CacheBlockSet::from_blocks(256, [5, 6, 7, 8, 10]).unwrap())
+            .build()
+            .unwrap();
+        let tau2 = Task::builder("tau2")
+            .processing_demand(Time::from_cycles(32))
+            .memory_demand(8)
+            .period(Time::from_cycles(200))
+            .deadline(Time::from_cycles(200))
+            .core(CoreId::new(0))
+            .priority(Priority::new(2))
+            .ecb(CacheBlockSet::from_blocks(256, 1..=6).unwrap())
+            .ucb(CacheBlockSet::from_blocks(256, [5, 6]).unwrap())
+            .build()
+            .unwrap();
+        let tau3 = Task::builder("tau3")
+            .processing_demand(Time::from_cycles(4))
+            .memory_demand(6)
+            .residual_memory_demand(1)
+            .period(Time::from_cycles(16))
+            .deadline(Time::from_cycles(16))
+            .core(CoreId::new(1))
+            .priority(Priority::new(3))
+            .ecb(CacheBlockSet::from_blocks(256, 5..=10).unwrap())
+            .pcb(CacheBlockSet::from_blocks(256, [5, 6, 7, 8, 10]).unwrap())
+            .build()
+            .unwrap();
+        (platform, TaskSet::new(vec![tau1, tau2, tau3]).unwrap())
+    }
+
+    /// The Fig. 1 evaluation of Eq. (11): RR bus with s = 1, for τ2.
+    /// Window chosen so E_1 = 3 and N_{3,3} = 4 (zero carry-out), as in
+    /// the paper's walkthrough.
+    #[test]
+    fn fig1_rr_bat() {
+        let (platform, tasks) = fig1();
+        let ctx = AnalysisContext::new(&platform, &tasks).unwrap();
+        let t2 = tasks.id_of("tau2").unwrap();
+        let t3 = tasks.id_of("tau3").unwrap();
+        let t = Time::from_cycles(60);
+        let mut resp = vec![Time::ZERO; 3];
+        resp[t3.index()] = Time::from_cycles(10);
+
+        // Oblivious: BAS = 32, BAO_3^y = 24 ⇒ BAT = 32 + min(24, 32) = 56.
+        // τ2 is the lowest-priority task on its core, so no trailing +1
+        // (the paper's footnote to Eq. (12)).
+        let cfg = AnalysisConfig::new(
+            BusPolicy::RoundRobin { slots: 1 },
+            PersistenceMode::Oblivious,
+        );
+        assert_eq!(bat(&ctx, t2, t, &resp, &cfg), 56);
+
+        // Aware: BÂS = 26, BÂO = 9 ⇒ BAT = 26 + min(9, 26) = 35.
+        let cfg = AnalysisConfig::new(
+            BusPolicy::RoundRobin { slots: 1 },
+            PersistenceMode::Aware,
+        );
+        assert_eq!(bat(&ctx, t2, t, &resp, &cfg), 35);
+    }
+
+    #[test]
+    fn blocking_term_requires_same_core_lp_task() {
+        let (platform, tasks) = fig1();
+        let ctx = AnalysisContext::new(&platform, &tasks).unwrap();
+        let t1 = tasks.id_of("tau1").unwrap();
+        let resp = vec![Time::ZERO; 3];
+        // τ1 has a same-core lower-priority task (τ2) ⇒ +1 applies.
+        let cfg = AnalysisConfig::new(BusPolicy::Tdma { slots: 1 }, PersistenceMode::Oblivious);
+        // TDMA, 2 cores, s=1: BAS·(1 + 1·1) + 1 = 6·2 + 1 = 13.
+        assert_eq!(bat(&ctx, t1, Time::ZERO, &resp, &cfg), 13);
+        // τ3 is alone on core y: no blocking term.
+        let t3 = tasks.id_of("tau3").unwrap();
+        assert_eq!(bat(&ctx, t3, Time::ZERO, &resp, &cfg), 12);
+    }
+
+    #[test]
+    fn perfect_bus_sees_only_same_core_demand() {
+        let (platform, tasks) = fig1();
+        let ctx = AnalysisContext::new(&platform, &tasks).unwrap();
+        let t2 = tasks.id_of("tau2").unwrap();
+        let resp = vec![Time::from_cycles(100); 3];
+        let t = Time::from_cycles(60);
+        let cfg = AnalysisConfig::new(BusPolicy::Perfect, PersistenceMode::Aware);
+        assert_eq!(bat(&ctx, t2, t, &resp, &cfg), 26);
+    }
+
+    #[test]
+    fn fp_charges_remote_hep_and_capped_lp() {
+        let (platform, tasks) = fig1();
+        let ctx = AnalysisContext::new(&platform, &tasks).unwrap();
+        let t2 = tasks.id_of("tau2").unwrap();
+        let t3 = tasks.id_of("tau3").unwrap();
+        let t = Time::from_cycles(60);
+        let mut resp = vec![Time::ZERO; 3];
+        resp[t3.index()] = Time::from_cycles(10);
+        let cfg = AnalysisConfig::new(BusPolicy::FixedPriority, PersistenceMode::Oblivious);
+        // τ3 is remote and lower priority: hep-remote = 0, lp-remote = 24
+        // capped at BAS = 32 ⇒ BAT = 32 + 0 + 24 = 56. No same-core lp.
+        assert_eq!(bat(&ctx, t2, t, &resp, &cfg), 56);
+        // From τ3's own perspective: remote hep = τ1 and τ2's demand.
+        let cfg_t3 = AnalysisConfig::new(BusPolicy::FixedPriority, PersistenceMode::Oblivious);
+        let v = bat(&ctx, t3, t, &resp, &cfg_t3);
+        assert!(v >= bas::bas_oblivious(&ctx, t3, t));
+    }
+
+    proptest! {
+        #[test]
+        fn aware_never_exceeds_oblivious_for_any_policy(
+            t in 0u64..5_000,
+            r in 0u64..2_000,
+            slots in 1u64..6,
+        ) {
+            let (platform, tasks) = fig1();
+            let ctx = AnalysisContext::new(&platform, &tasks).unwrap();
+            let resp = vec![Time::from_cycles(r); 3];
+            let t = Time::from_cycles(t);
+            for bus in [
+                BusPolicy::FixedPriority,
+                BusPolicy::RoundRobin { slots },
+                BusPolicy::Tdma { slots },
+                BusPolicy::Perfect,
+            ] {
+                for i in tasks.ids() {
+                    let aware = bat(&ctx, i, t, &resp,
+                        &AnalysisConfig::new(bus, PersistenceMode::Aware));
+                    let oblivious = bat(&ctx, i, t, &resp,
+                        &AnalysisConfig::new(bus, PersistenceMode::Oblivious));
+                    prop_assert!(aware <= oblivious, "{bus:?} {i:?}");
+                }
+            }
+        }
+
+        /// With the persistence-aware carry-out cap (see `bao::CarryOut`),
+        /// every policy's total bound is monotone in the window length —
+        /// the property the WCRT fixed-point solver relies on.
+        #[test]
+        fn bat_monotone_in_window(
+            a in 0u64..5_000,
+            b in 0u64..5_000,
+            r in 0u64..2_000,
+            slots in 1u64..4,
+        ) {
+            let (lo, hi) = (a.min(b), a.max(b));
+            let (platform, tasks) = fig1();
+            let ctx = AnalysisContext::new(&platform, &tasks).unwrap();
+            let resp = vec![Time::from_cycles(r); 3];
+            for bus in [
+                BusPolicy::FixedPriority,
+                BusPolicy::RoundRobin { slots },
+                BusPolicy::Tdma { slots },
+                BusPolicy::Perfect,
+            ] {
+                for mode in [PersistenceMode::Oblivious, PersistenceMode::Aware] {
+                    for i in tasks.ids() {
+                        let cfg = AnalysisConfig::new(bus, mode);
+                        let v_lo = bat(&ctx, i, Time::from_cycles(lo), &resp, &cfg);
+                        let v_hi = bat(&ctx, i, Time::from_cycles(hi), &resp, &cfg);
+                        prop_assert!(v_lo <= v_hi, "{bus:?} {mode:?} {i:?}: {v_lo} > {v_hi}");
+                    }
+                }
+            }
+        }
+
+        /// RR's remote term `min(BAO_n, s·BAS)` is capped by the `s·BAS`
+        /// TDMA charges unconditionally, so for equal slot counts the RR
+        /// bound dominates the TDMA bound pointwise — the structural
+        /// reason the RR curves sit above TDMA in every figure.
+        #[test]
+        fn rr_bound_dominates_tdma(
+            t in 0u64..5_000,
+            r in 0u64..2_000,
+            slots in 1u64..6,
+        ) {
+            let (platform, tasks) = fig1();
+            let ctx = AnalysisContext::new(&platform, &tasks).unwrap();
+            let resp = vec![Time::from_cycles(r); 3];
+            let t = Time::from_cycles(t);
+            for mode in [PersistenceMode::Oblivious, PersistenceMode::Aware] {
+                for i in tasks.ids() {
+                    let rr = bat(&ctx, i, t, &resp,
+                        &AnalysisConfig::new(BusPolicy::RoundRobin { slots }, mode));
+                    let tdma = bat(&ctx, i, t, &resp,
+                        &AnalysisConfig::new(BusPolicy::Tdma { slots }, mode));
+                    prop_assert!(rr <= tdma, "{mode:?} {i:?} s={slots}: {rr} > {tdma}");
+                }
+            }
+        }
+
+        #[test]
+        fn perfect_is_weakest_policy(
+            t in 0u64..5_000,
+            r in 0u64..2_000,
+        ) {
+            let (platform, tasks) = fig1();
+            let ctx = AnalysisContext::new(&platform, &tasks).unwrap();
+            let resp = vec![Time::from_cycles(r); 3];
+            let t = Time::from_cycles(t);
+            for mode in [PersistenceMode::Oblivious, PersistenceMode::Aware] {
+                for i in tasks.ids() {
+                    let perfect = bat(&ctx, i, t, &resp,
+                        &AnalysisConfig::new(BusPolicy::Perfect, mode));
+                    for bus in [
+                        BusPolicy::FixedPriority,
+                        BusPolicy::RoundRobin { slots: 2 },
+                        BusPolicy::Tdma { slots: 2 },
+                    ] {
+                        let v = bat(&ctx, i, t, &resp, &AnalysisConfig::new(bus, mode));
+                        prop_assert!(perfect <= v);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Shared analysis context with precomputed CRPD/CPRO tables.
+
+use cpa_model::{ModelError, Platform, TaskId, TaskSet, Time};
+
+use crate::crpd::CrpdApproach;
+use crate::{cpro, crpd};
+
+/// An analysis context binding a [`TaskSet`] to a [`Platform`] with the
+/// quadratic CRPD (`γ_{i,j}`) and CPRO-overlap tables precomputed.
+///
+/// Every bound in this crate is evaluated many times per WCRT fixed point,
+/// so the block-set intersections behind Eq. (2) and Eq. (14) are computed
+/// once here and then served as table lookups.
+///
+/// Construct with [`AnalysisContext::new`]; the context borrows the platform
+/// and task set, making it cheap to build one per (platform, task set) pair
+/// and share it across the six policy/persistence analysis configurations.
+#[derive(Debug)]
+pub struct AnalysisContext<'a> {
+    platform: &'a Platform,
+    tasks: &'a TaskSet,
+    /// `gamma[i][j]` = `γ_{i,j}` (Eq. (2)), core taken from `τj`.
+    gamma: Vec<Vec<u64>>,
+    /// `cpro_overlap[p][w]` = per-job CPRO overlap of persistent task `p`
+    /// within the response window of task `w` (Eq. (14) without the
+    /// `(n−1)` factor).
+    cpro_overlap: Vec<Vec<u64>>,
+    crpd_approach: CrpdApproach,
+}
+
+impl<'a> AnalysisContext<'a> {
+    /// Builds the context with the paper's ECB-union CRPD bound,
+    /// validating that the task set fits the platform.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TaskSet::validate_against`] errors: a task mapped to a
+    /// missing core or a cache-geometry mismatch.
+    pub fn new(platform: &'a Platform, tasks: &'a TaskSet) -> Result<Self, ModelError> {
+        Self::with_crpd_approach(platform, tasks, CrpdApproach::EcbUnion)
+    }
+
+    /// [`AnalysisContext::new`] with a selectable CRPD bound (ablation;
+    /// see [`CrpdApproach`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TaskSet::validate_against`] errors.
+    pub fn with_crpd_approach(
+        platform: &'a Platform,
+        tasks: &'a TaskSet,
+        approach: CrpdApproach,
+    ) -> Result<Self, ModelError> {
+        tasks.validate_against(platform)?;
+        let n = tasks.len();
+        let mut gamma = vec![vec![0u64; n]; n];
+        let mut cpro_overlap = vec![vec![0u64; n]; n];
+        for i in tasks.ids() {
+            for j in tasks.ids() {
+                gamma[i.index()][j.index()] = crpd::gamma_with(tasks, i, j, approach);
+                cpro_overlap[i.index()][j.index()] = cpro::cpro_overlap(tasks, i, j);
+            }
+        }
+        Ok(AnalysisContext {
+            platform,
+            tasks,
+            gamma,
+            cpro_overlap,
+            crpd_approach: approach,
+        })
+    }
+
+    /// The CRPD approach this context's `γ` table was built with.
+    #[must_use]
+    pub fn crpd_approach(&self) -> CrpdApproach {
+        self.crpd_approach
+    }
+
+    /// The platform under analysis.
+    #[must_use]
+    pub fn platform(&self) -> &'a Platform {
+        self.platform
+    }
+
+    /// The task set under analysis.
+    #[must_use]
+    pub fn tasks(&self) -> &'a TaskSet {
+        self.tasks
+    }
+
+    /// `d_mem`, the worst-case latency of one bus/memory access.
+    #[must_use]
+    pub fn d_mem(&self) -> Time {
+        self.platform.memory_latency()
+    }
+
+    /// `γ_{i,j}`: ECB-union CRPD charged per job of `τj` within `τi`'s
+    /// response time (Eq. (2)); zero unless `τj` has higher priority.
+    #[must_use]
+    pub fn gamma(&self, i: TaskId, j: TaskId) -> u64 {
+        self.gamma[i.index()][j.index()]
+    }
+
+    /// Per-job CPRO overlap of `persistent` within the response window of
+    /// `window` (the set-intersection factor of Eq. (14)).
+    #[must_use]
+    pub fn cpro_overlap(&self, persistent: TaskId, window: TaskId) -> u64 {
+        self.cpro_overlap[persistent.index()][window.index()]
+    }
+
+    /// `ρ̂(n)` for `persistent` within `window`'s response time (Eq. (14)).
+    #[must_use]
+    pub fn cpro(&self, persistent: TaskId, window: TaskId, jobs: u64) -> u64 {
+        cpro::cpro(self.cpro_overlap(persistent, window), jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpa_model::{CacheBlockSet, CoreId, Priority, Task};
+
+    fn fig1() -> (Platform, TaskSet) {
+        let platform = Platform::builder()
+            .cores(2)
+            .memory_latency(Time::from_cycles(1))
+            .build()
+            .unwrap();
+        let tau1 = Task::builder("tau1")
+            .processing_demand(Time::from_cycles(4))
+            .memory_demand(6)
+            .residual_memory_demand(1)
+            .period(Time::from_cycles(12))
+            .deadline(Time::from_cycles(12))
+            .core(CoreId::new(0))
+            .priority(Priority::new(1))
+            .ecb(CacheBlockSet::from_blocks(256, 5..=10).unwrap())
+            .pcb(CacheBlockSet::from_blocks(256, [5, 6, 7, 8, 10]).unwrap())
+            .build()
+            .unwrap();
+        let tau2 = Task::builder("tau2")
+            .processing_demand(Time::from_cycles(32))
+            .memory_demand(8)
+            .period(Time::from_cycles(100))
+            .deadline(Time::from_cycles(100))
+            .core(CoreId::new(0))
+            .priority(Priority::new(2))
+            .ecb(CacheBlockSet::from_blocks(256, 1..=6).unwrap())
+            .ucb(CacheBlockSet::from_blocks(256, [5, 6]).unwrap())
+            .build()
+            .unwrap();
+        let tau3 = Task::builder("tau3")
+            .processing_demand(Time::from_cycles(4))
+            .memory_demand(6)
+            .residual_memory_demand(1)
+            .period(Time::from_cycles(12))
+            .deadline(Time::from_cycles(12))
+            .core(CoreId::new(1))
+            .priority(Priority::new(3))
+            .ecb(CacheBlockSet::from_blocks(256, 5..=10).unwrap())
+            .pcb(CacheBlockSet::from_blocks(256, [5, 6, 7, 8, 10]).unwrap())
+            .build()
+            .unwrap();
+        (platform, TaskSet::new(vec![tau1, tau2, tau3]).unwrap())
+    }
+
+    #[test]
+    fn fig1_tables() {
+        let (platform, tasks) = fig1();
+        let ctx = AnalysisContext::new(&platform, &tasks).unwrap();
+        let t1 = tasks.id_of("tau1").unwrap();
+        let t2 = tasks.id_of("tau2").unwrap();
+        let t3 = tasks.id_of("tau3").unwrap();
+
+        // γ_{2,1,x} = |UCB_2 ∩ ECB_1| = |{5,6}| = 2 (paper).
+        assert_eq!(ctx.gamma(t2, t1), 2);
+        // γ is evaluated on the *preemptor's* core: during τ3's window,
+        // τ1's preemptions can still evict τ2's UCBs on core x. (BAO on
+        // core y never consults this entry since τ1 ∉ Γy.)
+        assert_eq!(ctx.gamma(t3, t1), 2);
+        assert_eq!(ctx.gamma(t3, t3), 0);
+
+        // CPRO overlap of τ1 within τ2's window: PCB_1 ∩ ECB_2 = {5,6}.
+        assert_eq!(ctx.cpro_overlap(t1, t2), 2);
+        assert_eq!(ctx.cpro(t1, t2, 3), 4, "paper: ρ̂_{{1,2,x}}(3) = 4");
+        // τ3 has no same-core neighbours: zero CPRO in any window.
+        assert_eq!(ctx.cpro_overlap(t3, t2), 0);
+        assert_eq!(ctx.cpro_overlap(t3, t3), 0);
+
+        assert_eq!(ctx.d_mem(), Time::from_cycles(1));
+        assert_eq!(ctx.platform().cores(), 2);
+        assert_eq!(ctx.tasks().len(), 3);
+    }
+
+    #[test]
+    fn rejects_mismatched_platform() {
+        let (_, tasks) = fig1();
+        let too_small = Platform::builder()
+            .cores(1)
+            .memory_latency(Time::from_cycles(1))
+            .build()
+            .unwrap();
+        assert!(AnalysisContext::new(&too_small, &tasks).is_err());
+    }
+}

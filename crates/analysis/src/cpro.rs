@@ -1,0 +1,166 @@
+//! Cache persistence reload overhead (CPRO) via the CPRO-union approach.
+//!
+//! A task cannot evict its own persistent cache blocks, but other tasks
+//! interleaved or preempting on the same core can. Eq. (14) of the paper
+//! (the CPRO-union approach of Rashid et al., ECRTS 2016) bounds the extra
+//! bus accesses of `n_j` successive jobs of `τj` executing within the
+//! response time of `τi`:
+//!
+//! ```text
+//! ρ̂_{j,i,x}(n_j) = (n_j − 1) · | PCB_j ∩ ( ∪_{s ∈ Γx ∩ hep(i) \ {j}} ECB_s ) |
+//! ```
+//!
+//! Only `n_j − 1` jobs pay the overhead: the first job's full demand `MD_j`
+//! (or its share of `M̂D_j`) already covers its PCB loads.
+//!
+//! Note on subscripts: Eq. (14) writes the pair as `ρ̂_{j,i,x}` (persistent
+//! task first), while Lemma 2 writes `ρ̂_{k,l,y}` with the window task `k`
+//! first. Both denote the same quantity — the CPRO of the task whose jobs
+//! are being counted (`j` resp. `l`), evicted by the tasks of *its own core*
+//! that may run during the response window of the task under analysis
+//! (`i` resp. `k`). This module uses explicit parameter names
+//! (`persistent`, `window`) to avoid the ambiguity.
+
+use cpa_model::{CacheBlockSet, TaskId, TaskSet};
+
+/// The per-job CPRO eviction overlap
+/// `| PCB_persistent ∩ ∪_{s ∈ Γ_{core(persistent)} ∩ hep(window) \ {persistent}} ECB_s |`.
+///
+/// `persistent` is the task whose PCBs may be evicted; `window` is the task
+/// under analysis whose response time defines which tasks may run (all of
+/// `hep(window)`). Only tasks on `persistent`'s own core evict its PCBs —
+/// caches are private, so remote cores never touch them.
+///
+/// # Example
+///
+/// The Fig. 1 overlap: `PCB_1 = {5,6,7,8,10}`, `ECB_2 = {1..6}` on the same
+/// core, giving 2 reloads per subsequent job of `τ1`.
+///
+/// ```
+/// use cpa_analysis::cpro::{cpro, cpro_overlap};
+/// # use cpa_model::{CacheBlockSet, CoreId, Priority, Task, TaskSet, Time};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let tau1 = Task::builder("tau1")
+/// #     .processing_demand(Time::from_cycles(4)).memory_demand(6)
+/// #     .residual_memory_demand(1)
+/// #     .period(Time::from_cycles(100)).deadline(Time::from_cycles(100))
+/// #     .core(CoreId::new(0)).priority(Priority::new(1))
+/// #     .ecb(CacheBlockSet::from_blocks(256, 5..=10)?)
+/// #     .pcb(CacheBlockSet::from_blocks(256, [5, 6, 7, 8, 10])?)
+/// #     .build()?;
+/// # let tau2 = Task::builder("tau2")
+/// #     .processing_demand(Time::from_cycles(32)).memory_demand(8)
+/// #     .period(Time::from_cycles(400)).deadline(Time::from_cycles(400))
+/// #     .core(CoreId::new(0)).priority(Priority::new(2))
+/// #     .ecb(CacheBlockSet::from_blocks(256, 1..=6)?)
+/// #     .build()?;
+/// # let tasks = TaskSet::new(vec![tau1, tau2])?;
+/// let t1 = tasks.id_of("tau1").unwrap();
+/// let t2 = tasks.id_of("tau2").unwrap();
+/// let overlap = cpro_overlap(&tasks, t1, t2);
+/// assert_eq!(overlap, 2);
+/// // Three jobs of τ1 in τ2's response time ⇒ ρ̂ = (3−1)·2 = 4.
+/// assert_eq!(cpro(overlap, 3), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn cpro_overlap(tasks: &TaskSet, persistent: TaskId, window: TaskId) -> u64 {
+    let core = tasks[persistent].core();
+    let mut evictors = CacheBlockSet::new(tasks.cache_sets());
+    for s in tasks.hep_on(window, core) {
+        if s != persistent {
+            evictors.union_in_place(tasks[s].ecb());
+        }
+    }
+    tasks[persistent].pcb().intersection_len(&evictors) as u64
+}
+
+/// `ρ̂(n)` from a precomputed per-job overlap: `(n − 1) · overlap`, and 0
+/// for `n ≤ 1` (a single job pays no reload overhead).
+#[must_use]
+pub fn cpro(overlap: u64, jobs: u64) -> u64 {
+    jobs.saturating_sub(1).saturating_mul(overlap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpa_model::{CoreId, Priority, Task, Time};
+
+    fn task(
+        name: &str,
+        prio: u32,
+        core: usize,
+        ecb: impl IntoIterator<Item = usize>,
+        pcb: impl IntoIterator<Item = usize>,
+    ) -> Task {
+        let ecb = CacheBlockSet::from_blocks(64, ecb).unwrap();
+        let pcb = CacheBlockSet::from_blocks(64, pcb).unwrap();
+        let pcb = pcb.intersection(&ecb);
+        Task::builder(name)
+            .processing_demand(Time::from_cycles(10))
+            .memory_demand(8)
+            .residual_memory_demand(2)
+            .period(Time::from_cycles(1_000))
+            .deadline(Time::from_cycles(1_000))
+            .core(CoreId::new(core))
+            .priority(Priority::new(prio))
+            .ecb(ecb)
+            .pcb(pcb)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn excludes_the_persistent_task_itself() {
+        // Only "p" on its core: by definition it cannot evict its own PCBs.
+        let ts = TaskSet::new(vec![task("p", 1, 0, 0..10, 0..10), task("w", 2, 1, 0..10, [])])
+            .unwrap();
+        let p = ts.id_of("p").unwrap();
+        let w = ts.id_of("w").unwrap();
+        assert_eq!(cpro_overlap(&ts, p, w), 0);
+    }
+
+    #[test]
+    fn remote_tasks_never_evict() {
+        let ts = TaskSet::new(vec![
+            task("p", 1, 0, 0..10, 0..10),
+            task("remote", 2, 1, 0..10, []),
+            task("w", 3, 0, 20..25, []),
+        ])
+        .unwrap();
+        let p = ts.id_of("p").unwrap();
+        let w = ts.id_of("w").unwrap();
+        // "remote" fully overlaps p's PCBs but sits on another core; "w" is
+        // disjoint. No CPRO.
+        assert_eq!(cpro_overlap(&ts, p, w), 0);
+    }
+
+    #[test]
+    fn window_priority_limits_evictors() {
+        // Evictors are restricted to hep(window) on the persistent task's
+        // core: tasks with lower priority than the window task don't count.
+        let ts = TaskSet::new(vec![
+            task("p", 1, 0, 0..10, 0..10),
+            task("w", 2, 0, 0..4, []),
+            task("below", 3, 0, 4..8, []),
+        ])
+        .unwrap();
+        let p = ts.id_of("p").unwrap();
+        let w = ts.id_of("w").unwrap();
+        let below = ts.id_of("below").unwrap();
+        assert_eq!(cpro_overlap(&ts, p, w), 4);
+        // For a window at the lowest priority, "below" joins the evictors.
+        assert_eq!(cpro_overlap(&ts, p, below), 8);
+    }
+
+    #[test]
+    fn cpro_counts_jobs_minus_one() {
+        assert_eq!(cpro(2, 0), 0);
+        assert_eq!(cpro(2, 1), 0);
+        assert_eq!(cpro(2, 3), 4);
+        assert_eq!(cpro(0, 100), 0);
+        assert_eq!(cpro(u64::MAX, 3), u64::MAX); // saturates, never wraps
+    }
+}

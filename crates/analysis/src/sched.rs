@@ -1,0 +1,171 @@
+//! Schedulability aggregation measures.
+//!
+//! The paper's Fig. 2 plots raw counts of schedulable task sets per core
+//! utilization; Fig. 3 compresses the utilization dimension with the
+//! *weighted schedulability* measure of Bastoni, Brandenburg and Anderson
+//! (OSPERT 2010):
+//!
+//! ```text
+//! W(p) = Σ_τ U(τ) · S(τ, p) / Σ_τ U(τ)
+//! ```
+//!
+//! where the sum ranges over all generated task sets `τ`, `U(τ)` is the
+//! total utilization of `τ` and `S(τ, p) ∈ {0, 1}` its schedulability at
+//! parameter value `p`. Weighting by utilization rewards analyses that keep
+//! *heavily loaded* systems schedulable.
+
+/// Computes the weighted schedulability over `(utilization, schedulable)`
+/// samples.
+///
+/// Returns 0 when the iterator is empty or all utilizations are zero.
+///
+/// # Example
+///
+/// ```
+/// use cpa_analysis::weighted_schedulability;
+/// let w = weighted_schedulability([(0.9, false), (0.3, true)]);
+/// assert!((w - 0.25).abs() < 1e-12);
+/// assert_eq!(weighted_schedulability([]), 0.0);
+/// ```
+#[must_use]
+pub fn weighted_schedulability<I>(samples: I) -> f64
+where
+    I: IntoIterator<Item = (f64, bool)>,
+{
+    let mut acc = WeightedAccumulator::new();
+    for (utilization, schedulable) in samples {
+        acc.record(utilization, schedulable);
+    }
+    acc.value()
+}
+
+/// Incremental accumulator for [`weighted_schedulability`], convenient when
+/// samples are produced across worker threads or experiment batches.
+///
+/// ```
+/// use cpa_analysis::sched::WeightedAccumulator;
+/// let mut acc = WeightedAccumulator::new();
+/// acc.record(0.5, true);
+/// acc.record(0.5, false);
+/// assert_eq!(acc.samples(), 2);
+/// assert!((acc.value() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WeightedAccumulator {
+    weighted: f64,
+    total: f64,
+    samples: u64,
+    schedulable: u64,
+}
+
+impl WeightedAccumulator {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        WeightedAccumulator::default()
+    }
+
+    /// Records one task set's total utilization and schedulability verdict.
+    pub fn record(&mut self, utilization: f64, schedulable: bool) {
+        self.total += utilization;
+        self.samples += 1;
+        if schedulable {
+            self.weighted += utilization;
+            self.schedulable += 1;
+        }
+    }
+
+    /// Merges another accumulator (e.g. from a worker thread).
+    pub fn merge(&mut self, other: &WeightedAccumulator) {
+        self.weighted += other.weighted;
+        self.total += other.total;
+        self.samples += other.samples;
+        self.schedulable += other.schedulable;
+    }
+
+    /// The weighted schedulability; 0 if nothing was recorded.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        if self.total <= 0.0 {
+            0.0
+        } else {
+            self.weighted / self.total
+        }
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Number of samples recorded as schedulable (the unweighted count
+    /// plotted by Fig. 2).
+    #[must_use]
+    pub fn schedulable_count(&self) -> u64 {
+        self.schedulable
+    }
+
+    /// Unweighted schedulable fraction; 0 if nothing was recorded.
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.schedulable as f64 / self.samples as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(weighted_schedulability([]), 0.0);
+        assert_eq!(WeightedAccumulator::new().value(), 0.0);
+        assert_eq!(WeightedAccumulator::new().fraction(), 0.0);
+    }
+
+    #[test]
+    fn all_schedulable_is_one() {
+        let w = weighted_schedulability([(0.2, true), (0.9, true)]);
+        assert!((w - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavier_sets_matter_more() {
+        // One heavy unschedulable set outweighs three light schedulable ones.
+        let w = weighted_schedulability([(3.0, false), (0.5, true), (0.5, true), (0.5, true)]);
+        assert!((w - 1.5 / 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut a = WeightedAccumulator::new();
+        a.record(0.5, true);
+        a.record(1.5, false);
+        let mut b = WeightedAccumulator::new();
+        b.record(2.0, true);
+        let mut merged = a;
+        merged.merge(&b);
+        let mut seq = WeightedAccumulator::new();
+        for (u, s) in [(0.5, true), (1.5, false), (2.0, true)] {
+            seq.record(u, s);
+        }
+        assert_eq!(merged, seq);
+        assert_eq!(merged.samples(), 3);
+        assert_eq!(merged.schedulable_count(), 2);
+        assert!((merged.fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn value_is_a_fraction(samples in proptest::collection::vec((0.0f64..10.0, any::<bool>()), 0..50)) {
+            let w = weighted_schedulability(samples);
+            prop_assert!((0.0..=1.0).contains(&w));
+        }
+    }
+}

@@ -1,0 +1,505 @@
+//! Worst-case response time analysis: Eq. (19) with an outer loop.
+//!
+//! The response time of `τi` is the least fixed point of
+//!
+//! ```text
+//! R_i = PD_i + Σ_{j ∈ Γx ∩ hp(i)} ⌈R_i / T_j⌉ · PD_j + BAT_i^x(R_i) · d_mem
+//! ```
+//!
+//! Because `BAT` consumes the response times of tasks on *other* cores
+//! (through Eq. (5)/(6)), the per-task fixed points are nested in an outer
+//! loop over the whole task set: all estimates start at
+//! `PD_i + MD_i · d_mem` and only ever grow, so the outer iteration is a
+//! monotone fixed point too and terminates as soon as either no estimate
+//! changes or some estimate exceeds its deadline (unschedulable), exactly
+//! as described at the end of §IV of the paper.
+
+use cpa_model::{TaskId, Time};
+
+use crate::{bus, AnalysisConfig, AnalysisContext, BusPolicy};
+
+/// Result of a full WCRT analysis of a task set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisResult {
+    response_times: Vec<Option<Time>>,
+    schedulable: bool,
+    outer_iterations: u32,
+}
+
+impl AnalysisResult {
+    /// `true` iff every task's WCRT converged within its deadline (and, for
+    /// [`BusPolicy::Perfect`], the bus utilization test passed).
+    #[must_use]
+    pub fn is_schedulable(&self) -> bool {
+        self.schedulable
+    }
+
+    /// Per-task response times in priority order. `Some(R_i)` for every task
+    /// when schedulable; on an unschedulable result, tasks whose estimate
+    /// exceeded their deadline (or never converged) are `None` and the
+    /// remaining entries are the estimates at the point the analysis
+    /// stopped — useful for diagnosis, not guaranteed to be final.
+    #[must_use]
+    pub fn response_times(&self) -> &[Option<Time>] {
+        &self.response_times
+    }
+
+    /// Response time of one task (see [`AnalysisResult::response_times`]).
+    #[must_use]
+    pub fn response_time(&self, i: TaskId) -> Option<Time> {
+        self.response_times.get(i.index()).copied().flatten()
+    }
+
+    /// Number of outer iterations the analysis performed.
+    #[must_use]
+    pub fn outer_iterations(&self) -> u32 {
+        self.outer_iterations
+    }
+}
+
+/// Runs the full WCRT analysis (Eq. (19)) for every task under the given
+/// configuration.
+///
+/// For [`BusPolicy::Perfect`] the paper's reference line additionally
+/// requires the total bus utilization `Σ MD_i · d_mem / T_i ≤ 1`; task sets
+/// failing that test are reported unschedulable without running the fixed
+/// point.
+#[must_use]
+pub fn analyze(ctx: &AnalysisContext<'_>, config: &AnalysisConfig) -> AnalysisResult {
+    let tasks = ctx.tasks();
+    let d_mem = ctx.d_mem();
+    let n = tasks.len();
+
+    // The perfect-bus reference line assumes no bus interference as long as
+    // the bus is not oversubscribed. Its utilization test uses the
+    // steady-state per-job demand (the residual demand MD^r — PCB loads
+    // amortise to zero across jobs), so the line stays an upper envelope of
+    // the persistence-aware analyses.
+    if config.bus == BusPolicy::Perfect {
+        let residual_bus_utilization: f64 = tasks
+            .iter()
+            .map(|t| {
+                (t.residual_memory_demand() as f64 * d_mem.cycles() as f64)
+                    / t.period().cycles() as f64
+            })
+            .sum();
+        if residual_bus_utilization > 1.0 {
+            return AnalysisResult {
+                response_times: vec![None; n],
+                schedulable: false,
+                outer_iterations: 0,
+            };
+        }
+    }
+
+    // Initial estimates: R_i = PD_i + MD_i · d_mem (§IV).
+    let init: Vec<Time> = tasks
+        .iter()
+        .map(|t| t.processing_demand().saturating_add(d_mem.saturating_mul(t.memory_demand())))
+        .collect();
+    let mut resp = init.clone();
+
+    for outer in 1..=config.max_outer_iterations {
+        let mut changed = false;
+        for i in tasks.ids() {
+            let start = resp[i.index()].max(init[i.index()]);
+            let r = match inner_fixed_point(ctx, config, i, start, &resp) {
+                Some(r) => r,
+                None => {
+                    // Unschedulable: report what we know, with the failing
+                    // task explicitly marked as having no bound.
+                    let response_times = resp
+                        .iter()
+                        .zip(tasks.iter())
+                        .enumerate()
+                        .map(|(idx, (&r, t))| {
+                            (idx != i.index() && r <= t.deadline()).then_some(r)
+                        })
+                        .collect();
+                    return AnalysisResult {
+                        response_times,
+                        schedulable: false,
+                        outer_iterations: outer,
+                    };
+                }
+            };
+            if r > resp[i.index()] {
+                resp[i.index()] = r;
+                changed = true;
+            }
+        }
+        if !changed {
+            return AnalysisResult {
+                response_times: resp.into_iter().map(Some).collect(),
+                schedulable: true,
+                outer_iterations: outer,
+            };
+        }
+    }
+
+    // Outer loop failed to stabilise within the cap: treat as unschedulable.
+    AnalysisResult {
+        response_times: vec![None; n],
+        schedulable: false,
+        outer_iterations: config.max_outer_iterations,
+    }
+}
+
+/// Decomposition of one task's WCRT bound into Eq. (19)'s terms, for
+/// diagnosis ("why is this task unschedulable?").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WcrtBreakdown {
+    /// The window length the breakdown was evaluated at (usually the WCRT).
+    pub window: Time,
+    /// `PD_i`: the task's own processing demand.
+    pub processing: Time,
+    /// `Σ ⌈R/T_j⌉·PD_j`: same-core preemption (processing only).
+    pub core_interference: Time,
+    /// `BAS·d_mem`: bus time of the own core's demand (self + same-core
+    /// higher-priority tasks, CRPD included).
+    pub own_core_bus: Time,
+    /// `(BAT − BAS)·d_mem`: cross-core bus interference plus blocking.
+    pub cross_core_bus: Time,
+}
+
+impl WcrtBreakdown {
+    /// Sum of all components — equals `rhs(window)`; at a fixed point this
+    /// is the WCRT bound itself.
+    #[must_use]
+    pub fn total(&self) -> Time {
+        self.processing
+            .saturating_add(self.core_interference)
+            .saturating_add(self.own_core_bus)
+            .saturating_add(self.cross_core_bus)
+    }
+}
+
+/// Evaluates Eq. (19)'s right-hand side at `window` and reports the
+/// per-term decomposition. Pass a converged [`AnalysisResult`]'s response
+/// times (as `resp`) and its WCRT (as `window`) to explain a bound.
+///
+/// # Example
+///
+/// See `examples/quickstart.rs` in the repository root.
+#[must_use]
+pub fn explain(
+    ctx: &AnalysisContext<'_>,
+    config: &AnalysisConfig,
+    i: TaskId,
+    window: Time,
+    resp: &[Time],
+) -> WcrtBreakdown {
+    let tasks = ctx.tasks();
+    let task = &tasks[i];
+    let core_interference: Time = tasks
+        .hp_on(i, task.core())
+        .map(|j| {
+            tasks[j]
+                .processing_demand()
+                .saturating_mul(window.div_ceil(tasks[j].period()))
+        })
+        .fold(Time::ZERO, Time::saturating_add);
+    let own_accesses = crate::bas::bas(ctx, i, window, config.persistence);
+    let total_accesses = bus::bat(ctx, i, window, resp, config);
+    let d_mem = ctx.d_mem();
+    WcrtBreakdown {
+        window,
+        processing: task.processing_demand(),
+        core_interference,
+        own_core_bus: d_mem.saturating_mul(own_accesses),
+        cross_core_bus: d_mem.saturating_mul(total_accesses.saturating_sub(own_accesses)),
+    }
+}
+
+/// The right-hand side of Eq. (19) at window length `r`.
+fn rhs(
+    ctx: &AnalysisContext<'_>,
+    config: &AnalysisConfig,
+    i: TaskId,
+    r: Time,
+    resp: &[Time],
+    carry: bus::CarryOut,
+) -> Time {
+    let tasks = ctx.tasks();
+    let task = &tasks[i];
+    let interference: Time = tasks
+        .hp_on(i, task.core())
+        .map(|j| {
+            tasks[j]
+                .processing_demand()
+                .saturating_mul(r.div_ceil(tasks[j].period()))
+        })
+        .fold(Time::ZERO, Time::saturating_add);
+    let bus_accesses = bus::bat_with(ctx, i, r, resp, config, carry);
+    task.processing_demand()
+        .saturating_add(interference)
+        .saturating_add(ctx.d_mem().saturating_mul(bus_accesses))
+}
+
+/// Sound WCRT bound for one task given the current response-time estimates
+/// of all other tasks; `None` when the deadline cannot be met.
+///
+/// The recurrence is solved in two phases:
+///
+/// 1. **Bracket** — iterate upward with the *capped* carry-out bound
+///    ([`bus::CarryOut::Capped`], an over-approximation of Eq. (5) whose
+///    value only changes at period-scale events). The exact Eq. (5) term
+///    grows by one access per elapsed `d_mem`, making naive upward
+///    iteration creep in `d_mem`-sized steps for up to millions of
+///    iterations; the capped bound converges in a number of steps bounded
+///    by the job releases in the window.
+/// 2. **Refine** — from the capped fixed point `r*` (which satisfies
+///    `f(r*) ≤ r*` for the exact right-hand side `f`), iterate `r ← f(r)`
+///    *downwards*. Every iterate remains a pre-fixed point of `f`
+///    (monotonicity), hence a sound WCRT bound, so refinement can stop
+///    after a bounded number of steps without losing soundness.
+///
+/// If the capped bracket exceeds the deadline, the exact recurrence is
+/// given a last chance via the sufficiency test `f(D_i) ≤ D_i` (any window
+/// of length `D_i` that contains all charged work ends by `D_i`), again
+/// followed by downward refinement.
+fn inner_fixed_point(
+    ctx: &AnalysisContext<'_>,
+    config: &AnalysisConfig,
+    i: TaskId,
+    start: Time,
+    resp: &[Time],
+) -> Option<Time> {
+    use bus::CarryOut;
+    let deadline = ctx.tasks()[i].deadline();
+
+    // Phase 1: capped upward bracket.
+    let mut r = start;
+    let mut bracket = None;
+    for _ in 0..config.max_inner_iterations {
+        let next = rhs(ctx, config, i, r, resp, CarryOut::Capped);
+        if next == r {
+            bracket = Some(r);
+            break;
+        }
+        r = next;
+        if r > deadline {
+            break;
+        }
+    }
+
+    const REFINE_STEPS: u32 = 64;
+    let refine = |mut r: Time| {
+        for _ in 0..REFINE_STEPS {
+            let next = rhs(ctx, config, i, r, resp, CarryOut::Exact);
+            debug_assert!(next <= r, "downward refinement must not increase");
+            if next == r {
+                break;
+            }
+            r = next;
+        }
+        r
+    };
+
+    match bracket {
+        Some(r_star) if r_star <= deadline => Some(refine(r_star)),
+        _ => {
+            // Exact sufficiency test at the deadline.
+            let at_deadline = rhs(ctx, config, i, deadline, resp, CarryOut::Exact);
+            (at_deadline <= deadline).then(|| refine(at_deadline))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PersistenceMode;
+    use cpa_model::{CacheBlockSet, CoreId, Platform, Priority, Task, TaskSet};
+
+    fn platform(cores: usize, d_mem: u64) -> Platform {
+        Platform::builder()
+            .cores(cores)
+            .memory_latency(Time::from_cycles(d_mem))
+            .build()
+            .unwrap()
+    }
+
+    fn task(name: &str, prio: u32, core: usize, pd: u64, md: u64, md_r: u64, period: u64) -> Task {
+        Task::builder(name)
+            .processing_demand(Time::from_cycles(pd))
+            .memory_demand(md)
+            .residual_memory_demand(md_r)
+            .period(Time::from_cycles(period))
+            .deadline(Time::from_cycles(period))
+            .core(CoreId::new(core))
+            .priority(Priority::new(prio))
+            .ecb(CacheBlockSet::contiguous(256, (prio as usize) * 20, 10))
+            .pcb(CacheBlockSet::contiguous(256, (prio as usize) * 20, 8))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_task_single_core() {
+        let p = platform(1, 10);
+        let ts = TaskSet::new(vec![task("t", 1, 0, 100, 5, 1, 1_000)]).unwrap();
+        let ctx = AnalysisContext::new(&p, &ts).unwrap();
+        for bus in [
+            BusPolicy::FixedPriority,
+            BusPolicy::RoundRobin { slots: 2 },
+            BusPolicy::Tdma { slots: 2 },
+            BusPolicy::Perfect,
+        ] {
+            let res = analyze(&ctx, &AnalysisConfig::new(bus, PersistenceMode::Aware));
+            assert!(res.is_schedulable(), "{bus:?}");
+            // Alone in the system every policy degenerates to
+            // R = PD + MD·d_mem (TDMA has no other cores to wait for).
+            let r = res.response_time(TaskId::new(0)).unwrap();
+            assert_eq!(r, Time::from_cycles(150), "{bus:?}");
+        }
+    }
+
+    #[test]
+    fn preemption_interference_counted() {
+        // Classic two-task single-core response time, no memory demand.
+        // The high-priority task still pays the +1 blocking access
+        // (a lower-priority task shares its core): R_hi = 20 + 1·d_mem.
+        // R_lo = 40 + ⌈R/100⌉·20 = 60, no blocking (lowest priority).
+        let p = platform(1, 1);
+        let ts = TaskSet::new(vec![
+            task("hi", 1, 0, 20, 0, 0, 100),
+            task("lo", 2, 0, 40, 0, 0, 200),
+        ])
+        .unwrap();
+        let ctx = AnalysisContext::new(&p, &ts).unwrap();
+        let res = analyze(
+            &ctx,
+            &AnalysisConfig::new(BusPolicy::FixedPriority, PersistenceMode::Oblivious),
+        );
+        assert!(res.is_schedulable());
+        assert_eq!(res.response_time(TaskId::new(0)), Some(Time::from_cycles(21)));
+        assert_eq!(res.response_time(TaskId::new(1)), Some(Time::from_cycles(60)));
+    }
+
+    #[test]
+    fn unschedulable_when_overloaded() {
+        let p = platform(1, 10);
+        // Utilization > 1 on the core.
+        let ts = TaskSet::new(vec![
+            task("hi", 1, 0, 600, 10, 10, 1_000),
+            task("lo", 2, 0, 600, 10, 10, 1_000),
+        ])
+        .unwrap();
+        let ctx = AnalysisContext::new(&p, &ts).unwrap();
+        let res = analyze(
+            &ctx,
+            &AnalysisConfig::new(BusPolicy::FixedPriority, PersistenceMode::Aware),
+        );
+        assert!(!res.is_schedulable());
+        // The high-priority task is fine; the low one blew its deadline.
+        assert!(res.response_time(TaskId::new(0)).is_some());
+        assert_eq!(res.response_time(TaskId::new(1)), None);
+    }
+
+    #[test]
+    fn perfect_bus_gates_on_bus_utilization() {
+        let p = platform(2, 100);
+        // Each task alone is trivially schedulable, but the bus carries
+        // 2 × 60·100/10_000 = 1.2 > 1.
+        let ts = TaskSet::new(vec![
+            task("a", 1, 0, 10, 60, 60, 10_000),
+            task("b", 2, 1, 10, 60, 60, 10_000),
+        ])
+        .unwrap();
+        let ctx = AnalysisContext::new(&p, &ts).unwrap();
+        let res = analyze(&ctx, &AnalysisConfig::new(BusPolicy::Perfect, PersistenceMode::Aware));
+        assert!(!res.is_schedulable());
+        assert_eq!(res.outer_iterations(), 0);
+        // The same set under 10× shorter memory latency passes.
+        let fast = platform(2, 10);
+        let ctx = AnalysisContext::new(&fast, &ts).unwrap();
+        let res = analyze(&ctx, &AnalysisConfig::new(BusPolicy::Perfect, PersistenceMode::Aware));
+        assert!(res.is_schedulable());
+    }
+
+    #[test]
+    fn aware_dominates_oblivious_on_multicore() {
+        let p = platform(2, 20);
+        let ts = TaskSet::new(vec![
+            task("a", 1, 0, 100, 20, 2, 4_000),
+            task("b", 2, 1, 100, 20, 2, 4_000),
+            task("c", 3, 0, 200, 20, 2, 8_000),
+            task("d", 4, 1, 200, 20, 2, 8_000),
+        ])
+        .unwrap();
+        let ctx = AnalysisContext::new(&p, &ts).unwrap();
+        for bus in [
+            BusPolicy::FixedPriority,
+            BusPolicy::RoundRobin { slots: 2 },
+            BusPolicy::Tdma { slots: 2 },
+        ] {
+            let aware = analyze(&ctx, &AnalysisConfig::new(bus, PersistenceMode::Aware));
+            let obl = analyze(&ctx, &AnalysisConfig::new(bus, PersistenceMode::Oblivious));
+            assert!(aware.is_schedulable(), "{bus:?}");
+            assert!(obl.is_schedulable(), "{bus:?}");
+            for i in ts.ids() {
+                assert!(
+                    aware.response_time(i).unwrap() <= obl.response_time(i).unwrap(),
+                    "{bus:?} {i:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn explain_decomposes_the_fixed_point() {
+        let p = platform(2, 20);
+        let ts = TaskSet::new(vec![
+            task("a", 1, 0, 100, 20, 2, 4_000),
+            task("b", 2, 1, 100, 20, 2, 4_000),
+            task("c", 3, 0, 200, 20, 2, 8_000),
+        ])
+        .unwrap();
+        let ctx = AnalysisContext::new(&p, &ts).unwrap();
+        let cfg = AnalysisConfig::new(BusPolicy::RoundRobin { slots: 2 }, PersistenceMode::Aware);
+        let result = analyze(&ctx, &cfg);
+        assert!(result.is_schedulable());
+        let resp: Vec<Time> = result
+            .response_times()
+            .iter()
+            .map(|r| r.expect("schedulable"))
+            .collect();
+        for i in ts.ids() {
+            let b = explain(&ctx, &cfg, i, resp[i.index()], &resp);
+            // At the fixed point, the decomposition reassembles the WCRT
+            // (the stored value is a pre-fixed point: total ≤ window).
+            assert!(b.total() <= b.window, "{i}: {:?}", b);
+            assert_eq!(b.processing, ts[i].processing_demand());
+            assert!(!b.own_core_bus.is_zero());
+        }
+        // The low-priority same-core task sees core interference; the
+        // remote one does not.
+        let c = ts.id_of("c").unwrap();
+        let b = ts.id_of("b").unwrap();
+        let bc = explain(&ctx, &cfg, c, resp[c.index()], &resp);
+        let bb = explain(&ctx, &cfg, b, resp[b.index()], &resp);
+        assert!(!bc.core_interference.is_zero());
+        assert!(bb.core_interference.is_zero());
+        assert!(!bb.cross_core_bus.is_zero());
+    }
+
+    #[test]
+    fn cross_core_contention_increases_wcrt() {
+        let p1 = platform(1, 20);
+        let solo = TaskSet::new(vec![task("a", 1, 0, 100, 20, 2, 4_000)]).unwrap();
+        let ctx1 = AnalysisContext::new(&p1, &solo).unwrap();
+        let cfg = AnalysisConfig::new(BusPolicy::RoundRobin { slots: 1 }, PersistenceMode::Oblivious);
+        let alone = analyze(&ctx1, &cfg).response_time(TaskId::new(0)).unwrap();
+
+        let p2 = platform(2, 20);
+        let pair = TaskSet::new(vec![
+            task("a", 1, 0, 100, 20, 2, 4_000),
+            task("b", 2, 1, 100, 20, 2, 4_000),
+        ])
+        .unwrap();
+        let ctx2 = AnalysisContext::new(&p2, &pair).unwrap();
+        let contended = analyze(&ctx2, &cfg).response_time(TaskId::new(0)).unwrap();
+        assert!(contended > alone, "{contended} vs {alone}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Microbenchmarks of the analysis building blocks: context construction
+//! (the CRPD/CPRO tables), `BAS`/`BÂS`, `BAO`/`BÂO`, `BAT` and the WCRT
+//! fixed point — the cost model behind every figure's runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cpa_analysis::bao::{bao, CarryOut, PriorityBand};
+use cpa_analysis::{
+    analyze, bas, bus, AnalysisConfig, AnalysisContext, BusPolicy, PersistenceMode,
+};
+use cpa_experiments::runner::platform_for;
+use cpa_model::{CoreId, TaskId, Time};
+use cpa_workload::{GeneratorConfig, TaskSetGenerator};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_analysis(c: &mut Criterion) {
+    let gen = GeneratorConfig::paper_default().with_per_core_utilization(0.3);
+    let generator = TaskSetGenerator::new(gen.clone()).expect("generator");
+    let platform = platform_for(&gen);
+    let tasks = generator
+        .generate(&mut ChaCha8Rng::seed_from_u64(11))
+        .expect("task set");
+
+    let mut group = c.benchmark_group("analysis_micro");
+    group.sample_size(30);
+
+    group.bench_function("context_build_32_tasks", |b| {
+        b.iter(|| black_box(AnalysisContext::new(black_box(&platform), black_box(&tasks))));
+    });
+
+    let ctx = AnalysisContext::new(&platform, &tasks).expect("context");
+    let lowest = tasks.lowest_priority_id();
+    let window = Time::from_cycles(100_000);
+    let resp: Vec<Time> = tasks
+        .iter()
+        .map(|t| t.processing_demand() + ctx.d_mem() * t.memory_demand())
+        .collect();
+
+    group.bench_function("bas_oblivious", |b| {
+        b.iter(|| black_box(bas::bas_oblivious(&ctx, lowest, black_box(window))));
+    });
+    group.bench_function("bas_aware", |b| {
+        b.iter(|| black_box(bas::bas_aware(&ctx, lowest, black_box(window))));
+    });
+    group.bench_function("bao_aware_one_core", |b| {
+        b.iter(|| {
+            black_box(bao(
+                &ctx,
+                lowest,
+                CoreId::new(1),
+                black_box(window),
+                &resp,
+                PersistenceMode::Aware,
+                PriorityBand::HigherOrEqual,
+                CarryOut::Exact,
+            ))
+        });
+    });
+    for cfg in [
+        AnalysisConfig::new(BusPolicy::FixedPriority, PersistenceMode::Aware),
+        AnalysisConfig::new(BusPolicy::RoundRobin { slots: 2 }, PersistenceMode::Aware),
+        AnalysisConfig::new(BusPolicy::Tdma { slots: 2 }, PersistenceMode::Aware),
+    ] {
+        group.bench_function(format!("bat_{}", cfg.bus.label()), |b| {
+            b.iter(|| black_box(bus::bat(&ctx, lowest, black_box(window), &resp, &cfg)));
+        });
+    }
+    group.bench_function("wcrt_full_fp_aware", |b| {
+        let cfg = AnalysisConfig::new(BusPolicy::FixedPriority, PersistenceMode::Aware);
+        b.iter(|| black_box(analyze(&ctx, &cfg)));
+    });
+    group.bench_function("gamma_lookup", |b| {
+        b.iter(|| black_box(ctx.gamma(black_box(lowest), black_box(TaskId::new(0)))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Fig. 3a–3d — weighted schedulability sweeps over cores, `d_mem`,
+//! cache size and slot size.
+//!
+//! Prints reduced-scale versions of all four sweeps (the regeneration
+//! artefacts), then measures one representative sweep per sub-figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cpa_experiments::{fig3, report, SweepOptions};
+
+fn reduced() -> SweepOptions {
+    SweepOptions::quick()
+        .with_sets_per_point(10)
+        .with_utilization_grid(vec![0.15, 0.3, 0.45])
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let opts = reduced();
+    for result in [
+        fig3::fig3a(&opts),
+        fig3::fig3b(&opts),
+        fig3::fig3c(&opts),
+        fig3::fig3d(&opts),
+    ] {
+        println!("{}", report::to_markdown(&result));
+    }
+
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    let micro = SweepOptions::quick()
+        .with_sets_per_point(3)
+        .with_utilization_grid(vec![0.2, 0.4]);
+    group.bench_function("fig3a_cores_sweep", |b| {
+        b.iter(|| black_box(fig3::fig3a(black_box(&micro))));
+    });
+    group.bench_function("fig3b_dmem_sweep", |b| {
+        b.iter(|| black_box(fig3::fig3b(black_box(&micro))));
+    });
+    group.bench_function("fig3c_cache_sweep", |b| {
+        b.iter(|| black_box(fig3::fig3c(black_box(&micro))));
+    });
+    group.bench_function("fig3d_slot_sweep", |b| {
+        b.iter(|| black_box(fig3::fig3d(black_box(&micro))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

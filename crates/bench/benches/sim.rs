@@ -1,0 +1,66 @@
+//! Simulator throughput: cycles simulated per second for the three bus
+//! arbiters, plus the concrete cache and static extraction substrates.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use cpa_cache::CacheSim;
+use cpa_cfg::{trace, DecisionPolicy, ProgramGenerator, ProgramShape};
+use cpa_experiments::runner::platform_for;
+use cpa_model::{CacheGeometry, Time};
+use cpa_sim::{BusArbitration, SimConfig, Simulator};
+use cpa_workload::{GeneratorConfig, TaskSetGenerator};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_sim(c: &mut Criterion) {
+    let gen = GeneratorConfig {
+        cores: 2,
+        tasks_per_core: 4,
+        ..GeneratorConfig::paper_default()
+    }
+    .with_per_core_utilization(0.25);
+    let generator = TaskSetGenerator::new(gen.clone()).expect("generator");
+    let platform = platform_for(&gen);
+    let tasks = generator
+        .generate(&mut ChaCha8Rng::seed_from_u64(2))
+        .expect("task set");
+
+    let horizon = 200_000u64;
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(horizon));
+    for arbitration in [
+        BusArbitration::FixedPriority,
+        BusArbitration::RoundRobin { slots: 2 },
+        BusArbitration::Tdma { slots: 2 },
+    ] {
+        group.bench_function(format!("{arbitration:?}"), |b| {
+            let config = SimConfig::new(arbitration).with_horizon(Time::from_cycles(horizon));
+            b.iter(|| {
+                let sim = Simulator::new(&platform, &tasks, config).expect("simulator");
+                black_box(sim.run())
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("cache_substrate");
+    group.sample_size(20);
+    let geometry = CacheGeometry::direct_mapped(256, 32);
+    let f = ProgramGenerator::new()
+        .generate(ProgramShape::NestedLoops, &mut ChaCha8Rng::seed_from_u64(4))
+        .expect("program");
+    let t = trace::generate(&f, DecisionPolicy::HeaviestPath);
+    group.throughput(Throughput::Elements(t.len() as u64));
+    group.bench_function("concrete_trace_replay", |b| {
+        b.iter(|| {
+            let mut cache = CacheSim::new(geometry);
+            black_box(cache.run_trace(&t))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

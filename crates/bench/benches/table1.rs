@@ -1,0 +1,45 @@
+//! Table I — benchmark parameter table and the extraction pipeline that
+//! regenerates parameters of the same shape.
+//!
+//! Prints the table rows once (the regeneration artefact), then measures
+//! the static cache analysis that produces such rows from synthetic
+//! programs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cpa_cache::extract::extract;
+use cpa_cfg::{ProgramGenerator, ProgramShape};
+use cpa_experiments::table1::table1_markdown;
+use cpa_model::CacheGeometry;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_table1(c: &mut Criterion) {
+    // Regeneration artefact: the published table, verbatim.
+    println!("{}", table1_markdown(true));
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(20);
+
+    group.bench_function("render_markdown", |b| {
+        b.iter(|| black_box(table1_markdown(black_box(false))));
+    });
+
+    // Extraction of one program of each shape at the paper's geometry —
+    // the Heptane-substitute work behind every table row.
+    let generator = ProgramGenerator::new();
+    let geometry = CacheGeometry::direct_mapped(256, 32);
+    for shape in ProgramShape::all() {
+        let function = generator
+            .generate(shape, &mut ChaCha8Rng::seed_from_u64(1))
+            .expect("program");
+        group.bench_function(format!("extract_{shape:?}"), |b| {
+            b.iter(|| black_box(extract(black_box(&function), geometry)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Criterion benchmark host crate — see the `benches/` directory.
+//!
+//! This crate exists to host the workspace's Criterion benchmark targets
+//! (one per table/figure of the paper); it exports no library API.

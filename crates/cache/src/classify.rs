@@ -1,0 +1,287 @@
+//! Access classification: always-hit / always-miss / unclassified.
+//!
+//! Combines the [`must`](crate::must) and [`may`](crate::may) analyses in
+//! one structural walk and counts, per dynamic execution context (loops
+//! peeled into first iteration + steady state, both branch sides
+//! counted), how each instruction access classifies:
+//!
+//! * **always hit** — the block is in the must cache;
+//! * **always miss** — the block is not even in the may cache;
+//! * **unclassified** — neither analysis decides (e.g. conflicting blocks
+//!   across unknown branches).
+//!
+//! This census is the standard WCET-analyzer diagnostic for *why* a
+//! program's `MD` is what it is: `nsichneu`-style state machines are
+//! dominated by unclassified/always-miss accesses (no persistence), loop
+//! kernels by always-hits after a compulsory first iteration.
+
+use cpa_cfg::{Code, Function};
+use cpa_model::CacheGeometry;
+
+use crate::may::MayCache;
+use crate::must::MustCache;
+
+/// Classification counts, weighted by loop execution counts (both branch
+/// sides counted — a census over execution contexts, not a worst-case
+/// path count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClassificationCensus {
+    /// Accesses guaranteed to hit.
+    pub always_hit: u64,
+    /// Accesses guaranteed to miss.
+    pub always_miss: u64,
+    /// Accesses neither analysis can decide.
+    pub unclassified: u64,
+}
+
+impl ClassificationCensus {
+    /// Total classified accesses.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.always_hit + self.always_miss + self.unclassified
+    }
+
+    /// Fraction of accesses decided either way (analysis precision).
+    #[must_use]
+    pub fn decided_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.always_hit + self.always_miss) as f64 / total as f64
+        }
+    }
+
+    fn add(&mut self, other: ClassificationCensus) {
+        self.always_hit += other.always_hit;
+        self.always_miss += other.always_miss;
+        self.unclassified += other.unclassified;
+    }
+
+    fn scaled(self, factor: u64) -> ClassificationCensus {
+        ClassificationCensus {
+            always_hit: self.always_hit * factor,
+            always_miss: self.always_miss * factor,
+            unclassified: self.unclassified * factor,
+        }
+    }
+}
+
+#[derive(Clone)]
+struct PairState {
+    must: MustCache,
+    may: MayCache,
+}
+
+impl PairState {
+    fn join(&self, other: &PairState) -> PairState {
+        PairState {
+            must: self.must.join(&other.must),
+            may: self.may.join(&other.may),
+        }
+    }
+}
+
+/// Runs the combined must/may classification over a whole function from a
+/// cold cache.
+///
+/// # Example
+///
+/// ```
+/// use cpa_cache::classify;
+/// use cpa_cfg::{Function, Stmt};
+/// use cpa_model::CacheGeometry;
+///
+/// // 8 lines looping 10× in a fitting cache: 8 compulsory always-misses,
+/// // everything else always hits.
+/// let f = Function::builder("kernel")
+///     .block("body", 64)
+///     .code(Stmt::counted_loop(10, Stmt::block("body")))
+///     .build()?;
+/// let census = classify::classify(&f, CacheGeometry::direct_mapped(256, 32));
+/// assert_eq!(census.always_miss, 8);
+/// assert_eq!(census.unclassified, 0);
+/// assert_eq!(census.always_hit, 640 - 8);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn classify(function: &Function, geometry: CacheGeometry) -> ClassificationCensus {
+    let state = PairState {
+        must: MustCache::cold(geometry),
+        may: MayCache::cold(geometry),
+    };
+    let mut census = ClassificationCensus::default();
+    walk(function, function.code(), geometry, state, &mut census);
+    census
+}
+
+fn walk(
+    function: &Function,
+    code: &Code,
+    geometry: CacheGeometry,
+    mut state: PairState,
+    census: &mut ClassificationCensus,
+) -> PairState {
+    match code {
+        Code::Block(id) => {
+            for addr in function.block(*id).addresses() {
+                let block = geometry.block_of_address(addr);
+                let hit = state.must.access_block(block);
+                let miss = state.may.access_block(block);
+                if hit {
+                    census.always_hit += 1;
+                } else if miss {
+                    census.always_miss += 1;
+                } else {
+                    census.unclassified += 1;
+                }
+            }
+            state
+        }
+        Code::Seq(items) => {
+            for item in items {
+                state = walk(function, item, geometry, state, census);
+            }
+            state
+        }
+        Code::Branch {
+            then_branch,
+            else_branch,
+        } => {
+            let then_state = walk(function, then_branch, geometry, state.clone(), census);
+            let else_state = match else_branch {
+                Some(e) => walk(function, e, geometry, state, census),
+                None => state,
+            };
+            then_state.join(&else_state)
+        }
+        Code::Loop { bound, body } => {
+            // First iteration from the incoming state, censused once.
+            let mut first_census = ClassificationCensus::default();
+            let first_state = walk(function, body, geometry, state, &mut first_census);
+            census.add(first_census);
+            if *bound == 1 {
+                return first_state;
+            }
+            // Steady state over the remaining iterations.
+            let mut entry = first_state;
+            for _ in 0..10_000 {
+                let mut scratch = ClassificationCensus::default();
+                let out = walk(function, body, geometry, entry.clone(), &mut scratch);
+                let joined = entry.join(&out);
+                if joined.must == entry.must && joined.may == entry.may {
+                    break;
+                }
+                entry = joined;
+            }
+            let mut steady_census = ClassificationCensus::default();
+            let out = walk(function, body, geometry, entry, &mut steady_census);
+            census.add(steady_census.scaled(u64::from(*bound - 1)));
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpa_cfg::{ProgramGenerator, ProgramShape, Stmt};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn dm(sets: usize) -> CacheGeometry {
+        CacheGeometry::direct_mapped(sets, 16)
+    }
+
+    #[test]
+    fn fitting_kernel_is_fully_decided() {
+        let f = Function::builder("k")
+            .block("body", 16)
+            .code(Stmt::counted_loop(5, Stmt::block("body")))
+            .build()
+            .unwrap();
+        let c = classify(&f, dm(8));
+        assert_eq!(c.always_miss, 4, "compulsory misses");
+        assert_eq!(c.always_hit, 5 * 16 - 4);
+        assert_eq!(c.unclassified, 0);
+        assert!((c.decided_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thrashing_loop_is_all_misses_after_analysis() {
+        // 8 lines in a 4-set direct-mapped cache: each set flip-flops
+        // between two blocks every iteration — the may cache still admits
+        // them (they were loaded), but the must cache never does. The
+        // accesses to freshly evicted blocks are certain misses.
+        let f = Function::builder("k")
+            .block("body", 32)
+            .code(Stmt::counted_loop(3, Stmt::block("body")))
+            .build()
+            .unwrap();
+        let c = classify(&f, dm(4));
+        assert_eq!(c.always_hit, 3 * 32 - 3 * 8, "within-line hits remain");
+        assert_eq!(c.always_miss, 3 * 8, "every line reload is certain");
+        assert_eq!(c.unclassified, 0);
+    }
+
+    #[test]
+    fn unknown_branches_produce_unclassified() {
+        // Layout over a 2-set cache (16-byte lines, 4 instructions each):
+        // a → block 0 (set 0), x → block 1 (set 1), y → block 2 (set 0).
+        // The then-side (y) evicts a, the else-side (x) keeps it, so the
+        // re-read of a is neither always-hit nor always-miss.
+        let f = Function::builder("b")
+            .block("a", 4)
+            .block("x", 4)
+            .block("y", 4)
+            .code(Stmt::seq([
+                Stmt::block("a"),
+                Stmt::branch(Stmt::block("y"), Some(Stmt::block("x"))),
+                Stmt::block("a"),
+            ]))
+            .build()
+            .unwrap();
+        let c = classify(&f, dm(2));
+        assert_eq!(c.unclassified, 1, "exactly the re-read of `a`");
+        // With a single-set cache both sides evict `a`: the re-read
+        // becomes a *certain* miss instead.
+        let c1 = classify(&f, dm(1));
+        assert_eq!(c1.unclassified, 0);
+        assert!(c1.always_miss > c.always_miss);
+    }
+
+    #[test]
+    fn census_totals_match_execution_contexts() {
+        // Census counts both branch sides: loop(2){ if A else B } over
+        // disjoint sets.
+        let f = Function::builder("x")
+            .block("a", 4)
+            .block("b", 4)
+            .code(Stmt::counted_loop(
+                2,
+                Stmt::branch(Stmt::block("a"), Some(Stmt::block("b"))),
+            ))
+            .build()
+            .unwrap();
+        let c = classify(&f, dm(8));
+        // 8 accesses per iteration censused (both sides), 2 iterations.
+        assert_eq!(c.total(), 16);
+    }
+
+    #[test]
+    fn generated_programs_classify_consistently() {
+        let generator = ProgramGenerator::new();
+        for shape in ProgramShape::all() {
+            for seed in 0..4 {
+                let f = generator
+                    .generate(shape, &mut ChaCha8Rng::seed_from_u64(seed))
+                    .unwrap();
+                let c = classify(&f, CacheGeometry::direct_mapped(64, 16));
+                assert!(c.total() > 0);
+                assert!(c.decided_fraction() >= 0.0 && c.decided_fraction() <= 1.0);
+                // At least the compulsory first accesses are decided.
+                assert!(c.always_miss > 0, "{shape:?}/{seed}");
+            }
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Executable set-associative LRU cache — the concrete oracle.
+
+use cpa_model::CacheGeometry;
+
+/// Outcome of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The block was present.
+    Hit,
+    /// The block was loaded from main memory (and may have evicted
+    /// another block).
+    Miss,
+}
+
+/// Aggregate statistics of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimulationStats {
+    /// Total accesses performed.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed (main-memory loads).
+    pub misses: u64,
+}
+
+/// An executable set-associative LRU instruction cache.
+///
+/// Blocks are identified by their memory-block number
+/// (`address / block_size`); each cache set keeps its residents in LRU
+/// order (most recent first).
+///
+/// ```
+/// use cpa_cache::{AccessOutcome, CacheSim};
+/// use cpa_model::CacheGeometry;
+///
+/// let mut cache = CacheSim::new(CacheGeometry::direct_mapped(4, 16));
+/// assert_eq!(cache.access_address(0), AccessOutcome::Miss);
+/// assert_eq!(cache.access_address(4), AccessOutcome::Hit);   // same line
+/// assert_eq!(cache.access_address(64), AccessOutcome::Miss); // conflicts: 64/16 % 4 == 0
+/// assert_eq!(cache.access_address(0), AccessOutcome::Miss);  // was evicted
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheSim {
+    geometry: CacheGeometry,
+    /// Per set: resident block numbers, most-recently-used first.
+    sets: Vec<Vec<u64>>,
+    stats: SimulationStats,
+}
+
+impl CacheSim {
+    /// Creates an empty (cold) cache.
+    #[must_use]
+    pub fn new(geometry: CacheGeometry) -> Self {
+        CacheSim {
+            geometry,
+            sets: vec![Vec::with_capacity(geometry.associativity()); geometry.sets()],
+            stats: SimulationStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> SimulationStats {
+        self.stats
+    }
+
+    /// Resets the statistics, keeping the cache contents (e.g. between two
+    /// jobs of the same task).
+    pub fn reset_stats(&mut self) {
+        self.stats = SimulationStats::default();
+    }
+
+    /// Empties the cache and the statistics.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.stats = SimulationStats::default();
+    }
+
+    /// `true` if the block containing `address` is resident.
+    #[must_use]
+    pub fn contains_address(&self, address: u64) -> bool {
+        let block = self.geometry.block_of_address(address);
+        self.contains_block(block)
+    }
+
+    /// `true` if memory block `block` is resident.
+    #[must_use]
+    pub fn contains_block(&self, block: u64) -> bool {
+        let set = (block as usize) % self.geometry.sets();
+        self.sets[set].contains(&block)
+    }
+
+    /// Accesses the instruction at `address`.
+    pub fn access_address(&mut self, address: u64) -> AccessOutcome {
+        self.access_block(self.geometry.block_of_address(address))
+    }
+
+    /// Accesses memory block `block` directly.
+    pub fn access_block(&mut self, block: u64) -> AccessOutcome {
+        let set_index = (block as usize) % self.geometry.sets();
+        let set = &mut self.sets[set_index];
+        self.stats.accesses += 1;
+        if let Some(pos) = set.iter().position(|&b| b == block) {
+            set.remove(pos);
+            set.insert(0, block);
+            self.stats.hits += 1;
+            AccessOutcome::Hit
+        } else {
+            set.insert(0, block);
+            set.truncate(self.geometry.associativity());
+            self.stats.misses += 1;
+            AccessOutcome::Miss
+        }
+    }
+
+    /// Runs a whole address trace, returning the stats of this run only.
+    pub fn run_trace<I: IntoIterator<Item = u64>>(&mut self, trace: I) -> SimulationStats {
+        let before = self.stats;
+        for address in trace {
+            self.access_address(address);
+        }
+        SimulationStats {
+            accesses: self.stats.accesses - before.accesses,
+            hits: self.stats.hits - before.hits,
+            misses: self.stats.misses - before.misses,
+        }
+    }
+
+    /// Evicts every resident block that maps to one of the given cache
+    /// sets — the effect a preempting task's ECBs have on this cache.
+    pub fn evict_sets<I: IntoIterator<Item = usize>>(&mut self, sets: I) {
+        for s in sets {
+            if s < self.sets.len() {
+                self.sets[s].clear();
+            }
+        }
+    }
+
+    /// The resident blocks of one cache set, most-recently-used first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    #[must_use]
+    pub fn set_contents(&self, set: usize) -> &[u64] {
+        &self.sets[set]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dm4() -> CacheSim {
+        CacheSim::new(CacheGeometry::direct_mapped(4, 16))
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut c = dm4();
+        assert_eq!(c.access_block(0), AccessOutcome::Miss);
+        assert_eq!(c.access_block(0), AccessOutcome::Hit);
+        assert_eq!(c.access_block(4), AccessOutcome::Miss); // same set 0
+        assert_eq!(c.access_block(0), AccessOutcome::Miss); // evicted
+        assert_eq!(c.stats().misses, 3);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().accesses, 4);
+    }
+
+    #[test]
+    fn lru_order_in_associative_set() {
+        let mut c = CacheSim::new(CacheGeometry::set_associative(2, 16, 2));
+        // Blocks 0, 2, 4 all map to set 0.
+        c.access_block(0);
+        c.access_block(2);
+        assert_eq!(c.set_contents(0), &[2, 0]);
+        // Touch 0 → it becomes MRU; loading 4 then evicts 2.
+        assert_eq!(c.access_block(0), AccessOutcome::Hit);
+        assert_eq!(c.access_block(4), AccessOutcome::Miss);
+        assert_eq!(c.set_contents(0), &[4, 0]);
+        assert!(!c.contains_block(2));
+        assert!(c.contains_block(0));
+    }
+
+    #[test]
+    fn address_mapping_and_queries() {
+        let mut c = dm4();
+        c.access_address(0);
+        assert!(c.contains_address(12)); // same 16-byte line
+        assert!(!c.contains_address(16));
+        assert!(c.contains_block(0));
+    }
+
+    #[test]
+    fn run_trace_returns_delta_stats() {
+        let mut c = dm4();
+        let s1 = c.run_trace([0u64, 4, 16, 0]);
+        assert_eq!(s1.accesses, 4);
+        assert_eq!(s1.misses, 2);
+        let s2 = c.run_trace([0u64, 16]);
+        assert_eq!(s2.accesses, 2);
+        assert_eq!(s2.misses, 0, "warm second run");
+        assert_eq!(c.stats().accesses, 6);
+    }
+
+    #[test]
+    fn evict_sets_models_preemption() {
+        let mut c = dm4();
+        c.run_trace([0u64, 16, 32, 48]); // sets 0..4 filled
+        c.evict_sets([0usize, 2]);
+        assert!(!c.contains_address(0));
+        assert!(c.contains_address(16));
+        assert!(!c.contains_address(32));
+        c.evict_sets([99usize]); // out of range: ignored
+    }
+
+    #[test]
+    fn flush_and_reset() {
+        let mut c = dm4();
+        c.run_trace([0u64, 16]);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses, 0);
+        assert!(c.contains_address(0), "reset_stats keeps contents");
+        c.flush();
+        assert!(!c.contains_address(0));
+    }
+
+    proptest! {
+        #[test]
+        fn fully_associative_never_self_evicts_small_working_sets(
+            blocks in proptest::collection::vec(0u64..64, 1..16),
+        ) {
+            // 16-way fully associative (1 set): once ≤ 16 distinct blocks
+            // are loaded, repeats always hit.
+            let mut c = CacheSim::new(CacheGeometry::set_associative(1, 16, 16));
+            for &b in &blocks {
+                c.access_block(b);
+            }
+            for &b in &blocks {
+                prop_assert_eq!(c.access_block(b), AccessOutcome::Hit);
+            }
+        }
+
+        #[test]
+        fn misses_bounded_by_accesses_and_distinct_lower_bound(
+            trace in proptest::collection::vec(0u64..256, 0..128),
+        ) {
+            let mut c = CacheSim::new(CacheGeometry::direct_mapped(8, 4));
+            let mut distinct = trace.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            let stats = c.run_trace(trace.iter().map(|&b| b * 4));
+            prop_assert_eq!(stats.accesses, trace.len() as u64);
+            prop_assert!(stats.misses >= distinct.len() as u64 || trace.is_empty());
+            prop_assert_eq!(stats.hits + stats.misses, stats.accesses);
+        }
+
+        #[test]
+        fn bigger_cache_never_misses_more_direct_mapped_power_of_two(
+            trace in proptest::collection::vec(0u64..512, 0..200),
+        ) {
+            // For direct-mapped caches with power-of-two sets and modulo
+            // placement, doubling the sets splits each set: misses cannot
+            // increase.
+            let mut small = CacheSim::new(CacheGeometry::direct_mapped(8, 4));
+            let mut big = CacheSim::new(CacheGeometry::direct_mapped(16, 4));
+            let s = small.run_trace(trace.iter().map(|&b| b * 4));
+            let b = big.run_trace(trace.iter().map(|&b| b * 4));
+            prop_assert!(b.misses <= s.misses);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Abstract *may* cache analysis with LRU age bounds.
+//!
+//! The dual of [`crate::must`]: the may cache maps each possibly-resident
+//! memory block to a **lower bound on its LRU age**. A block absent from
+//! the may cache is guaranteed absent from the concrete cache on every
+//! path — an access to it is an *always miss*. Joins at control-flow
+//! merges union the residents and keep the better (smaller) age bound.
+//!
+//! Aging is applied only when it is guaranteed on every path (the lower
+//! bound must never overtake the concrete age), so blocks linger in the
+//! may cache conservatively.
+
+use std::collections::BTreeMap;
+
+use cpa_model::CacheGeometry;
+
+/// Abstract may-cache state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MayCache {
+    geometry: CacheGeometry,
+    /// Per cache set: block → lower bound on LRU age (`< associativity`).
+    sets: Vec<BTreeMap<u64, u8>>,
+}
+
+impl MayCache {
+    /// The empty (cold) may cache: nothing can be resident.
+    #[must_use]
+    pub fn cold(geometry: CacheGeometry) -> Self {
+        MayCache {
+            sets: vec![BTreeMap::new(); geometry.sets()],
+            geometry,
+        }
+    }
+
+    /// The geometry this state is for.
+    #[must_use]
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// `true` if `block` may be resident (false ⇒ guaranteed miss).
+    #[must_use]
+    pub fn contains_block(&self, block: u64) -> bool {
+        let set = (block as usize) % self.geometry.sets();
+        self.sets[set].contains_key(&block)
+    }
+
+    /// Number of possibly-resident blocks.
+    #[must_use]
+    pub fn resident_count(&self) -> usize {
+        self.sets.iter().map(BTreeMap::len).sum()
+    }
+
+    /// Iterates over all possibly-resident blocks.
+    pub fn resident_blocks(&self) -> impl Iterator<Item = u64> + '_ {
+        self.sets.iter().flat_map(|s| s.keys().copied())
+    }
+
+    /// Applies an access to `block`; returns `true` if the access was a
+    /// *guaranteed miss* (the block was not even possibly resident).
+    pub fn access_block(&mut self, block: u64) -> bool {
+        let assoc = self.geometry.associativity() as u8;
+        let set = (block as usize) % self.geometry.sets();
+        let entries = &mut self.sets[set];
+        let old_age = entries.get(&block).copied();
+        let guaranteed_miss = old_age.is_none();
+        // A resident block `c`'s *minimal possible age* grows only when no
+        // scenario lets it stay: if `ǎ(c) > ǎ(b)`, `c` may sit behind `b`
+        // (positions are distinct) and keep its age; if `ǎ(c) ≤ ǎ(b)`, the
+        // best case still has `c` in front of `b`, so it certainly ages.
+        // On a guaranteed miss every resident ages (insert at front).
+        let threshold = old_age.unwrap_or(assoc);
+        entries.retain(|&b, age| {
+            if b == block {
+                return true;
+            }
+            if *age <= threshold {
+                *age += 1;
+            }
+            *age < assoc
+        });
+        entries.insert(block, 0);
+        guaranteed_miss
+    }
+
+    /// Joins two states at a control-flow merge: union of residents with
+    /// the better (smaller) age bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometries differ.
+    #[must_use]
+    pub fn join(&self, other: &MayCache) -> MayCache {
+        assert_eq!(
+            self.geometry, other.geometry,
+            "cannot join may caches of different geometries"
+        );
+        let sets = self
+            .sets
+            .iter()
+            .zip(&other.sets)
+            .map(|(a, b)| {
+                let mut merged = a.clone();
+                for (&block, &age) in b {
+                    merged
+                        .entry(block)
+                        .and_modify(|existing| *existing = (*existing).min(age))
+                        .or_insert(age);
+                }
+                merged
+            })
+            .collect();
+        MayCache {
+            geometry: self.geometry,
+            sets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concrete::{AccessOutcome, CacheSim};
+    use proptest::prelude::*;
+
+    fn dm(sets: usize) -> CacheGeometry {
+        CacheGeometry::direct_mapped(sets, 16)
+    }
+
+    #[test]
+    fn cold_guarantees_miss_then_possible_hit() {
+        let mut m = MayCache::cold(dm(4));
+        assert!(m.access_block(0), "cold access is a guaranteed miss");
+        assert!(!m.access_block(0), "now possibly resident");
+        assert!(m.contains_block(0));
+    }
+
+    #[test]
+    fn direct_mapped_conflict_certainly_evicts() {
+        let mut m = MayCache::cold(dm(4));
+        m.access_block(0);
+        m.access_block(4); // same set, guaranteed miss ⇒ 0 certainly ages out
+        assert!(!m.contains_block(0));
+        assert!(m.contains_block(4));
+    }
+
+    #[test]
+    fn join_unions_with_min_age() {
+        let g = CacheGeometry::set_associative(1, 16, 2);
+        let mut a = MayCache::cold(g);
+        a.access_block(0);
+        let mut b = MayCache::cold(g);
+        b.access_block(1);
+        b.access_block(0); // b: 0 at age 0, 1 at age 1
+        let j = a.join(&b);
+        assert!(j.contains_block(0) && j.contains_block(1));
+        assert_eq!(j.resident_count(), 2);
+        assert_eq!(j, b.join(&a), "join is commutative");
+    }
+
+    proptest! {
+        /// Soundness: whatever is concretely resident after a cold-start
+        /// access sequence must be in the may cache.
+        #[test]
+        fn concrete_residents_are_in_may(
+            trace in proptest::collection::vec(0u64..32, 1..200),
+            assoc in 1usize..4,
+        ) {
+            let g = CacheGeometry::set_associative(4, 16, assoc);
+            let mut concrete = CacheSim::new(g);
+            let mut may = MayCache::cold(g);
+            for &block in &trace {
+                let outcome = concrete.access_block(block);
+                let guaranteed_miss = !may.contains_block(block);
+                if guaranteed_miss {
+                    prop_assert_eq!(outcome, AccessOutcome::Miss);
+                }
+                may.access_block(block);
+                // Every concrete resident of the touched set is tracked.
+                let set = (block as usize) % 4;
+                for &resident in concrete.set_contents(set) {
+                    prop_assert!(may.contains_block(resident), "{resident} escaped may");
+                }
+            }
+        }
+
+        /// Joining can only add possibilities, never remove them.
+        #[test]
+        fn join_only_widens(
+            a in proptest::collection::vec(0u64..32, 0..50),
+            b in proptest::collection::vec(0u64..32, 0..50),
+        ) {
+            let g = CacheGeometry::set_associative(4, 16, 2);
+            let mut ma = MayCache::cold(g);
+            for &x in &a { ma.access_block(x); }
+            let mut mb = MayCache::cold(g);
+            for &x in &b { mb.access_block(x); }
+            let j = ma.join(&mb);
+            for block in ma.resident_blocks() {
+                prop_assert!(j.contains_block(block));
+            }
+            for block in mb.resident_blocks() {
+                prop_assert!(j.contains_block(block));
+            }
+        }
+    }
+}

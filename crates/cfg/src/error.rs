@@ -1,0 +1,56 @@
+//! Error type for program construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building a [`Function`](crate::Function).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CfgError {
+    /// A statement references a block name that was never declared.
+    UnknownBlock {
+        /// The unresolved block name.
+        name: String,
+    },
+    /// A block was declared twice.
+    DuplicateBlock {
+        /// The duplicated block name.
+        name: String,
+    },
+    /// A block was declared with zero instructions.
+    EmptyBlock {
+        /// The offending block name.
+        name: String,
+    },
+    /// A counted loop was declared with a zero bound.
+    ZeroLoopBound,
+    /// The function body was never set.
+    MissingBody,
+}
+
+impl fmt::Display for CfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfgError::UnknownBlock { name } => write!(f, "statement references unknown block `{name}`"),
+            CfgError::DuplicateBlock { name } => write!(f, "block `{name}` declared twice"),
+            CfgError::EmptyBlock { name } => write!(f, "block `{name}` has zero instructions"),
+            CfgError::ZeroLoopBound => write!(f, "loop bound must be at least 1"),
+            CfgError::MissingBody => write!(f, "function body was never set"),
+        }
+    }
+}
+
+impl Error for CfgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(CfgError::UnknownBlock { name: "x".into() }.to_string().contains("`x`"));
+        assert!(CfgError::ZeroLoopBound.to_string().contains("at least 1"));
+        fn assert_good<E: Error + Send + Sync + 'static>() {}
+        assert_good::<CfgError>();
+    }
+}

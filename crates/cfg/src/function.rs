@@ -1,0 +1,402 @@
+//! Functions: resolved blocks, code layout, structured bodies.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CfgError, Stmt};
+
+/// Index of a basic block within its [`Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct BlockId(usize);
+
+impl BlockId {
+    /// The dense index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A straight-line run of instructions at concrete addresses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    name: String,
+    start_address: u64,
+    instructions: u32,
+    instruction_size: u32,
+}
+
+impl BasicBlock {
+    /// The block's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Address of the first instruction.
+    #[must_use]
+    pub fn start_address(&self) -> u64 {
+        self.start_address
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn instructions(&self) -> u32 {
+        self.instructions
+    }
+
+    /// Iterates over the addresses of all instructions in the block.
+    pub fn addresses(&self) -> impl DoubleEndedIterator<Item = u64> + ExactSizeIterator + '_ {
+        let base = self.start_address;
+        let size = u64::from(self.instruction_size);
+        (0..self.instructions as usize).map(move |i| base + i as u64 * size)
+    }
+
+    /// Address one past the last instruction.
+    #[must_use]
+    pub fn end_address(&self) -> u64 {
+        self.start_address + u64::from(self.instructions) * u64::from(self.instruction_size)
+    }
+}
+
+/// The resolved form of [`Stmt`], with block names replaced by ids.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Code {
+    /// Execute one basic block.
+    Block(BlockId),
+    /// Execute in order.
+    Seq(Vec<Code>),
+    /// Statically unknown two-way branch.
+    Branch {
+        /// Taken when the condition holds.
+        then_branch: Box<Code>,
+        /// Taken otherwise (empty when absent).
+        else_branch: Option<Box<Code>>,
+    },
+    /// Counted loop with a known bound.
+    Loop {
+        /// Exact iteration count for the worst case.
+        bound: u32,
+        /// Loop body.
+        body: Box<Code>,
+    },
+}
+
+/// A synthetic program: named basic blocks laid out contiguously in memory
+/// plus a structured body.
+///
+/// Build with [`Function::builder`]; see the crate docs for an example.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Function {
+    name: String,
+    blocks: Vec<BasicBlock>,
+    code: Code,
+}
+
+impl Function {
+    /// Starts building a function.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> FunctionBuilder {
+        FunctionBuilder {
+            name: name.into(),
+            blocks: Vec::new(),
+            code: None,
+            base_address: 0,
+            instruction_size: 4,
+        }
+    }
+
+    /// The function name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All basic blocks in layout order.
+    #[must_use]
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (ids are only minted by this
+    /// function's builder).
+    #[must_use]
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0]
+    }
+
+    /// Looks up a block id by name.
+    #[must_use]
+    pub fn block_id(&self, name: &str) -> Option<BlockId> {
+        self.blocks.iter().position(|b| b.name == name).map(BlockId)
+    }
+
+    /// The resolved structured body.
+    #[must_use]
+    pub fn code(&self) -> &Code {
+        &self.code
+    }
+
+    /// Total instructions across all blocks (static code size).
+    #[must_use]
+    pub fn code_size_instructions(&self) -> u64 {
+        self.blocks.iter().map(|b| u64::from(b.instructions)).sum()
+    }
+
+    /// Worst-case dynamically executed instruction count: branches take the
+    /// heavier side, loops run to their bound. With a 1-cycle-per-hit
+    /// pipeline model this is the task's `PD`.
+    #[must_use]
+    pub fn worst_case_instruction_count(&self) -> u64 {
+        fn walk(f: &Function, code: &Code) -> u64 {
+            match code {
+                Code::Block(id) => u64::from(f.blocks[id.0].instructions),
+                Code::Seq(items) => items.iter().map(|c| walk(f, c)).sum(),
+                Code::Branch {
+                    then_branch,
+                    else_branch,
+                } => walk(f, then_branch).max(else_branch.as_ref().map_or(0, |e| walk(f, e))),
+                Code::Loop { bound, body } => u64::from(*bound) * walk(f, body),
+            }
+        }
+        walk(self, &self.code)
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fn {} ({} blocks, {} instructions)",
+            self.name,
+            self.blocks.len(),
+            self.code_size_instructions()
+        )
+    }
+}
+
+/// Builder for [`Function`] (see [`Function::builder`]).
+#[derive(Debug, Clone)]
+pub struct FunctionBuilder {
+    name: String,
+    blocks: Vec<(String, u32)>,
+    code: Option<Stmt>,
+    base_address: u64,
+    instruction_size: u32,
+}
+
+impl FunctionBuilder {
+    /// Declares a basic block with `instructions` instructions. Blocks are
+    /// laid out contiguously in declaration order.
+    #[must_use]
+    pub fn block(mut self, name: impl Into<String>, instructions: u32) -> Self {
+        self.blocks.push((name.into(), instructions));
+        self
+    }
+
+    /// Sets the structured body.
+    #[must_use]
+    pub fn code(mut self, code: Stmt) -> Self {
+        self.code = Some(code);
+        self
+    }
+
+    /// Sets the address of the first instruction (default 0).
+    #[must_use]
+    pub fn base_address(mut self, address: u64) -> Self {
+        self.base_address = address;
+        self
+    }
+
+    /// Sets the instruction size in bytes (default 4).
+    #[must_use]
+    pub fn instruction_size(mut self, bytes: u32) -> Self {
+        self.instruction_size = bytes.max(1);
+        self
+    }
+
+    /// Resolves names, lays out the code and validates the program.
+    ///
+    /// # Errors
+    ///
+    /// * [`CfgError::MissingBody`] if no body was set;
+    /// * [`CfgError::DuplicateBlock`] / [`CfgError::EmptyBlock`] for bad
+    ///   block declarations;
+    /// * [`CfgError::UnknownBlock`] if the body references an undeclared
+    ///   block;
+    /// * [`CfgError::ZeroLoopBound`] for a loop with bound 0.
+    pub fn build(self) -> Result<Function, CfgError> {
+        let code = self.code.ok_or(CfgError::MissingBody)?;
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        let mut address = self.base_address;
+        for (name, instructions) in self.blocks {
+            if instructions == 0 {
+                return Err(CfgError::EmptyBlock { name });
+            }
+            if blocks.iter().any(|b: &BasicBlock| b.name == name) {
+                return Err(CfgError::DuplicateBlock { name });
+            }
+            let block = BasicBlock {
+                name,
+                start_address: address,
+                instructions,
+                instruction_size: self.instruction_size,
+            };
+            address = block.end_address();
+            blocks.push(block);
+        }
+        let resolve = |name: &str| -> Result<BlockId, CfgError> {
+            blocks
+                .iter()
+                .position(|b| b.name == name)
+                .map(BlockId)
+                .ok_or_else(|| CfgError::UnknownBlock { name: name.to_string() })
+        };
+        fn lower(
+            stmt: &Stmt,
+            resolve: &dyn Fn(&str) -> Result<BlockId, CfgError>,
+        ) -> Result<Code, CfgError> {
+            Ok(match stmt {
+                Stmt::Block(name) => Code::Block(resolve(name)?),
+                Stmt::Seq(items) => Code::Seq(
+                    items
+                        .iter()
+                        .map(|s| lower(s, resolve))
+                        .collect::<Result<_, _>>()?,
+                ),
+                Stmt::Branch {
+                    then_branch,
+                    else_branch,
+                } => Code::Branch {
+                    then_branch: Box::new(lower(then_branch, resolve)?),
+                    else_branch: match else_branch {
+                        Some(e) => Some(Box::new(lower(e, resolve)?)),
+                        None => None,
+                    },
+                },
+                Stmt::Loop { bound, body } => {
+                    if *bound == 0 {
+                        return Err(CfgError::ZeroLoopBound);
+                    }
+                    Code::Loop {
+                        bound: *bound,
+                        body: Box::new(lower(body, resolve)?),
+                    }
+                }
+            })
+        }
+        let code = lower(&code, &resolve)?;
+        Ok(Function {
+            name: self.name,
+            blocks,
+            code,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Function {
+        Function::builder("demo")
+            .block("A", 8)
+            .block("B", 4)
+            .block("C", 2)
+            .code(Stmt::seq([
+                Stmt::counted_loop(4, Stmt::branch(Stmt::block("A"), Some(Stmt::block("B")))),
+                Stmt::block("C"),
+            ]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn layout_is_contiguous() {
+        let f = demo();
+        let a = f.block(f.block_id("A").unwrap());
+        let b = f.block(f.block_id("B").unwrap());
+        let c = f.block(f.block_id("C").unwrap());
+        assert_eq!(a.start_address(), 0);
+        assert_eq!(a.end_address(), 32);
+        assert_eq!(b.start_address(), 32);
+        assert_eq!(c.start_address(), 48);
+        assert_eq!(f.code_size_instructions(), 14);
+        let addrs: Vec<u64> = a.addresses().collect();
+        assert_eq!(addrs[0], 0);
+        assert_eq!(addrs[7], 28);
+        assert_eq!(addrs.len(), 8);
+    }
+
+    #[test]
+    fn base_address_and_instruction_size() {
+        let f = Function::builder("x")
+            .base_address(0x1000)
+            .instruction_size(2)
+            .block("A", 3)
+            .code(Stmt::block("A"))
+            .build()
+            .unwrap();
+        let a = f.block(BlockId(0));
+        assert_eq!(a.addresses().collect::<Vec<_>>(), vec![0x1000, 0x1002, 0x1004]);
+    }
+
+    #[test]
+    fn worst_case_counts() {
+        let f = demo();
+        assert_eq!(f.worst_case_instruction_count(), 4 * 8 + 2);
+        // if-without-else can contribute zero.
+        let g = Function::builder("g")
+            .block("A", 5)
+            .code(Stmt::branch(Stmt::block("A"), None))
+            .build()
+            .unwrap();
+        assert_eq!(g.worst_case_instruction_count(), 5);
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(matches!(
+            Function::builder("f").block("A", 1).build(),
+            Err(CfgError::MissingBody)
+        ));
+        assert!(matches!(
+            Function::builder("f").block("A", 0).code(Stmt::block("A")).build(),
+            Err(CfgError::EmptyBlock { .. })
+        ));
+        assert!(matches!(
+            Function::builder("f")
+                .block("A", 1)
+                .block("A", 2)
+                .code(Stmt::block("A"))
+                .build(),
+            Err(CfgError::DuplicateBlock { .. })
+        ));
+        assert!(matches!(
+            Function::builder("f").block("A", 1).code(Stmt::block("B")).build(),
+            Err(CfgError::UnknownBlock { .. })
+        ));
+        assert!(matches!(
+            Function::builder("f")
+                .block("A", 1)
+                .code(Stmt::counted_loop(0, Stmt::block("A")))
+                .build(),
+            Err(CfgError::ZeroLoopBound)
+        ));
+    }
+
+    #[test]
+    fn display_and_lookup() {
+        let f = demo();
+        assert!(f.to_string().contains("3 blocks"));
+        assert_eq!(f.block_id("missing"), None);
+        assert_eq!(f.blocks().len(), 3);
+        assert_eq!(f.name(), "demo");
+    }
+}

@@ -1,0 +1,254 @@
+//! Seeded generator of Mälardalen-like synthetic programs.
+//!
+//! The Mälardalen suite spans a few recognisable shapes; each
+//! [`ProgramShape`] mirrors one of them so the extraction pipeline
+//! (`cpa-cache`) sees the same diversity of cache behaviours the paper's
+//! benchmark pool provides:
+//!
+//! * [`ProgramShape::LoopKernel`] — one hot loop over a small body
+//!   (`bsort100`, `matmult`, `fir`): tiny footprint, everything persists;
+//! * [`ProgramShape::NestedLoops`] — 2–3 level numeric loop nests with
+//!   branches (`ludcmp`, `fdct`, `jfdctint`): medium footprint, partial
+//!   persistence;
+//! * [`ProgramShape::Branchy`] — long chains of conditionals inside a
+//!   modest loop (`expint`, `lcdnum`): path-dependent reuse;
+//! * [`ProgramShape::StateMachine`] — very large branchy code executed few
+//!   times (`nsichneu`, `statemate`): cache-filling footprint, little or
+//!   no persistence.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{CfgError, Function, Stmt};
+
+/// The structural family of a generated program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProgramShape {
+    /// One dominant loop over a small straight-line kernel.
+    LoopKernel,
+    /// Nested counted loops with occasional branches.
+    NestedLoops,
+    /// A loop over a chain of two-way branches.
+    Branchy,
+    /// A huge flat branch structure executed a handful of times.
+    StateMachine,
+}
+
+impl ProgramShape {
+    /// All shapes, for round-robin generation.
+    #[must_use]
+    pub fn all() -> [ProgramShape; 4] {
+        [
+            ProgramShape::LoopKernel,
+            ProgramShape::NestedLoops,
+            ProgramShape::Branchy,
+            ProgramShape::StateMachine,
+        ]
+    }
+}
+
+/// Seeded generator of synthetic benchmark programs.
+///
+/// ```
+/// use cpa_cfg::{ProgramGenerator, ProgramShape};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let gen = ProgramGenerator::new();
+/// let f = gen.generate(ProgramShape::NestedLoops, &mut rng)?;
+/// assert!(f.blocks().len() > 3);
+/// assert!(f.worst_case_instruction_count() > 0);
+/// # Ok::<(), cpa_cfg::CfgError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProgramGenerator {
+    _private: (),
+}
+
+impl ProgramGenerator {
+    /// Creates a generator with default size ranges.
+    #[must_use]
+    pub fn new() -> Self {
+        ProgramGenerator { _private: () }
+    }
+
+    /// Generates one program of the given shape.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in shapes; the `Result` protects against
+    /// future shape configurations that could produce invalid structures.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        shape: ProgramShape,
+        rng: &mut R,
+    ) -> Result<Function, CfgError> {
+        match shape {
+            ProgramShape::LoopKernel => self.loop_kernel(rng),
+            ProgramShape::NestedLoops => self.nested_loops(rng),
+            ProgramShape::Branchy => self.branchy(rng),
+            ProgramShape::StateMachine => self.state_machine(rng),
+        }
+    }
+
+    fn loop_kernel<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Function, CfgError> {
+        let mut b = Function::builder("loop_kernel");
+        b = b.block("init", rng.gen_range(4..16));
+        let kernel_blocks = rng.gen_range(1..4usize);
+        let mut body = Vec::new();
+        for i in 0..kernel_blocks {
+            let name = format!("kernel{i}");
+            b = b.block(&name, rng.gen_range(8..40));
+            body.push(Stmt::block(name));
+        }
+        b = b.block("exit", rng.gen_range(2..8));
+        let bound = rng.gen_range(20..200);
+        b.code(Stmt::seq([
+            Stmt::block("init"),
+            Stmt::counted_loop(bound, Stmt::seq(body)),
+            Stmt::block("exit"),
+        ]))
+        .build()
+    }
+
+    fn nested_loops<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Function, CfgError> {
+        // Declarations are collected first, then added to the builder in
+        // one pass, so statements can reference blocks freely.
+        let mut decls: Vec<(String, u32)> = vec![("init".into(), rng.gen_range(4..16))];
+        let fresh = |decls: &mut Vec<(String, u32)>, instructions: u32| {
+            let name = format!("b{}", decls.len());
+            decls.push((name.clone(), instructions));
+            Stmt::block(name)
+        };
+        let depth = rng.gen_range(2..4usize);
+        let mut inner = Stmt::seq([
+            fresh(&mut decls, rng.gen_range(6..30)),
+            Stmt::branch(
+                fresh(&mut decls, rng.gen_range(4..20)),
+                Some(fresh(&mut decls, rng.gen_range(4..20))),
+            ),
+        ]);
+        for _ in 0..depth {
+            let header = fresh(&mut decls, rng.gen_range(2..10));
+            let bound = rng.gen_range(4..24);
+            inner = Stmt::counted_loop(bound, Stmt::seq([header, inner]));
+        }
+        decls.push(("exit".into(), 4));
+
+        let mut builder = Function::builder("nested_loops");
+        for (name, instructions) in decls {
+            builder = builder.block(name, instructions);
+        }
+        builder
+            .code(Stmt::seq([Stmt::block("init"), inner, Stmt::block("exit")]))
+            .build()
+    }
+
+    fn branchy<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Function, CfgError> {
+        let mut b = Function::builder("branchy");
+        b = b.block("init", rng.gen_range(2..10));
+        let arms = rng.gen_range(3..10usize);
+        let mut chain = Vec::new();
+        for i in 0..arms {
+            let t = format!("then{i}");
+            let e = format!("else{i}");
+            b = b.block(&t, rng.gen_range(4..24)).block(&e, rng.gen_range(4..24));
+            chain.push(Stmt::branch(Stmt::block(t), Some(Stmt::block(e))));
+        }
+        b = b.block("exit", rng.gen_range(2..8));
+        let bound = rng.gen_range(5..60);
+        b.code(Stmt::seq([
+            Stmt::block("init"),
+            Stmt::counted_loop(bound, Stmt::seq(chain)),
+            Stmt::block("exit"),
+        ]))
+        .build()
+    }
+
+    fn state_machine<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Function, CfgError> {
+        let mut b = Function::builder("state_machine");
+        b = b.block("dispatch", rng.gen_range(4..12));
+        let states = rng.gen_range(12..40usize);
+        let mut arms: Vec<Stmt> = Vec::new();
+        for i in 0..states {
+            let name = format!("state{i}");
+            b = b.block(&name, rng.gen_range(16..64));
+            arms.push(Stmt::block(name));
+        }
+        // Fold the states into a binary decision tree of unknown branches.
+        while arms.len() > 1 {
+            let mut next = Vec::with_capacity(arms.len().div_ceil(2));
+            let mut iter = arms.into_iter();
+            while let Some(a) = iter.next() {
+                match iter.next() {
+                    Some(bm) => next.push(Stmt::branch(a, Some(bm))),
+                    None => next.push(a),
+                }
+            }
+            arms = next;
+        }
+        let tree = arms.pop().expect("at least one state");
+        let steps = rng.gen_range(2..8);
+        b.code(Stmt::counted_loop(
+            steps,
+            Stmt::seq([Stmt::block("dispatch"), tree]),
+        ))
+        .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn all_shapes_generate_valid_programs() {
+        let gen = ProgramGenerator::new();
+        for shape in ProgramShape::all() {
+            for seed in 0..10 {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let f = gen.generate(shape, &mut rng).unwrap();
+                assert!(f.blocks().len() >= 2, "{shape:?}");
+                assert!(f.worst_case_instruction_count() > 0, "{shape:?}");
+                assert!(f.code_size_instructions() > 0, "{shape:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let gen = ProgramGenerator::new();
+        for shape in ProgramShape::all() {
+            let a = gen.generate(shape, &mut ChaCha8Rng::seed_from_u64(3)).unwrap();
+            let b = gen.generate(shape, &mut ChaCha8Rng::seed_from_u64(3)).unwrap();
+            assert_eq!(a, b, "{shape:?}");
+        }
+    }
+
+    #[test]
+    fn shapes_differ_structurally() {
+        let gen = ProgramGenerator::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let kernel = gen.generate(ProgramShape::LoopKernel, &mut rng).unwrap();
+        let sm = gen.generate(ProgramShape::StateMachine, &mut rng).unwrap();
+        // State machines are code-heavy but execute few instructions per
+        // block relative to their size; loop kernels are the reverse.
+        let kernel_ratio =
+            kernel.worst_case_instruction_count() as f64 / kernel.code_size_instructions() as f64;
+        let sm_ratio = sm.worst_case_instruction_count() as f64 / sm.code_size_instructions() as f64;
+        assert!(kernel_ratio > sm_ratio);
+    }
+
+    #[test]
+    fn state_machine_traces_stay_within_worst_case() {
+        let gen = ProgramGenerator::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let f = gen.generate(ProgramShape::StateMachine, &mut rng).unwrap();
+        for seed in 0..8 {
+            let t = crate::trace::generate(&f, crate::DecisionPolicy::Random { seed });
+            assert!(t.len() as u64 <= f.worst_case_instruction_count());
+        }
+    }
+}

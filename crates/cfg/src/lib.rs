@@ -1,0 +1,52 @@
+//! Synthetic program substrate: structured control flow with instruction
+//! addresses.
+//!
+//! The paper extracts its per-task parameters (`PD`, `MD`, `MD^r`, `UCB`,
+//! `ECB`, `PCB`) from Mälardalen C benchmarks with the Heptane static WCET
+//! analyzer. Neither the benchmarks' binaries nor Heptane are reproducible
+//! offline, so this crate provides the missing substrate: a program model
+//! rich enough for a real instruction-cache analysis —
+//!
+//! * [`BasicBlock`]s carrying concrete instruction address ranges;
+//! * structured control flow ([`Stmt`]: sequences, branches with unknown
+//!   conditions, counted loops) composed into [`Function`]s with a
+//!   contiguous code layout;
+//! * worst-case and randomised [`trace`] generation (the concrete-execution
+//!   oracle used to validate the static analysis in `cpa-cache`);
+//! * a seeded [`generator`] producing Mälardalen-like program shapes (tiny
+//!   loop kernels, nested numeric loops, branchy state machines).
+//!
+//! # Example
+//!
+//! ```
+//! use cpa_cfg::{Function, Stmt};
+//!
+//! // for i in 0..4 { if c { A } else { B } }; C
+//! let f = Function::builder("demo")
+//!     .block("A", 8)
+//!     .block("B", 4)
+//!     .block("C", 2)
+//!     .code(Stmt::seq([
+//!         Stmt::counted_loop(4, Stmt::branch(Stmt::block("A"), Some(Stmt::block("B")))),
+//!         Stmt::block("C"),
+//!     ]))
+//!     .build()?;
+//! // The worst-case path takes the larger branch every iteration.
+//! assert_eq!(f.worst_case_instruction_count(), 4 * 8 + 2);
+//! # Ok::<(), cpa_cfg::CfgError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod error;
+mod function;
+pub mod generator;
+mod stmt;
+pub mod trace;
+
+pub use error::CfgError;
+pub use function::{BasicBlock, BlockId, Code, Function, FunctionBuilder};
+pub use generator::{ProgramGenerator, ProgramShape};
+pub use stmt::Stmt;
+pub use trace::{DecisionPolicy, Trace};

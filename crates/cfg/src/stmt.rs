@@ -1,0 +1,160 @@
+//! Structured statements: the control-flow language of synthetic programs.
+
+use serde::{Deserialize, Serialize};
+
+/// A structured control-flow statement over named basic blocks.
+///
+/// Programs are *structured* (reducible by construction): sequences,
+/// two-way branches with statically unknown conditions, and counted loops
+/// with known bounds — the fragment a WCET analyzer needs loop bounds for
+/// is exactly the fragment Mälardalen programs live in.
+///
+/// Block names are resolved to [`BlockId`](crate::BlockId)s when the
+/// enclosing [`Function`](crate::Function) is built.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// Execute the named basic block.
+    Block(String),
+    /// Execute statements in order.
+    Seq(Vec<Stmt>),
+    /// Branch on a statically unknown condition. `None` as else models an
+    /// `if` without `else`.
+    Branch {
+        /// Taken when the (unknown) condition holds.
+        then_branch: Box<Stmt>,
+        /// Taken otherwise; empty if absent.
+        else_branch: Option<Box<Stmt>>,
+    },
+    /// Execute the body exactly `bound` times (a counted loop with a known
+    /// WCET bound).
+    Loop {
+        /// Maximum (and, for trace purposes, exact) iteration count.
+        bound: u32,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// A single-block statement.
+    #[must_use]
+    pub fn block(name: impl Into<String>) -> Stmt {
+        Stmt::Block(name.into())
+    }
+
+    /// A sequence of statements.
+    #[must_use]
+    pub fn seq(stmts: impl IntoIterator<Item = Stmt>) -> Stmt {
+        Stmt::Seq(stmts.into_iter().collect())
+    }
+
+    /// A two-way branch with a statically unknown condition.
+    #[must_use]
+    pub fn branch(then_branch: Stmt, else_branch: Option<Stmt>) -> Stmt {
+        Stmt::Branch {
+            then_branch: Box::new(then_branch),
+            else_branch: else_branch.map(Box::new),
+        }
+    }
+
+    /// A counted loop executing `body` exactly `bound` times.
+    #[must_use]
+    pub fn counted_loop(bound: u32, body: Stmt) -> Stmt {
+        Stmt::Loop {
+            bound,
+            body: Box::new(body),
+        }
+    }
+
+    /// All block names referenced by this statement, in syntactic order
+    /// (duplicates preserved).
+    #[must_use]
+    pub fn referenced_blocks(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_blocks(&mut out);
+        out
+    }
+
+    fn collect_blocks<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Stmt::Block(name) => out.push(name),
+            Stmt::Seq(stmts) => {
+                for s in stmts {
+                    s.collect_blocks(out);
+                }
+            }
+            Stmt::Branch {
+                then_branch,
+                else_branch,
+            } => {
+                then_branch.collect_blocks(out);
+                if let Some(e) = else_branch {
+                    e.collect_blocks(out);
+                }
+            }
+            Stmt::Loop { body, .. } => body.collect_blocks(out),
+        }
+    }
+
+    /// Maximum loop-nesting depth of the statement.
+    #[must_use]
+    pub fn loop_depth(&self) -> usize {
+        match self {
+            Stmt::Block(_) => 0,
+            Stmt::Seq(stmts) => stmts.iter().map(Stmt::loop_depth).max().unwrap_or(0),
+            Stmt::Branch {
+                then_branch,
+                else_branch,
+            } => then_branch
+                .loop_depth()
+                .max(else_branch.as_ref().map_or(0, |e| e.loop_depth())),
+            Stmt::Loop { body, .. } => 1 + body.loop_depth(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nested() -> Stmt {
+        Stmt::seq([
+            Stmt::block("init"),
+            Stmt::counted_loop(
+                10,
+                Stmt::seq([
+                    Stmt::block("head"),
+                    Stmt::branch(Stmt::block("a"), Some(Stmt::block("b"))),
+                    Stmt::counted_loop(3, Stmt::block("inner")),
+                ]),
+            ),
+            Stmt::block("exit"),
+        ])
+    }
+
+    #[test]
+    fn referenced_blocks_in_order() {
+        assert_eq!(
+            nested().referenced_blocks(),
+            ["init", "head", "a", "b", "inner", "exit"]
+        );
+    }
+
+    #[test]
+    fn loop_depth() {
+        assert_eq!(nested().loop_depth(), 2);
+        assert_eq!(Stmt::block("x").loop_depth(), 0);
+        assert_eq!(
+            Stmt::branch(Stmt::counted_loop(2, Stmt::block("x")), None).loop_depth(),
+            1
+        );
+    }
+
+    #[test]
+    fn constructors_shape() {
+        let s = Stmt::seq([Stmt::block("x")]);
+        assert!(matches!(s, Stmt::Seq(v) if v.len() == 1));
+        let b = Stmt::branch(Stmt::block("x"), None);
+        assert!(matches!(b, Stmt::Branch { else_branch: None, .. }));
+    }
+}

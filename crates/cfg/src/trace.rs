@@ -1,0 +1,216 @@
+//! Concrete execution traces: the oracle for validating static analysis.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::function::Code;
+use crate::Function;
+
+/// How statically unknown branch conditions are decided when generating a
+/// trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionPolicy {
+    /// Take whichever side executes more instructions (the canonical
+    /// heaviest path — matches
+    /// [`Function::worst_case_instruction_count`]).
+    HeaviestPath,
+    /// Always take the `then` side.
+    AlwaysThen,
+    /// Always take the `else` side (or skip when absent).
+    AlwaysElse,
+    /// Decide each branch with a seeded coin flip (reproducible).
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// A concrete instruction-address trace of one job execution.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    addresses: Vec<u64>,
+}
+
+impl Trace {
+    /// The executed instruction addresses in order.
+    #[must_use]
+    pub fn addresses(&self) -> &[u64] {
+        &self.addresses
+    }
+
+    /// Number of executed instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.addresses.len()
+    }
+
+    /// `true` if nothing was executed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.addresses.is_empty()
+    }
+
+    /// Iterates over the addresses.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.addresses.iter().copied()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = u64;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, u64>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.addresses.iter().copied()
+    }
+}
+
+/// Generates the instruction-address trace of one job of `function` under
+/// the given branch-decision policy.
+///
+/// ```
+/// use cpa_cfg::{trace, DecisionPolicy, Function, Stmt};
+///
+/// let f = Function::builder("f")
+///     .block("A", 2)
+///     .code(Stmt::counted_loop(3, Stmt::block("A")))
+///     .build()?;
+/// let t = trace::generate(&f, DecisionPolicy::HeaviestPath);
+/// assert_eq!(t.len(), 6);
+/// assert_eq!(t.addresses()[..2], [0, 4]);
+/// # Ok::<(), cpa_cfg::CfgError>(())
+/// ```
+#[must_use]
+pub fn generate(function: &Function, policy: DecisionPolicy) -> Trace {
+    let mut rng = match policy {
+        DecisionPolicy::Random { seed } => Some(ChaCha8Rng::seed_from_u64(seed)),
+        _ => None,
+    };
+    let mut addresses = Vec::new();
+    walk(function, function.code(), policy, &mut rng, &mut addresses);
+    Trace { addresses }
+}
+
+fn weight(function: &Function, code: &Code) -> u64 {
+    match code {
+        Code::Block(id) => u64::from(function.block(*id).instructions()),
+        Code::Seq(items) => items.iter().map(|c| weight(function, c)).sum(),
+        Code::Branch {
+            then_branch,
+            else_branch,
+        } => weight(function, then_branch)
+            .max(else_branch.as_ref().map_or(0, |e| weight(function, e))),
+        Code::Loop { bound, body } => u64::from(*bound) * weight(function, body),
+    }
+}
+
+fn walk(
+    function: &Function,
+    code: &Code,
+    policy: DecisionPolicy,
+    rng: &mut Option<ChaCha8Rng>,
+    out: &mut Vec<u64>,
+) {
+    match code {
+        Code::Block(id) => out.extend(function.block(*id).addresses()),
+        Code::Seq(items) => {
+            for item in items {
+                walk(function, item, policy, rng, out);
+            }
+        }
+        Code::Branch {
+            then_branch,
+            else_branch,
+        } => {
+            let take_then = match policy {
+                DecisionPolicy::AlwaysThen => true,
+                DecisionPolicy::AlwaysElse => false,
+                DecisionPolicy::HeaviestPath => {
+                    weight(function, then_branch)
+                        >= else_branch.as_ref().map_or(0, |e| weight(function, e))
+                }
+                DecisionPolicy::Random { .. } => {
+                    rng.as_mut().expect("random policy carries an rng").gen::<bool>()
+                }
+            };
+            if take_then {
+                walk(function, then_branch, policy, rng, out);
+            } else if let Some(e) = else_branch {
+                walk(function, e, policy, rng, out);
+            }
+        }
+        Code::Loop { bound, body } => {
+            for _ in 0..*bound {
+                walk(function, body, policy, rng, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Stmt;
+
+    fn branchy() -> Function {
+        Function::builder("f")
+            .block("big", 6)
+            .block("small", 2)
+            .block("tail", 1)
+            .code(Stmt::seq([
+                Stmt::branch(Stmt::block("big"), Some(Stmt::block("small"))),
+                Stmt::block("tail"),
+            ]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn heaviest_path_matches_worst_case_count() {
+        let f = branchy();
+        let t = generate(&f, DecisionPolicy::HeaviestPath);
+        assert_eq!(t.len() as u64, f.worst_case_instruction_count());
+        assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    fn then_and_else_policies() {
+        let f = branchy();
+        assert_eq!(generate(&f, DecisionPolicy::AlwaysThen).len(), 7);
+        assert_eq!(generate(&f, DecisionPolicy::AlwaysElse).len(), 3);
+        // if-without-else under AlwaysElse executes nothing.
+        let g = Function::builder("g")
+            .block("A", 5)
+            .code(Stmt::branch(Stmt::block("A"), None))
+            .build()
+            .unwrap();
+        assert!(generate(&g, DecisionPolicy::AlwaysElse).is_empty());
+    }
+
+    #[test]
+    fn random_is_reproducible_and_bounded() {
+        let f = branchy();
+        let a = generate(&f, DecisionPolicy::Random { seed: 1 });
+        let b = generate(&f, DecisionPolicy::Random { seed: 1 });
+        assert_eq!(a, b);
+        for seed in 0..16 {
+            let t = generate(&f, DecisionPolicy::Random { seed });
+            assert!(t.len() == 3 || t.len() == 7);
+            assert!(t.len() as u64 <= f.worst_case_instruction_count());
+        }
+    }
+
+    #[test]
+    fn loop_repeats_addresses() {
+        let f = Function::builder("l")
+            .block("A", 2)
+            .code(Stmt::counted_loop(3, Stmt::block("A")))
+            .build()
+            .unwrap();
+        let t = generate(&f, DecisionPolicy::HeaviestPath);
+        assert_eq!(t.addresses(), &[0, 4, 0, 4, 0, 4]);
+        assert_eq!(t.iter().count(), 6);
+        assert_eq!((&t).into_iter().count(), 6);
+    }
+}

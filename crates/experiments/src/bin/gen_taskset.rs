@@ -1,0 +1,97 @@
+//! Generates one paper-style task set and prints it as JSON — a quick way
+//! to export workloads to other tools (the JSON round-trips through the
+//! validated `cpa_model::TaskSet` deserializer).
+//!
+//! ```text
+//! gen_taskset [--seed S] [--utilization U] [--cores M] [--tasks-per-core N]
+//!             [--cache-sets C] [--summary]
+//! ```
+
+use std::process::ExitCode;
+
+use cpa_model::Time;
+use cpa_workload::{GeneratorConfig, TaskSetGenerator};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> ExitCode {
+    let mut seed = 1u64;
+    let mut config = GeneratorConfig::paper_default();
+    let mut summary = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let result: Result<(), String> = (|| {
+            match arg.as_str() {
+                "--seed" => seed = take("--seed")?.parse().map_err(|e| format!("{e}"))?,
+                "--utilization" => {
+                    config.per_core_utilization =
+                        take("--utilization")?.parse().map_err(|e| format!("{e}"))?;
+                }
+                "--cores" => config.cores = take("--cores")?.parse().map_err(|e| format!("{e}"))?,
+                "--tasks-per-core" => {
+                    config.tasks_per_core =
+                        take("--tasks-per-core")?.parse().map_err(|e| format!("{e}"))?;
+                }
+                "--cache-sets" => {
+                    config.cache_sets =
+                        take("--cache-sets")?.parse().map_err(|e| format!("{e}"))?;
+                }
+                "--d-mem" => {
+                    config.d_mem = Time::from_cycles(
+                        take("--d-mem")?.parse().map_err(|e| format!("{e}"))?,
+                    );
+                }
+                "--summary" => summary = true,
+                other => return Err(format!(
+                    "unknown flag `{other}`\nusage: gen_taskset [--seed S] [--utilization U] \
+                     [--cores M] [--tasks-per-core N] [--cache-sets C] [--d-mem D] [--summary]"
+                )),
+            }
+            Ok(())
+        })();
+        if let Err(msg) = result {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let generator = match TaskSetGenerator::new(config.clone()) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("invalid configuration: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let tasks = match generator.generate(&mut rng) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("generation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if summary {
+        print!("{tasks}");
+        eprintln!(
+            "total utilization {:.3}, bus utilization {:.3}",
+            tasks.total_utilization(config.d_mem),
+            tasks.bus_utilization(config.d_mem)
+        );
+        return ExitCode::SUCCESS;
+    }
+    match serde_json::to_string_pretty(&tasks) {
+        Ok(json) => {
+            println!("{json}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serialization failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

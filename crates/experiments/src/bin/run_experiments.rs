@@ -1,0 +1,135 @@
+//! CLI driver regenerating the paper's tables and figures.
+//!
+//! ```text
+//! run_experiments [--quick] [--sets N] [--seed S] [--out DIR] [EXPERIMENT...]
+//! ```
+//!
+//! `EXPERIMENT` is any of `table1`, `fig2`, `fig3a`, `fig3b`, `fig3c`,
+//! `fig3d`, or `all` (default). Results are printed as Markdown and written
+//! as CSV files under `--out` (default `results/`).
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use cpa_experiments::{ablation, fig2, fig3, report, table1, ExperimentResult, SweepOptions};
+
+struct Cli {
+    opts: SweepOptions,
+    out_dir: PathBuf,
+    experiments: Vec<String>,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut opts = SweepOptions::paper();
+    let mut out_dir = PathBuf::from("results");
+    let mut experiments: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts = SweepOptions::quick(),
+            "--sets" => {
+                let v = args.next().ok_or("--sets needs a value")?;
+                opts.sets_per_point = v.parse().map_err(|e| format!("--sets: {e}"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                opts.threads = v.parse().map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--out" => {
+                out_dir = PathBuf::from(args.next().ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => {
+                return Err(USAGE.to_string());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n{USAGE}"));
+            }
+            name => experiments.push(name.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.push("all".to_string());
+    }
+    Ok(Cli {
+        opts,
+        out_dir,
+        experiments,
+    })
+}
+
+const USAGE: &str = "usage: run_experiments [--quick] [--sets N] [--seed S] [--threads T] \
+[--out DIR] [table1|fig2|fig3a|fig3b|fig3c|fig3d|ablation|gain|all]...";
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = fs::create_dir_all(&cli.out_dir) {
+        eprintln!("cannot create {}: {e}", cli.out_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let all = cli.experiments.iter().any(|e| e == "all");
+    let wants = |name: &str| all || cli.experiments.iter().any(|e| e == name);
+    let mut ran_any = false;
+
+    if wants("table1") {
+        ran_any = true;
+        println!("{}", table1::table1_markdown(false));
+        write_out(&cli.out_dir, "table1.csv", &table1::table1_csv(false));
+    }
+    if wants("fig2") {
+        ran_any = true;
+        let start = Instant::now();
+        for result in fig2::fig2(&cli.opts) {
+            emit(&cli.out_dir, &result);
+        }
+        eprintln!("fig2 done in {:.1?}", start.elapsed());
+    }
+    for (name, f) in [
+        ("fig3a", fig3::fig3a as fn(&SweepOptions) -> ExperimentResult),
+        ("fig3b", fig3::fig3b),
+        ("fig3c", fig3::fig3c),
+        ("fig3d", fig3::fig3d),
+        ("ablation", ablation::crpd_ablation),
+        ("gain", ablation::persistence_gain),
+    ] {
+        if wants(name) {
+            ran_any = true;
+            let start = Instant::now();
+            let result = f(&cli.opts);
+            emit(&cli.out_dir, &result);
+            eprintln!("{name} done in {:.1?}", start.elapsed());
+        }
+    }
+
+    if !ran_any {
+        eprintln!("no experiment matched {:?}\n{USAGE}", cli.experiments);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn emit(out_dir: &std::path::Path, result: &ExperimentResult) {
+    println!("{}", report::to_markdown(result));
+    write_out(out_dir, &format!("{}.csv", result.id), &report::to_csv(result));
+}
+
+fn write_out(out_dir: &std::path::Path, name: &str, contents: &str) {
+    let path = out_dir.join(name);
+    if let Err(e) = fs::write(&path, contents) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}

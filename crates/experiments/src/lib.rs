@@ -1,0 +1,46 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! One function per experiment of §V:
+//!
+//! | Paper artefact | Function |
+//! |---|---|
+//! | Table I (benchmark parameters) | [`table1::table1_markdown`] |
+//! | Fig. 2a/2b/2c (schedulable sets vs core utilization, FP/RR/TDMA) | [`fig2::fig2`] |
+//! | Fig. 3a (weighted schedulability vs cores) | [`fig3::fig3a`] |
+//! | Fig. 3b (vs `d_mem`) | [`fig3::fig3b`] |
+//! | Fig. 3c (vs cache size) | [`fig3::fig3c`] |
+//! | Fig. 3d (vs RR/TDMA slot size) | [`fig3::fig3d`] |
+//!
+//! Every experiment returns an [`ExperimentResult`]: a set of labelled
+//! series over a swept x-axis, with raw schedulable counts and the
+//! utilization-weighted measure per point. [`report`] renders results as
+//! CSV or Markdown; the `run_experiments` binary drives the whole battery.
+//!
+//! All randomness is seeded: the same [`SweepOptions::seed`] reproduces the
+//! same task sets (and therefore the same numbers) regardless of thread
+//! count.
+//!
+//! # Example
+//!
+//! ```
+//! use cpa_experiments::{fig2, SweepOptions};
+//!
+//! // A miniature Fig. 2 (3 utilization points × 5 sets) for CI purposes.
+//! let opts = SweepOptions::quick().with_sets_per_point(5)
+//!     .with_utilization_grid(vec![0.2, 0.5, 0.8]);
+//! let results = fig2::fig2(&opts);
+//! assert_eq!(results.len(), 3); // FP, RR, TDMA
+//! assert!(results[0].series.iter().any(|s| s.label.contains("aware")));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod ablation;
+pub mod fig2;
+pub mod fig3;
+pub mod report;
+pub mod runner;
+pub mod table1;
+
+pub use runner::{CurvePoint, ExperimentResult, Series, SweepOptions};

@@ -1,0 +1,171 @@
+//! Renderers for experiment results: CSV and Markdown.
+
+use std::fmt::Write as _;
+
+use crate::runner::ExperimentResult;
+
+/// Renders a result as CSV with one row per (series, point):
+/// `experiment,series,x,schedulable,total,weighted`.
+///
+/// # Example
+///
+/// ```
+/// use cpa_experiments::report::to_csv;
+/// use cpa_experiments::{CurvePoint, ExperimentResult, Series};
+///
+/// let r = ExperimentResult {
+///     id: "demo".into(),
+///     title: "demo".into(),
+///     x_label: "x".into(),
+///     y_label: "y".into(),
+///     series: vec![Series {
+///         label: "a".into(),
+///         points: vec![CurvePoint { x: 0.5, schedulable: 3, total: 4, weighted: 0.75 }],
+///     }],
+/// };
+/// let csv = to_csv(&r);
+/// assert!(csv.contains("demo,a,0.5,3,4,0.75"));
+/// ```
+#[must_use]
+pub fn to_csv(result: &ExperimentResult) -> String {
+    let mut out = String::from("experiment,series,x,schedulable,total,weighted\n");
+    for series in &result.series {
+        for p in &series.points {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{}",
+                result.id,
+                escape_csv(&series.label),
+                trim_float(p.x),
+                p.schedulable,
+                p.total,
+                trim_float(p.weighted),
+            );
+        }
+    }
+    out
+}
+
+/// Renders a result as a Markdown table: one column per series, one row per
+/// x value. Fig. 2 results show raw schedulable counts, Fig. 3 results the
+/// weighted measure (selected by `y_label`).
+#[must_use]
+pub fn to_markdown(result: &ExperimentResult) -> String {
+    let mut out = format!("### {}\n\n", result.title);
+    let counts = result.y_label.contains("task sets");
+    let _ = write!(out, "| {} |", result.x_label);
+    for s in &result.series {
+        let _ = write!(out, " {} |", s.label);
+    }
+    out.push('\n');
+    let _ = write!(out, "|---|");
+    for _ in &result.series {
+        let _ = write!(out, "---|");
+    }
+    out.push('\n');
+
+    let xs: Vec<f64> = result
+        .series
+        .first()
+        .map(|s| s.points.iter().map(|p| p.x).collect())
+        .unwrap_or_default();
+    for (row, &x) in xs.iter().enumerate() {
+        let _ = write!(out, "| {} |", trim_float(x));
+        for s in &result.series {
+            match s.points.get(row) {
+                Some(p) if counts => {
+                    let _ = write!(out, " {}/{} |", p.schedulable, p.total);
+                }
+                Some(p) => {
+                    let _ = write!(out, " {:.4} |", p.weighted);
+                }
+                None => {
+                    let _ = write!(out, " — |");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn escape_csv(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Prints floats without trailing zeros (`0.5` not `0.5000`).
+fn trim_float(x: f64) -> String {
+    let s = format!("{x:.6}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() { "0".to_string() } else { s.to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{CurvePoint, Series};
+
+    fn demo() -> ExperimentResult {
+        ExperimentResult {
+            id: "fig9z".into(),
+            title: "demo figure".into(),
+            x_label: "utilization".into(),
+            y_label: "schedulable task sets".into(),
+            series: vec![
+                Series {
+                    label: "aware".into(),
+                    points: vec![
+                        CurvePoint { x: 0.1, schedulable: 10, total: 10, weighted: 1.0 },
+                        CurvePoint { x: 0.2, schedulable: 7, total: 10, weighted: 0.68 },
+                    ],
+                },
+                Series {
+                    label: "oblivious, baseline".into(),
+                    points: vec![
+                        CurvePoint { x: 0.1, schedulable: 9, total: 10, weighted: 0.9 },
+                        CurvePoint { x: 0.2, schedulable: 4, total: 10, weighted: 0.35 },
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = to_csv(&demo());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[0], "experiment,series,x,schedulable,total,weighted");
+        assert_eq!(lines[1], "fig9z,aware,0.1,10,10,1");
+        // Labels containing commas are quoted.
+        assert!(lines[3].starts_with("fig9z,\"oblivious, baseline\""));
+    }
+
+    #[test]
+    fn markdown_counts_mode() {
+        let md = to_markdown(&demo());
+        assert!(md.contains("### demo figure"));
+        assert!(md.contains("| utilization | aware | oblivious, baseline |"));
+        assert!(md.contains("| 0.1 | 10/10 | 9/10 |"));
+    }
+
+    #[test]
+    fn markdown_weighted_mode() {
+        let mut r = demo();
+        r.y_label = "weighted schedulability".into();
+        let md = to_markdown(&r);
+        assert!(md.contains("| 0.2 | 0.6800 | 0.3500 |"));
+    }
+
+    #[test]
+    fn trim_float_behaviour() {
+        assert_eq!(trim_float(0.5), "0.5");
+        assert_eq!(trim_float(2.0), "2");
+        assert_eq!(trim_float(0.0), "0");
+        assert_eq!(trim_float(0.050000), "0.05");
+    }
+}

@@ -1,0 +1,309 @@
+//! Shared sweep machinery: deterministic seeding, parallel evaluation,
+//! result containers.
+
+use cpa_analysis::{analyze, AnalysisConfig, AnalysisContext, CrpdApproach, WeightedAccumulator};
+use cpa_model::{CacheGeometry, Platform};
+use cpa_workload::{GeneratorConfig, TaskSetGenerator};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+/// Options shared by every experiment sweep.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SweepOptions {
+    /// Random task sets per (x-value, utilization) point.
+    pub sets_per_point: usize,
+    /// Base seed; everything downstream derives deterministically from it.
+    pub seed: u64,
+    /// RR/TDMA memory access slots per core (`s`, paper default 2).
+    pub slots: u64,
+    /// Worker threads (0 = use all available cores).
+    pub threads: usize,
+    /// Core-utilization grid (paper: 0.05 to 1.0 in steps of 0.05).
+    pub utilization_grid: Vec<f64>,
+}
+
+impl SweepOptions {
+    /// Paper-scale options: 1000 sets per point, the full utilization grid.
+    #[must_use]
+    pub fn paper() -> Self {
+        SweepOptions {
+            sets_per_point: 1_000,
+            seed: 0x0DA7_E202_0000,
+            slots: 2,
+            threads: 0,
+            utilization_grid: default_grid(),
+        }
+    }
+
+    /// Reduced options for smoke tests and Criterion benches: 50 sets per
+    /// point on the full grid.
+    #[must_use]
+    pub fn quick() -> Self {
+        SweepOptions {
+            sets_per_point: 50,
+            ..SweepOptions::paper()
+        }
+    }
+
+    /// Returns a copy with a different number of sets per point.
+    #[must_use]
+    pub fn with_sets_per_point(mut self, sets: usize) -> Self {
+        self.sets_per_point = sets;
+        self
+    }
+
+    /// Returns a copy with a different utilization grid.
+    #[must_use]
+    pub fn with_utilization_grid(mut self, grid: Vec<f64>) -> Self {
+        self.utilization_grid = grid;
+        self
+    }
+
+    /// Returns a copy with a different base seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn worker_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions::paper()
+    }
+}
+
+/// The paper's utilization grid: 0.05 to 1.0 in steps of 0.05.
+#[must_use]
+pub fn default_grid() -> Vec<f64> {
+    (1..=20).map(|i| f64::from(i) * 0.05).collect()
+}
+
+/// One point of one experiment series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CurvePoint {
+    /// Swept x-value (core utilization, cores, `d_mem` µs, ...).
+    pub x: f64,
+    /// Task sets deemed schedulable at this point.
+    pub schedulable: u64,
+    /// Task sets evaluated at this point.
+    pub total: u64,
+    /// Utilization-weighted schedulability at this point.
+    pub weighted: f64,
+}
+
+/// A labelled experiment curve (e.g. "FP aware").
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Series {
+    /// Human-readable curve label.
+    pub label: String,
+    /// Points in x order.
+    pub points: Vec<CurvePoint>,
+}
+
+/// One regenerated figure or table panel.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ExperimentResult {
+    /// Stable experiment id (`fig2a`, `fig3c`, ...).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Label of the x axis.
+    pub x_label: String,
+    /// Label of the y axis.
+    pub y_label: String,
+    /// All curves of the panel.
+    pub series: Vec<Series>,
+}
+
+/// Per-configuration tallies for one evaluated point.
+#[derive(Debug, Clone, Default)]
+pub struct PointStats {
+    accumulators: Vec<WeightedAccumulator>,
+}
+
+impl PointStats {
+    fn new(configs: usize) -> Self {
+        PointStats {
+            accumulators: vec![WeightedAccumulator::new(); configs],
+        }
+    }
+
+    fn merge(&mut self, other: &PointStats) {
+        for (a, b) in self.accumulators.iter_mut().zip(&other.accumulators) {
+            a.merge(b);
+        }
+    }
+
+    /// Accumulator of the `i`-th analysis configuration.
+    #[must_use]
+    pub fn config(&self, i: usize) -> &WeightedAccumulator {
+        &self.accumulators[i]
+    }
+}
+
+/// SplitMix64-style seed derivation: decorrelates per-set RNG streams from
+/// `(base seed, point id, set index)` without any cross-thread state.
+#[must_use]
+pub fn derive_seed(base: u64, point: u64, set: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(point.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(set.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Builds the [`Platform`] matching a generator configuration (32-byte
+/// lines, direct-mapped, as in the paper).
+#[must_use]
+pub fn platform_for(config: &GeneratorConfig) -> Platform {
+    Platform::builder()
+        .cores(config.cores)
+        .cache(CacheGeometry::direct_mapped(config.cache_sets, 32))
+        .memory_latency(config.d_mem)
+        .build()
+        .expect("generator configs always map to valid platforms")
+}
+
+/// Evaluates `sets_per_point` random task sets drawn from `gen_config`
+/// against every analysis configuration in `configs`, in parallel,
+/// deterministically in `opts.seed` and `point_id`.
+///
+/// # Panics
+///
+/// Panics if `gen_config` is invalid (the experiment definitions in this
+/// crate only produce valid ones).
+#[must_use]
+pub fn evaluate_point(
+    gen_config: &GeneratorConfig,
+    configs: &[AnalysisConfig],
+    opts: &SweepOptions,
+    point_id: u64,
+) -> PointStats {
+    evaluate_point_with(gen_config, configs, opts, point_id, CrpdApproach::EcbUnion)
+}
+
+/// [`evaluate_point`] with a selectable CRPD approach (the CRPD ablation
+/// of [`crate::ablation`]).
+///
+/// # Panics
+///
+/// Panics if `gen_config` is invalid.
+#[must_use]
+pub fn evaluate_point_with(
+    gen_config: &GeneratorConfig,
+    configs: &[AnalysisConfig],
+    opts: &SweepOptions,
+    point_id: u64,
+    crpd: CrpdApproach,
+) -> PointStats {
+    let generator = TaskSetGenerator::new(gen_config.clone()).expect("valid generator config");
+    let platform = platform_for(gen_config);
+    let d_mem = gen_config.d_mem;
+    let threads = opts.worker_threads().max(1);
+    let sets = opts.sets_per_point;
+
+    let mut partials: Vec<PointStats> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let generator = &generator;
+            let platform = &platform;
+            let opts_seed = opts.seed;
+            let handle = scope.spawn(move || {
+                let mut stats = PointStats::new(configs.len());
+                let mut set = worker;
+                while set < sets {
+                    let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(
+                        opts_seed, point_id, set as u64,
+                    ));
+                    let tasks = generator.generate(&mut rng).expect("generation succeeds");
+                    let ctx = AnalysisContext::with_crpd_approach(platform, &tasks, crpd)
+                        .expect("task set fits platform");
+                    let utilization = tasks.total_utilization(d_mem);
+                    for (i, cfg) in configs.iter().enumerate() {
+                        let result = analyze(&ctx, cfg);
+                        stats.accumulators[i].record(utilization, result.is_schedulable());
+                    }
+                    set += threads;
+                }
+                stats
+            });
+            handles.push(handle);
+        }
+        for handle in handles {
+            partials.push(handle.join().expect("worker panicked"));
+        }
+    });
+
+    let mut total = PointStats::new(configs.len());
+    for partial in &partials {
+        total.merge(partial);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpa_analysis::{BusPolicy, PersistenceMode};
+
+    #[test]
+    fn default_grid_matches_paper() {
+        let g = default_grid();
+        assert_eq!(g.len(), 20);
+        assert!((g[0] - 0.05).abs() < 1e-12);
+        assert!((g[19] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derive_seed_decorrelates() {
+        let a = derive_seed(1, 2, 3);
+        assert_ne!(a, derive_seed(1, 2, 4));
+        assert_ne!(a, derive_seed(1, 3, 3));
+        assert_ne!(a, derive_seed(2, 2, 3));
+        assert_eq!(a, derive_seed(1, 2, 3));
+    }
+
+    #[test]
+    fn evaluation_is_thread_count_invariant() {
+        let gen = GeneratorConfig::paper_default().with_per_core_utilization(0.3);
+        let configs = [
+            AnalysisConfig::new(BusPolicy::FixedPriority, PersistenceMode::Aware),
+            AnalysisConfig::new(BusPolicy::FixedPriority, PersistenceMode::Oblivious),
+        ];
+        let base = SweepOptions::quick().with_sets_per_point(6);
+        let mut one = base.clone();
+        one.threads = 1;
+        let mut four = base;
+        four.threads = 4;
+        let a = evaluate_point(&gen, &configs, &one, 7);
+        let b = evaluate_point(&gen, &configs, &four, 7);
+        for i in 0..configs.len() {
+            assert_eq!(a.config(i).samples(), 6);
+            assert_eq!(a.config(i).schedulable_count(), b.config(i).schedulable_count());
+            assert!((a.config(i).value() - b.config(i).value()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn aware_dominates_oblivious_in_aggregate() {
+        let gen = GeneratorConfig::paper_default().with_per_core_utilization(0.5);
+        let configs = [
+            AnalysisConfig::new(BusPolicy::RoundRobin { slots: 2 }, PersistenceMode::Aware),
+            AnalysisConfig::new(BusPolicy::RoundRobin { slots: 2 }, PersistenceMode::Oblivious),
+        ];
+        let opts = SweepOptions::quick().with_sets_per_point(10);
+        let stats = evaluate_point(&gen, &configs, &opts, 1);
+        assert!(stats.config(0).schedulable_count() >= stats.config(1).schedulable_count());
+    }
+}

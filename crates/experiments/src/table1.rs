@@ -1,0 +1,86 @@
+//! Table I: per-benchmark task parameters.
+
+use std::fmt::Write as _;
+
+use cpa_workload::{benchmarks, published_benchmarks, Provenance};
+
+/// Renders the benchmark parameter table as Markdown.
+///
+/// With `published_only`, reproduces exactly the six rows the paper prints
+/// as Table I; otherwise the full generator pool is listed with its
+/// provenance column.
+#[must_use]
+pub fn table1_markdown(published_only: bool) -> String {
+    let rows = if published_only {
+        published_benchmarks()
+    } else {
+        benchmarks()
+    };
+    let mut out = String::from(
+        "### Table I — task parameters (Mälardalen suite, 256-set direct-mapped I-cache)\n\n",
+    );
+    out.push_str("| Name | PD_i | MD_i | MD_i^r | ECB_i | PCB_i | UCB_i | provenance |\n");
+    out.push_str("|---|---|---|---|---|---|---|---|\n");
+    for b in rows {
+        let provenance = match b.provenance {
+            Provenance::PublishedTable1 => "Table I",
+            Provenance::Synthesized => "synthesized",
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {} |",
+            b.name, b.pd, b.md, b.md_r, b.ecb, b.pcb, b.ucb, provenance
+        );
+    }
+    out
+}
+
+/// Renders the benchmark table as CSV.
+#[must_use]
+pub fn table1_csv(published_only: bool) -> String {
+    let rows = if published_only {
+        published_benchmarks()
+    } else {
+        benchmarks()
+    };
+    let mut out = String::from("name,pd,md,md_r,ecb,pcb,ucb,provenance\n");
+    for b in rows {
+        let provenance = match b.provenance {
+            Provenance::PublishedTable1 => "published",
+            Provenance::Synthesized => "synthesized",
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{}",
+            b.name, b.pd, b.md, b.md_r, b.ecb, b.pcb, b.ucb, provenance
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_table_matches_paper_rows() {
+        let md = table1_markdown(true);
+        assert!(md.contains("| lcdnum | 984 | 1440 | 192 | 20 | 20 | 20 | Table I |"));
+        assert!(md.contains("| nsichneu | 22009 | 147200 | 147200 | 256 | 0 | 256 | Table I |"));
+        assert_eq!(md.lines().filter(|l| l.ends_with("Table I |")).count(), 6);
+    }
+
+    #[test]
+    fn full_pool_lists_synthesized_rows() {
+        let md = table1_markdown(false);
+        assert!(md.contains("synthesized"));
+        assert_eq!(md.lines().filter(|l| l.starts_with("| ")).count(), 16 + 1); // + header
+    }
+
+    #[test]
+    fn csv_form() {
+        let csv = table1_csv(true);
+        assert!(csv.starts_with("name,pd,md"));
+        assert!(csv.contains("statemate,10586,18257,3891,256,36,256,published"));
+    }
+}

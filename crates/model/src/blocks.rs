@@ -1,0 +1,578 @@
+//! Sets of cache blocks, the currency of CRPD/CPRO analysis.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::ModelError;
+
+const WORD_BITS: usize = 64;
+
+/// A set of cache blocks identified by the cache set they map to.
+///
+/// The paper (and the CRPD literature it builds on) represents a task's cache
+/// footprint as sets of cache-set indices: *evicting cache blocks* (`ECB_i`),
+/// *useful cache blocks* (`UCB_i`) and *persistent cache blocks* (`PCB_i`).
+/// With a direct-mapped cache, two blocks conflict iff they map to the same
+/// set, so set indices are the right granularity for all the intersection
+/// and union algebra of Eq. (2) and Eq. (14).
+///
+/// The representation is a fixed-capacity bitset whose capacity equals the
+/// number of cache sets of the platform, so intersections (`γ`, CPRO) are
+/// word-parallel.
+///
+/// # Example
+///
+/// ```
+/// use cpa_model::CacheBlockSet;
+///
+/// # fn main() -> Result<(), cpa_model::ModelError> {
+/// let pcb1 = CacheBlockSet::from_blocks(256, [5, 6, 7, 8, 10])?;
+/// let ecb2 = CacheBlockSet::from_blocks(256, 1..=6)?;
+/// // The Fig. 1 overlap that causes CPRO: PCBs {5, 6} of τ1 evicted by τ2.
+/// assert_eq!(pcb1.intersection_len(&ecb2), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheBlockSet {
+    capacity: usize,
+    words: Vec<u64>,
+}
+
+impl CacheBlockSet {
+    /// Creates an empty set over `capacity` cache sets.
+    ///
+    /// ```
+    /// use cpa_model::CacheBlockSet;
+    /// let s = CacheBlockSet::new(128);
+    /// assert!(s.is_empty());
+    /// assert_eq!(s.capacity(), 128);
+    /// ```
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        CacheBlockSet {
+            capacity,
+            words: vec![0; capacity.div_ceil(WORD_BITS)],
+        }
+    }
+
+    /// Creates a set over `capacity` cache sets containing `blocks`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BlockOutOfRange`] if any block index is
+    /// `>= capacity`.
+    pub fn from_blocks<I>(capacity: usize, blocks: I) -> Result<Self, ModelError>
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let mut set = CacheBlockSet::new(capacity);
+        for block in blocks {
+            set.insert(block)?;
+        }
+        Ok(set)
+    }
+
+    /// Creates the contiguous set `[start, start + len)` with indices wrapped
+    /// modulo `capacity`.
+    ///
+    /// This is the canonical layout for synthetic workloads in the CRPD
+    /// evaluation literature: a task occupies a run of consecutive cache sets
+    /// starting at some offset. When `len >= capacity` the whole cache is
+    /// covered.
+    ///
+    /// ```
+    /// use cpa_model::CacheBlockSet;
+    /// let s = CacheBlockSet::contiguous(8, 6, 4);
+    /// assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 6, 7]);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero and `len > 0`.
+    #[must_use]
+    pub fn contiguous(capacity: usize, start: usize, len: usize) -> Self {
+        let mut set = CacheBlockSet::new(capacity);
+        if len == 0 {
+            return set;
+        }
+        assert!(capacity > 0, "contiguous blocks require non-zero capacity");
+        for offset in 0..len.min(capacity) {
+            let block = (start + offset) % capacity;
+            set.set_bit(block);
+        }
+        set
+    }
+
+    /// Number of cache sets this set ranges over.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of blocks in the set (the `|·|` of Eq. (2) and (14)).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the set contains no blocks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Returns `true` if `block` is in the set.
+    #[must_use]
+    pub fn contains(&self, block: usize) -> bool {
+        block < self.capacity && self.words[block / WORD_BITS] & (1 << (block % WORD_BITS)) != 0
+    }
+
+    /// Inserts `block`; returns `true` if it was newly inserted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BlockOutOfRange`] if `block >= capacity`.
+    pub fn insert(&mut self, block: usize) -> Result<bool, ModelError> {
+        if block >= self.capacity {
+            return Err(ModelError::BlockOutOfRange {
+                block,
+                capacity: self.capacity,
+            });
+        }
+        let present = self.contains(block);
+        self.set_bit(block);
+        Ok(!present)
+    }
+
+    /// Removes `block`; returns `true` if it was present.
+    pub fn remove(&mut self, block: usize) -> bool {
+        if !self.contains(block) {
+            return false;
+        }
+        self.words[block / WORD_BITS] &= !(1 << (block % WORD_BITS));
+        true
+    }
+
+    fn set_bit(&mut self, block: usize) {
+        self.words[block / WORD_BITS] |= 1 << (block % WORD_BITS);
+    }
+
+    /// Iterates over the contained block indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            (0..WORD_BITS)
+                .filter(move |bit| word & (1 << bit) != 0)
+                .map(move |bit| wi * WORD_BITS + bit)
+        })
+    }
+
+    /// Set union `self ∪ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ; block sets are only comparable within
+    /// one cache geometry.
+    #[must_use]
+    pub fn union(&self, other: &CacheBlockSet) -> CacheBlockSet {
+        self.assert_same_capacity(other);
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a | b)
+            .collect();
+        CacheBlockSet {
+            capacity: self.capacity,
+            words,
+        }
+    }
+
+    /// In-place set union; avoids an allocation when folding many sets
+    /// (the `∪_{h ∈ hep(j)} ECB_h` of Eq. (2)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn union_in_place(&mut self, other: &CacheBlockSet) {
+        self.assert_same_capacity(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Set intersection `self ∩ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    #[must_use]
+    pub fn intersection(&self, other: &CacheBlockSet) -> CacheBlockSet {
+        self.assert_same_capacity(other);
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & b)
+            .collect();
+        CacheBlockSet {
+            capacity: self.capacity,
+            words,
+        }
+    }
+
+    /// Size of the intersection without materialising it — the hot path of
+    /// CRPD (Eq. (2)) and CPRO (Eq. (14)) computations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    #[must_use]
+    pub fn intersection_len(&self, other: &CacheBlockSet) -> usize {
+        self.assert_same_capacity(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Set difference `self \ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    #[must_use]
+    pub fn difference(&self, other: &CacheBlockSet) -> CacheBlockSet {
+        self.assert_same_capacity(other);
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & !b)
+            .collect();
+        CacheBlockSet {
+            capacity: self.capacity,
+            words,
+        }
+    }
+
+    /// Returns `true` if every block of `self` is in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    #[must_use]
+    pub fn is_subset(&self, other: &CacheBlockSet) -> bool {
+        self.assert_same_capacity(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Returns `true` if the sets share no block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    #[must_use]
+    pub fn is_disjoint(&self, other: &CacheBlockSet) -> bool {
+        self.assert_same_capacity(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Folds the union of many sets over `capacity` cache sets.
+    ///
+    /// ```
+    /// use cpa_model::CacheBlockSet;
+    /// # fn main() -> Result<(), cpa_model::ModelError> {
+    /// let a = CacheBlockSet::from_blocks(16, [1, 2])?;
+    /// let b = CacheBlockSet::from_blocks(16, [2, 3])?;
+    /// let u = CacheBlockSet::union_of(16, [&a, &b]);
+    /// assert_eq!(u.len(), 3);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if any set has a different capacity.
+    #[must_use]
+    pub fn union_of<'a, I>(capacity: usize, sets: I) -> CacheBlockSet
+    where
+        I: IntoIterator<Item = &'a CacheBlockSet>,
+    {
+        let mut acc = CacheBlockSet::new(capacity);
+        for set in sets {
+            acc.union_in_place(set);
+        }
+        acc
+    }
+
+    /// Re-maps every block into a cache with `new_capacity` sets by taking
+    /// the block index modulo `new_capacity`, the direct-mapped placement
+    /// function. Used by the cache-size sweep (Fig. 3c) to project benchmark
+    /// footprints extracted for one geometry onto another.
+    ///
+    /// ```
+    /// use cpa_model::CacheBlockSet;
+    /// # fn main() -> Result<(), cpa_model::ModelError> {
+    /// let s = CacheBlockSet::from_blocks(256, [0, 32, 64])?;
+    /// let small = s.remap(32);
+    /// assert_eq!(small.iter().collect::<Vec<_>>(), vec![0]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_capacity` is zero.
+    #[must_use]
+    pub fn remap(&self, new_capacity: usize) -> CacheBlockSet {
+        assert!(new_capacity > 0, "cannot remap into an empty cache");
+        let mut out = CacheBlockSet::new(new_capacity);
+        for block in self.iter() {
+            out.set_bit(block % new_capacity);
+        }
+        out
+    }
+
+    fn assert_same_capacity(&self, other: &CacheBlockSet) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "cache block sets have different capacities ({} vs {})",
+            self.capacity, other.capacity
+        );
+    }
+}
+
+impl BitOr for &CacheBlockSet {
+    type Output = CacheBlockSet;
+
+    fn bitor(self, rhs: &CacheBlockSet) -> CacheBlockSet {
+        self.union(rhs)
+    }
+}
+
+impl BitAnd for &CacheBlockSet {
+    type Output = CacheBlockSet;
+
+    fn bitand(self, rhs: &CacheBlockSet) -> CacheBlockSet {
+        self.intersection(rhs)
+    }
+}
+
+impl Sub for &CacheBlockSet {
+    type Output = CacheBlockSet;
+
+    fn sub(self, rhs: &CacheBlockSet) -> CacheBlockSet {
+        self.difference(rhs)
+    }
+}
+
+impl fmt::Debug for CacheBlockSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CacheBlockSet(cap={}, ", self.capacity)?;
+        f.debug_set().entries(self.iter()).finish()?;
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for CacheBlockSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl Extend<usize> for CacheBlockSet {
+    /// Extends the set, **silently ignoring** out-of-range blocks is not an
+    /// option we take: out-of-range blocks panic. Use [`CacheBlockSet::insert`]
+    /// for fallible insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block is `>= capacity`.
+    fn extend<T: IntoIterator<Item = usize>>(&mut self, iter: T) {
+        for block in iter {
+            self.insert(block).expect("block out of range in extend");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn set(blocks: impl IntoIterator<Item = usize>) -> CacheBlockSet {
+        CacheBlockSet::from_blocks(256, blocks).unwrap()
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = CacheBlockSet::new(100);
+        assert!(s.insert(5).unwrap());
+        assert!(!s.insert(5).unwrap());
+        assert!(s.contains(5));
+        assert!(!s.contains(6));
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut s = CacheBlockSet::new(8);
+        assert!(matches!(
+            s.insert(8),
+            Err(ModelError::BlockOutOfRange { block: 8, capacity: 8 })
+        ));
+        assert!(!s.contains(10_000));
+    }
+
+    #[test]
+    fn fig1_overlap() {
+        // τ1's PCBs and τ2's ECBs overlap on {5, 6} — the source of CPRO in
+        // the paper's running example.
+        let pcb1 = set([5, 6, 7, 8, 10]);
+        let ecb2 = set(1..=6);
+        assert_eq!(pcb1.intersection_len(&ecb2), 2);
+        let inter = pcb1.intersection(&ecb2);
+        assert_eq!(inter.iter().collect::<Vec<_>>(), vec![5, 6]);
+    }
+
+    #[test]
+    fn algebra_against_reference() {
+        let a = set([1, 3, 5, 64, 65, 200]);
+        let b = set([3, 4, 64, 199, 200]);
+        assert_eq!(
+            a.union(&b).iter().collect::<Vec<_>>(),
+            vec![1, 3, 4, 5, 64, 65, 199, 200]
+        );
+        assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![3, 64, 200]);
+        assert_eq!(a.difference(&b).iter().collect::<Vec<_>>(), vec![1, 5, 65]);
+        assert_eq!((&a | &b).len(), 8);
+        assert_eq!((&a & &b).len(), 3);
+        assert_eq!((&a - &b).len(), 3);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a = set([1, 2]);
+        let b = set([1, 2, 3]);
+        let c = set([7, 8]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_subset(&a));
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+        assert!(CacheBlockSet::new(256).is_subset(&a));
+    }
+
+    #[test]
+    fn contiguous_wraps() {
+        let s = CacheBlockSet::contiguous(8, 6, 4);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 6, 7]);
+        let full = CacheBlockSet::contiguous(8, 3, 100);
+        assert_eq!(full.len(), 8);
+        let empty = CacheBlockSet::contiguous(8, 2, 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn union_of_many() {
+        let sets = [set([1]), set([2]), set([2, 3])];
+        let u = CacheBlockSet::union_of(256, &sets);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(CacheBlockSet::union_of(256, []).is_empty());
+    }
+
+    #[test]
+    fn remap_mod_placement() {
+        let s = set([0, 32, 64, 100]);
+        let r = s.remap(32);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![0, 4]);
+        assert_eq!(r.capacity(), 32);
+        // Identity when capacity unchanged.
+        assert_eq!(s.remap(256), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "different capacities")]
+    fn mixed_capacity_panics() {
+        let a = CacheBlockSet::new(8);
+        let b = CacheBlockSet::new(16);
+        let _ = a.union(&b);
+    }
+
+    #[test]
+    fn debug_and_display_nonempty() {
+        let s = set([1, 2]);
+        assert!(format!("{s:?}").contains("cap=256"));
+        assert_eq!(s.to_string(), "{1, 2}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = set([0, 63, 64, 255]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: CacheBlockSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    proptest! {
+        #[test]
+        fn union_len_inclusion_exclusion(
+            a in proptest::collection::hash_set(0usize..256, 0..64),
+            b in proptest::collection::hash_set(0usize..256, 0..64),
+        ) {
+            let sa = set(a.iter().copied());
+            let sb = set(b.iter().copied());
+            prop_assert_eq!(
+                sa.union(&sb).len() + sa.intersection_len(&sb),
+                sa.len() + sb.len()
+            );
+        }
+
+        #[test]
+        fn intersection_is_subset_of_both(
+            a in proptest::collection::hash_set(0usize..256, 0..64),
+            b in proptest::collection::hash_set(0usize..256, 0..64),
+        ) {
+            let sa = set(a.iter().copied());
+            let sb = set(b.iter().copied());
+            let i = sa.intersection(&sb);
+            prop_assert!(i.is_subset(&sa));
+            prop_assert!(i.is_subset(&sb));
+            prop_assert_eq!(i.len(), sa.intersection_len(&sb));
+        }
+
+        #[test]
+        fn iter_sorted_and_consistent(
+            a in proptest::collection::hash_set(0usize..256, 0..64),
+        ) {
+            let sa = set(a.iter().copied());
+            let items: Vec<usize> = sa.iter().collect();
+            let mut sorted = items.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&items, &sorted);
+            prop_assert_eq!(items.len(), sa.len());
+            for x in items {
+                prop_assert!(sa.contains(x));
+            }
+        }
+
+        #[test]
+        fn remap_preserves_membership_mod(
+            a in proptest::collection::hash_set(0usize..256, 0..64),
+            cap in 1usize..512,
+        ) {
+            let sa = set(a.iter().copied());
+            let r = sa.remap(cap);
+            for x in a {
+                prop_assert!(r.contains(x % cap));
+            }
+            prop_assert!(r.len() <= sa.len());
+        }
+    }
+}

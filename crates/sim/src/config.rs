@@ -1,0 +1,109 @@
+//! Simulator configuration.
+
+use cpa_model::Time;
+use serde::{Deserialize, Serialize};
+
+/// Bus arbitration policy executed by the simulator (the concrete
+/// counterparts of the analysed policies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BusArbitration {
+    /// Pending accesses are served highest task priority first
+    /// (non-preemptively once started).
+    FixedPriority,
+    /// Cores are served in cyclic order, up to `slots` consecutive
+    /// accesses per visit; cores without pending requests are skipped
+    /// (work-conserving).
+    RoundRobin {
+        /// Consecutive accesses granted per core visit.
+        slots: u64,
+    },
+    /// Fixed time-division schedule: the bus cycles through `m · slots`
+    /// slots of `d_mem` cycles, core `c` owning slots
+    /// `[c·slots, (c+1)·slots)`. A slot unused by its owner stays idle
+    /// (non-work-conserving).
+    Tdma {
+        /// Slots per core per TDMA cycle.
+        slots: u64,
+    },
+}
+
+/// How job releases are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReleaseModel {
+    /// Strictly periodic releases, all tasks released together at time 0
+    /// (the synchronous critical instant).
+    Synchronous,
+    /// Sporadic releases: each inter-arrival is `T + U(0, jitter_num/jitter_den · T)`,
+    /// drawn reproducibly from `seed`.
+    Sporadic {
+        /// RNG seed.
+        seed: u64,
+        /// Extra inter-arrival as a percentage of the period (0–100+).
+        max_extra_percent: u32,
+    },
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Bus arbitration policy.
+    pub bus: BusArbitration,
+    /// Release pattern.
+    pub releases: ReleaseModel,
+    /// Simulated horizon in cycles.
+    pub horizon: Time,
+    /// Record an execution trace (core occupancy + bus transactions) for
+    /// Gantt rendering. Off by default — tracing long horizons allocates.
+    pub record_trace: bool,
+}
+
+impl SimConfig {
+    /// Creates a configuration with synchronous releases and a default
+    /// 1 000 000-cycle horizon.
+    #[must_use]
+    pub fn new(bus: BusArbitration) -> Self {
+        SimConfig {
+            bus,
+            releases: ReleaseModel::Synchronous,
+            horizon: Time::from_cycles(1_000_000),
+            record_trace: false,
+        }
+    }
+
+    /// Returns a copy with a different horizon.
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: Time) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Returns a copy with a different release model.
+    #[must_use]
+    pub fn with_releases(mut self, releases: ReleaseModel) -> Self {
+        self.releases = releases;
+        self
+    }
+
+    /// Returns a copy that records an execution trace (see
+    /// [`crate::trace::render_gantt`]).
+    #[must_use]
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let c = SimConfig::new(BusArbitration::Tdma { slots: 3 })
+            .with_horizon(Time::from_cycles(42))
+            .with_releases(ReleaseModel::Sporadic { seed: 7, max_extra_percent: 50 });
+        assert_eq!(c.bus, BusArbitration::Tdma { slots: 3 });
+        assert_eq!(c.horizon.cycles(), 42);
+        assert!(matches!(c.releases, ReleaseModel::Sporadic { seed: 7, .. }));
+    }
+}

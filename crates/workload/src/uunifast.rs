@@ -1,0 +1,121 @@
+//! The UUnifast utilization generator (Bini & Buttazzo 2005).
+
+use rand::Rng;
+
+/// Draws `n` task utilizations summing to `total`, uniformly distributed
+/// over the valid utilization simplex (the UUnifast algorithm of *Measuring
+/// the performance of schedulability tests*, Real-Time Systems 2005).
+///
+/// Returns an empty vector for `n = 0`.
+///
+/// # Panics
+///
+/// Panics if `total` is negative or not finite.
+///
+/// # Example
+///
+/// ```
+/// use cpa_workload::uunifast;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let utils = uunifast(8, 0.6, &mut rng);
+/// assert_eq!(utils.len(), 8);
+/// let sum: f64 = utils.iter().sum();
+/// assert!((sum - 0.6).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn uunifast<R: Rng + ?Sized>(n: usize, total: f64, rng: &mut R) -> Vec<f64> {
+    assert!(
+        total.is_finite() && total >= 0.0,
+        "total utilization must be finite and non-negative, got {total}"
+    );
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut utilizations = Vec::with_capacity(n);
+    let mut remaining = total;
+    for i in 1..n {
+        let exponent = 1.0 / (n - i) as f64;
+        let next = remaining * rng.gen::<f64>().powf(exponent);
+        utilizations.push(remaining - next);
+        remaining = next;
+    }
+    utilizations.push(remaining);
+    utilizations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn zero_tasks_is_empty() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert!(uunifast(0, 0.5, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn single_task_gets_everything() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let u = uunifast(1, 0.7, &mut rng);
+        assert_eq!(u, vec![0.7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_total_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let _ = uunifast(4, -0.1, &mut rng);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let a = uunifast(8, 0.5, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = uunifast(8, 0.5, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let c = uunifast(8, 0.5, &mut ChaCha8Rng::seed_from_u64(10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn distribution_is_not_degenerate() {
+        // Mean of each slot over many draws should approach total/n.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 4;
+        let total = 0.8;
+        let runs = 2_000;
+        let mut means = vec![0.0; n];
+        for _ in 0..runs {
+            for (m, u) in means.iter_mut().zip(uunifast(n, total, &mut rng)) {
+                *m += u;
+            }
+        }
+        for m in &mut means {
+            *m /= runs as f64;
+            assert!((*m - total / n as f64).abs() < 0.02, "mean {m}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn sums_to_total_and_stays_positive(
+            n in 1usize..32,
+            total in 0.0f64..4.0,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let utils = uunifast(n, total, &mut rng);
+            prop_assert_eq!(utils.len(), n);
+            let sum: f64 = utils.iter().sum();
+            prop_assert!((sum - total).abs() < 1e-9);
+            for &u in &utils {
+                prop_assert!(u >= 0.0);
+                prop_assert!(u <= total + 1e-12);
+            }
+        }
+    }
+}

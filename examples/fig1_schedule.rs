@@ -1,0 +1,93 @@
+//! Re-draws the paper's Fig. 1 *schedule* by executing the three-task
+//! system in the discrete-event simulator and rendering a Gantt diagram:
+//! τ1 and τ2 share core π1, τ3 runs alone on π2, all contending on a
+//! round-robin bus. Watch the first job of τ1 issue all six loads and the
+//! later ones only the residual one — cache persistence in action.
+//!
+//! ```text
+//! cargo run --release --example fig1_schedule
+//! ```
+
+use cpa::model::{CacheBlockSet, CoreId, Platform, Priority, Task, TaskId, TaskSet, Time};
+use cpa::sim::trace::render_gantt;
+use cpa::sim::{BusArbitration, SimConfig, Simulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Platform::builder()
+        .cores(2)
+        .memory_latency(Time::from_cycles(1))
+        .build()?;
+    let tau1 = Task::builder("tau1")
+        .processing_demand(Time::from_cycles(4))
+        .memory_demand(6)
+        .residual_memory_demand(1)
+        .period(Time::from_cycles(20))
+        .deadline(Time::from_cycles(20))
+        .core(CoreId::new(0))
+        .priority(Priority::new(1))
+        .ecb(CacheBlockSet::from_blocks(256, 5..=10)?)
+        .pcb(CacheBlockSet::from_blocks(256, [5, 6, 7, 8, 10])?)
+        .ucb(CacheBlockSet::from_blocks(256, [5, 6, 7, 8, 10])?)
+        .build()?;
+    let tau2 = Task::builder("tau2")
+        .processing_demand(Time::from_cycles(32))
+        .memory_demand(8)
+        .period(Time::from_cycles(70))
+        .deadline(Time::from_cycles(70))
+        .core(CoreId::new(0))
+        .priority(Priority::new(2))
+        .ecb(CacheBlockSet::from_blocks(256, 1..=6)?)
+        .ucb(CacheBlockSet::from_blocks(256, [5, 6])?)
+        .build()?;
+    let tau3 = Task::builder("tau3")
+        .processing_demand(Time::from_cycles(4))
+        .memory_demand(6)
+        .residual_memory_demand(1)
+        .period(Time::from_cycles(16))
+        .deadline(Time::from_cycles(16))
+        .core(CoreId::new(1))
+        .priority(Priority::new(3))
+        .ecb(CacheBlockSet::from_blocks(256, 5..=10)?)
+        .pcb(CacheBlockSet::from_blocks(256, [5, 6, 7, 8, 10])?)
+        .build()?;
+    let tasks = TaskSet::new(vec![tau1, tau2, tau3])?;
+
+    let horizon = 70u64;
+    let config = SimConfig::new(BusArbitration::RoundRobin { slots: 1 })
+        .with_horizon(Time::from_cycles(horizon))
+        .with_trace();
+    let report = Simulator::new(&platform, &tasks, config)?.run();
+
+    println!("Fig. 1 — τ1, τ2 on core π1; τ3 on core π2; RR bus (s = 1), d_mem = 1\n");
+    println!("digits = task computing, ▒ = stalled on the bus, . = idle\n");
+    let trace = report.trace().expect("trace was recorded");
+    print!("{}", render_gantt(trace, &tasks, horizon, horizon as usize));
+
+    println!("\nper-task bus traffic over {horizon} cycles:");
+    for i in tasks.ids() {
+        let s = report.task(i);
+        println!(
+            "  {:<5} jobs={} accesses={} (PCB loads {}, CRPD reloads {}) max response {}",
+            tasks[i].name(),
+            s.completed,
+            s.bus_accesses,
+            s.pcb_loads,
+            s.crpd_reloads,
+            s.max_response
+        );
+    }
+    let t1 = TaskId::new(0);
+    let s1 = report.task(t1);
+    println!(
+        "\nτ1 issued {} accesses across {} jobs instead of {}·MD = {}: the first job\n\
+         loaded all persistent blocks, later jobs only their residual access plus\n\
+         the PCBs τ2's overlapping ECBs {{5,6}} evicted in between — the CPRO of\n\
+         Eq. (14), visible here as {} PCB (re)loads.",
+        s1.bus_accesses,
+        s1.completed,
+        s1.completed,
+        s1.completed * 6,
+        s1.pcb_loads
+    );
+    Ok(())
+}

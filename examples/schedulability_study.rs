@@ -1,0 +1,47 @@
+//! A miniature version of the paper's Fig. 2 experiment with an ASCII
+//! rendering: schedulable task sets vs per-core utilization for the FP,
+//! RR and TDMA buses, with and without cache persistence.
+//!
+//! ```text
+//! cargo run --release --example schedulability_study [--sets N]
+//! ```
+
+use cpa::experiments::{fig2, report, SweepOptions};
+
+fn main() {
+    let sets: usize = std::env::args()
+        .skip_while(|a| a != "--sets")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100);
+
+    let opts = SweepOptions::quick().with_sets_per_point(sets);
+    eprintln!("running Fig. 2 sweep with {sets} task sets per utilization point ...");
+    for result in fig2::fig2(&opts) {
+        println!("{}", report::to_markdown(&result));
+        render_ascii(&result);
+        println!();
+    }
+}
+
+/// Tiny ASCII plot: one row per series, one column per utilization point,
+/// glyph by schedulable share.
+fn render_ascii(result: &cpa::experiments::ExperimentResult) {
+    const GLYPHS: [char; 9] = [' ', '.', ':', '-', '=', '+', '*', '#', '@'];
+    println!("  share of schedulable sets per utilization step (@=all, ' '=none):");
+    for series in &result.series {
+        let cells: String = series
+            .points
+            .iter()
+            .map(|p| {
+                if p.total == 0 {
+                    '?'
+                } else {
+                    let share = p.schedulable as f64 / p.total as f64;
+                    GLYPHS[(share * (GLYPHS.len() - 1) as f64).round() as usize]
+                }
+            })
+            .collect();
+        println!("  {:<28} |{cells}|", series.label);
+    }
+}

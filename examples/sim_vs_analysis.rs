@@ -1,0 +1,85 @@
+//! Validates analytic WCRT bounds against the discrete-event simulator on
+//! one randomly generated task set, printing bound vs observed per task.
+//!
+//! ```text
+//! cargo run --release --example sim_vs_analysis [--seed S]
+//! ```
+
+use cpa::analysis::{analyze, AnalysisConfig, AnalysisContext, BusPolicy, PersistenceMode};
+use cpa::experiments::runner::platform_for;
+use cpa::model::Time;
+use cpa::sim::{BusArbitration, SimConfig, Simulator};
+use cpa::workload::{GeneratorConfig, TaskSetGenerator};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed: u64 = std::env::args()
+        .skip_while(|a| a != "--seed")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+
+    let gen_cfg = GeneratorConfig {
+        cores: 2,
+        tasks_per_core: 4,
+        ..GeneratorConfig::paper_default()
+    }
+    .with_per_core_utilization(0.25);
+    let generator = TaskSetGenerator::new(gen_cfg.clone())?;
+    let platform = platform_for(&gen_cfg);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let tasks = generator.generate(&mut rng)?;
+    let ctx = AnalysisContext::new(&platform, &tasks)?;
+
+    println!("{platform}");
+    println!("seed {seed}: {} tasks, total utilization {:.3}\n", tasks.len(),
+        tasks.total_utilization(platform.memory_latency()));
+
+    for (bus, arbitration) in [
+        (BusPolicy::FixedPriority, BusArbitration::FixedPriority),
+        (BusPolicy::RoundRobin { slots: 2 }, BusArbitration::RoundRobin { slots: 2 }),
+        (BusPolicy::Tdma { slots: 2 }, BusArbitration::Tdma { slots: 2 }),
+    ] {
+        let result = analyze(&ctx, &AnalysisConfig::new(bus, PersistenceMode::Aware));
+        println!("== {bus} ==");
+        if !result.is_schedulable() {
+            println!("  analysis: unschedulable — skipping simulation\n");
+            continue;
+        }
+        let horizon = tasks
+            .iter()
+            .map(|t| t.period().cycles())
+            .max()
+            .unwrap_or(1)
+            .saturating_mul(4)
+            .min(5_000_000);
+        let report = Simulator::new(
+            &platform,
+            &tasks,
+            SimConfig::new(arbitration).with_horizon(Time::from_cycles(horizon)),
+        )?
+        .run();
+        println!(
+            "  simulated {horizon} cycles, bus utilization {:.3}, {} transactions",
+            report.bus_utilization(),
+            report.bus_transactions
+        );
+        println!("  {:<16} {:>12} {:>12} {:>8}", "task", "WCRT bound", "observed", "slack");
+        for i in tasks.ids() {
+            let bound = result.response_time(i).expect("schedulable");
+            let observed = report.task(i).max_response;
+            assert!(observed <= bound, "soundness violation!");
+            let slack = 100.0 * (1.0 - observed.cycles() as f64 / bound.cycles() as f64);
+            println!(
+                "  {:<16} {:>12} {:>12} {:>7.1}%",
+                tasks[i].name(),
+                bound.to_string(),
+                observed.to_string(),
+                slack
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! `cpa` — Cache Persistence-Aware memory bus contention analysis.
+//!
+//! Facade crate re-exporting the whole workspace behind short module paths.
+//! Reproduces *Cache Persistence-Aware Memory Bus Contention Analysis for
+//! Multicore Systems* (Rashid, Nelissen, Tovar — DATE 2020).
+//!
+//! * [`model`] — tasks, cache block sets, platforms ([`cpa_model`]).
+//! * [`analysis`] — CRPD/CPRO, Lemmas 1–2, bus bounds, WCRT
+//!   ([`cpa_analysis`]).
+//! * [`mod@cfg`] — synthetic program substrate ([`cpa_cfg`]).
+//! * [`cache`] — cache models and static cache analysis ([`cpa_cache`]).
+//! * [`sim`] — discrete-event multicore simulator ([`cpa_sim`]).
+//! * [`workload`] — UUnifast + Mälardalen task-set generation
+//!   ([`cpa_workload`]).
+//! * [`experiments`] — regeneration harness for every table and figure
+//!   ([`cpa_experiments`]).
+//!
+//! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
+//! paper-versus-measured record.
+//!
+//! # Example
+//!
+//! ```
+//! use cpa::analysis::{analyze, AnalysisConfig, AnalysisContext, BusPolicy, PersistenceMode};
+//! use cpa::workload::{GeneratorConfig, TaskSetGenerator};
+//! use cpa::experiments::runner::platform_for;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A paper-style task set at 30% per-core utilization ...
+//! let config = GeneratorConfig::paper_default().with_per_core_utilization(0.3);
+//! let tasks = TaskSetGenerator::new(config.clone())?
+//!     .generate(&mut rand_chacha::ChaCha8Rng::seed_from_u64(7))?;
+//! let platform = platform_for(&config);
+//!
+//! // ... is schedulable on a round-robin bus once cache persistence is
+//! // taken into account, and not otherwise.
+//! let ctx = AnalysisContext::new(&platform, &tasks)?;
+//! let bus = BusPolicy::RoundRobin { slots: 2 };
+//! assert!(analyze(&ctx, &AnalysisConfig::new(bus, PersistenceMode::Aware)).is_schedulable());
+//! assert!(!analyze(&ctx, &AnalysisConfig::new(bus, PersistenceMode::Oblivious)).is_schedulable());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use cpa_analysis as analysis;
+pub use cpa_cache as cache;
+pub use cpa_cfg as cfg;
+pub use cpa_experiments as experiments;
+pub use cpa_model as model;
+pub use cpa_sim as sim;
+pub use cpa_workload as workload;

@@ -1,0 +1,53 @@
+//! Shared fixtures for the workspace integration tests.
+
+use cpa::model::{CacheBlockSet, CoreId, Platform, Priority, Task, TaskSet, Time};
+
+/// The paper's Fig. 1 system: `τ1`, `τ2` on core `π_x`; `τ3` on core
+/// `π_y`, with the exact parameters of the figure caption. Periods are
+/// chosen so a window of length 60 contains the job counts the worked
+/// example uses (3 jobs of `τ1`, 4 fully-executed jobs of `τ3`).
+#[must_use]
+pub fn fig1_system() -> (Platform, TaskSet) {
+    let platform = Platform::builder()
+        .cores(2)
+        .memory_latency(Time::from_cycles(1))
+        .build()
+        .expect("valid platform");
+    let tau1 = Task::builder("tau1")
+        .processing_demand(Time::from_cycles(4))
+        .memory_demand(6)
+        .residual_memory_demand(1)
+        .period(Time::from_cycles(20))
+        .deadline(Time::from_cycles(20))
+        .core(CoreId::new(0))
+        .priority(Priority::new(1))
+        .ecb(CacheBlockSet::from_blocks(256, 5..=10).expect("blocks"))
+        .pcb(CacheBlockSet::from_blocks(256, [5, 6, 7, 8, 10]).expect("blocks"))
+        .build()
+        .expect("valid task");
+    let tau2 = Task::builder("tau2")
+        .processing_demand(Time::from_cycles(32))
+        .memory_demand(8)
+        .period(Time::from_cycles(200))
+        .deadline(Time::from_cycles(200))
+        .core(CoreId::new(0))
+        .priority(Priority::new(2))
+        .ecb(CacheBlockSet::from_blocks(256, 1..=6).expect("blocks"))
+        .ucb(CacheBlockSet::from_blocks(256, [5, 6]).expect("blocks"))
+        .build()
+        .expect("valid task");
+    let tau3 = Task::builder("tau3")
+        .processing_demand(Time::from_cycles(4))
+        .memory_demand(6)
+        .residual_memory_demand(1)
+        .period(Time::from_cycles(16))
+        .deadline(Time::from_cycles(16))
+        .core(CoreId::new(1))
+        .priority(Priority::new(3))
+        .ecb(CacheBlockSet::from_blocks(256, 5..=10).expect("blocks"))
+        .pcb(CacheBlockSet::from_blocks(256, [5, 6, 7, 8, 10]).expect("blocks"))
+        .build()
+        .expect("valid task");
+    let tasks = TaskSet::new(vec![tau1, tau2, tau3]).expect("valid task set");
+    (platform, tasks)
+}

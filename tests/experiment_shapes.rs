@@ -1,0 +1,125 @@
+//! The paper's qualitative claims, asserted on miniature experiment runs.
+//!
+//! These are the "shape" properties DESIGN.md §3 commits to: persistence-
+//! aware analyses dominate their oblivious counterparts, the FP bus
+//! outperforms RR which outperforms TDMA, the perfect-bus line is an upper
+//! envelope, and the Fig. 3 sweeps trend the right way.
+
+use cpa::experiments::{fig2, fig3, SweepOptions};
+
+fn opts() -> SweepOptions {
+    SweepOptions::quick()
+        .with_sets_per_point(30)
+        .with_utilization_grid(vec![0.1, 0.2, 0.3, 0.4])
+}
+
+#[test]
+fn fig2_dominance_and_policy_ordering() {
+    let results = fig2::fig2(&opts());
+    assert_eq!(results.len(), 3);
+
+    // Pointwise: aware ≥ oblivious, perfect ≥ aware, per panel.
+    for r in &results {
+        let aware = &r.series[0];
+        let oblivious = &r.series[1];
+        let perfect = &r.series[2];
+        for ((a, o), p) in aware.points.iter().zip(&oblivious.points).zip(&perfect.points) {
+            assert!(a.schedulable >= o.schedulable, "{} @ {}", r.id, a.x);
+            assert!(p.schedulable >= a.schedulable, "{} @ {}", r.id, a.x);
+        }
+    }
+
+    // Aggregate policy ordering: FP ≥ RR ≥ TDMA (both modes). The same
+    // task-set population is used in every panel, so sums are comparable.
+    let total = |panel: usize, series: usize| -> u64 {
+        results[panel].series[series]
+            .points
+            .iter()
+            .map(|p| p.schedulable)
+            .sum()
+    };
+    for mode in [0usize, 1] {
+        assert!(total(0, mode) >= total(1, mode), "FP < RR for series {mode}");
+        assert!(total(1, mode) >= total(2, mode), "RR < TDMA for series {mode}");
+    }
+
+    // The headline phenomenon: somewhere in the sweep the aware analysis
+    // schedules strictly more sets (the paper's "up to 70pp" gap).
+    let gap_exists = results.iter().any(|r| {
+        r.series[0]
+            .points
+            .iter()
+            .zip(&r.series[1].points)
+            .any(|(a, o)| a.schedulable > o.schedulable)
+    });
+    assert!(gap_exists, "no persistence gap anywhere");
+}
+
+#[test]
+fn fig3a_more_cores_hurt() {
+    let o = opts();
+    let r = fig3::fig3a(&o);
+    for s in &r.series {
+        let first = s.points.first().unwrap().weighted;
+        let last = s.points.last().unwrap().weighted;
+        assert!(
+            first >= last,
+            "{}: weighted schedulability rose with cores ({first} → {last})",
+            s.label
+        );
+    }
+    // Aware dominates oblivious pairwise at every core count.
+    for pair in [(0, 1), (2, 3), (4, 5)] {
+        for (a, o) in r.series[pair.0].points.iter().zip(&r.series[pair.1].points) {
+            assert!(a.weighted >= o.weighted - 1e-12);
+        }
+    }
+}
+
+#[test]
+fn fig3b_larger_dmem_hurts() {
+    let r = fig3::fig3b(&opts());
+    for s in &r.series {
+        let first = s.points.first().unwrap().weighted;
+        let last = s.points.last().unwrap().weighted;
+        assert!(first >= last, "{}: {first} → {last}", s.label);
+    }
+}
+
+#[test]
+fn fig3c_bigger_caches_help_aware_analyses_more() {
+    let r = fig3::fig3c(&opts());
+    // Aware series (indices 0, 2, 4) must not decline from the smallest to
+    // the largest cache, and must gain more than the oblivious ones.
+    for (aware_idx, obl_idx) in [(0usize, 1usize), (2, 3), (4, 5)] {
+        let aware = &r.series[aware_idx].points;
+        let obl = &r.series[obl_idx].points;
+        let aware_gain = aware.last().unwrap().weighted - aware.first().unwrap().weighted;
+        let obl_gain = obl.last().unwrap().weighted - obl.first().unwrap().weighted;
+        assert!(
+            aware_gain >= obl_gain - 1e-9,
+            "{}: aware gained {aware_gain}, oblivious {obl_gain}",
+            r.series[aware_idx].label
+        );
+        assert!(aware_gain > 0.0, "{}: no cache-size benefit", r.series[aware_idx].label);
+    }
+}
+
+#[test]
+fn fig3d_more_slots_hurt_rr_and_tdma_but_not_fp() {
+    let r = fig3::fig3d(&opts());
+    // FP (series 0, 1) is slot-independent: exactly flat.
+    for s in &r.series[0..2] {
+        for p in &s.points[1..] {
+            assert!((p.weighted - s.points[0].weighted).abs() < 1e-12, "{}", s.label);
+        }
+    }
+    // RR and TDMA decline as s grows.
+    for s in &r.series[2..6] {
+        assert!(
+            s.points.first().unwrap().weighted >= s.points.last().unwrap().weighted,
+            "{}",
+            s.label
+        );
+    }
+}

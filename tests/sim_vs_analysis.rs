@@ -1,0 +1,124 @@
+//! Soundness: observed (simulated) response times never exceed the
+//! analysed WCRT bounds on schedulable task sets.
+//!
+//! The simulator executes the same system model the analysis bounds
+//! (partitioned FPPS, private caches at set granularity, shared bus with
+//! FP/RR/TDMA arbitration, the §IV job memory model), so for every task
+//! set the analysis deems schedulable, every observed response time is a
+//! witness that must stay below the bound.
+
+use cpa::analysis::{analyze, AnalysisConfig, AnalysisContext, BusPolicy, PersistenceMode};
+use cpa::model::Time;
+use cpa::sim::{BusArbitration, ReleaseModel, SimConfig, Simulator};
+use cpa::workload::{GeneratorConfig, TaskSetGenerator};
+use cpa_experiments::runner::platform_for;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arbitration_of(bus: BusPolicy) -> BusArbitration {
+    match bus {
+        BusPolicy::FixedPriority => BusArbitration::FixedPriority,
+        BusPolicy::RoundRobin { slots } => BusArbitration::RoundRobin { slots },
+        BusPolicy::Tdma { slots } => BusArbitration::Tdma { slots },
+        BusPolicy::Perfect => unreachable!("perfect bus has no concrete arbiter"),
+    }
+}
+
+#[test]
+fn observed_response_times_below_wcrt_bounds() {
+    // Small sets keep the cycle-stepped simulation fast while exercising
+    // cross-core contention.
+    let gen_cfg = GeneratorConfig {
+        cores: 2,
+        tasks_per_core: 3,
+        ..GeneratorConfig::paper_default()
+    }
+    .with_per_core_utilization(0.25);
+    let generator = TaskSetGenerator::new(gen_cfg.clone()).expect("generator");
+    let platform = platform_for(&gen_cfg);
+
+    let mut checked_sets = 0;
+    for seed in 0..12u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let tasks = generator.generate(&mut rng).expect("task set");
+        let ctx = AnalysisContext::new(&platform, &tasks).expect("context");
+
+        for bus in [
+            BusPolicy::FixedPriority,
+            BusPolicy::RoundRobin { slots: 2 },
+            BusPolicy::Tdma { slots: 2 },
+        ] {
+            let result = analyze(&ctx, &AnalysisConfig::new(bus, PersistenceMode::Aware));
+            if !result.is_schedulable() {
+                continue;
+            }
+            checked_sets += 1;
+            // Simulate ~4 periods of the slowest task, synchronous
+            // releases (the classical critical instant).
+            let horizon = tasks
+                .iter()
+                .map(|t| t.period().cycles())
+                .max()
+                .unwrap()
+                .saturating_mul(4)
+                .min(3_000_000);
+            let config = SimConfig::new(arbitration_of(bus))
+                .with_horizon(Time::from_cycles(horizon));
+            let report = Simulator::new(&platform, &tasks, config)
+                .expect("simulator")
+                .run();
+            assert!(
+                report.no_deadline_misses(),
+                "seed {seed} {bus:?}: simulator missed a deadline on an analytically schedulable set"
+            );
+            for i in tasks.ids() {
+                let bound = result.response_time(i).expect("schedulable");
+                let observed = report.task(i).max_response;
+                assert!(
+                    observed <= bound,
+                    "seed {seed} {bus:?} {i}: observed {observed} > bound {bound}"
+                );
+            }
+        }
+    }
+    assert!(checked_sets >= 8, "only {checked_sets} schedulable sets exercised");
+}
+
+#[test]
+fn sporadic_releases_also_stay_below_bounds() {
+    let gen_cfg = GeneratorConfig {
+        cores: 2,
+        tasks_per_core: 3,
+        ..GeneratorConfig::paper_default()
+    }
+    .with_per_core_utilization(0.2);
+    let generator = TaskSetGenerator::new(gen_cfg.clone()).expect("generator");
+    let platform = platform_for(&gen_cfg);
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let tasks = generator.generate(&mut rng).expect("task set");
+    let ctx = AnalysisContext::new(&platform, &tasks).expect("context");
+    let result = analyze(
+        &ctx,
+        &AnalysisConfig::new(BusPolicy::RoundRobin { slots: 2 }, PersistenceMode::Aware),
+    );
+    assert!(result.is_schedulable());
+
+    let horizon = tasks.iter().map(|t| t.period().cycles()).max().unwrap() * 4;
+    for sporadic_seed in 0..4 {
+        let config = SimConfig::new(BusArbitration::RoundRobin { slots: 2 })
+            .with_horizon(Time::from_cycles(horizon.min(3_000_000)))
+            .with_releases(ReleaseModel::Sporadic {
+                seed: sporadic_seed,
+                max_extra_percent: 40,
+            });
+        let report = Simulator::new(&platform, &tasks, config)
+            .expect("simulator")
+            .run();
+        for i in tasks.ids() {
+            assert!(
+                report.task(i).max_response <= result.response_time(i).unwrap(),
+                "sporadic seed {sporadic_seed}, task {i}"
+            );
+        }
+    }
+}
