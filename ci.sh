@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, the full test suite, and a validation smoke
+# campaign. Any failure (including an oracle violation in the campaign)
+# fails the script.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cpa-validate smoke campaign (100 sets, quick profile)"
+cargo run --release -p cpa-validate -- run --sets 100 --quick --no-progress
+
+echo "==> ci.sh: all green"

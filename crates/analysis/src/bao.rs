@@ -121,8 +121,8 @@ pub fn bao(
                 let overlap = ctx.cpro_overlap(l, k);
                 let d_md_hat = demand::md_hat(task, n.saturating_add(1))
                     .saturating_sub(demand::md_hat(task, n));
-                let d_cpro = cpro::cpro(overlap, n.saturating_add(1))
-                    .saturating_sub(cpro::cpro(overlap, n));
+                let d_cpro =
+                    cpro::cpro(overlap, n.saturating_add(1)).saturating_sub(cpro::cpro(overlap, n));
                 cost.min(d_md_hat.saturating_add(d_cpro).saturating_add(gamma))
             }
         };
@@ -136,7 +136,9 @@ pub fn bao(
                 let oblivious = n.saturating_mul(task.memory_demand());
                 let persistent =
                     demand::md_hat(task, n).saturating_add(cpro::cpro(ctx.cpro_overlap(l, k), n));
-                oblivious.min(persistent).saturating_add(n.saturating_mul(gamma))
+                oblivious
+                    .min(persistent)
+                    .saturating_add(n.saturating_mul(gamma))
             }
         };
         total = total.saturating_add(full_jobs).saturating_add(cout);
@@ -146,7 +148,13 @@ pub fn bao(
 
 /// Eq. (3): the persistence-oblivious `BAO_k^y(t)` over `Γy ∩ hep(k)`.
 #[must_use]
-pub fn bao_oblivious(ctx: &AnalysisContext<'_>, k: TaskId, y: CoreId, t: Time, resp: &[Time]) -> u64 {
+pub fn bao_oblivious(
+    ctx: &AnalysisContext<'_>,
+    k: TaskId,
+    y: CoreId,
+    t: Time,
+    resp: &[Time],
+) -> u64 {
     bao(
         ctx,
         k,
@@ -231,7 +239,10 @@ mod tests {
         // t + R − cost·d_mem = 0 + 50 − 60 < 0 ⇒ 0 jobs.
         assert_eq!(n_jobs(Time::ZERO, Time::from_cycles(50), 6, d, p), 0);
         // 300 + 50 − 60 = 290 ⇒ 2 full periods.
-        assert_eq!(n_jobs(Time::from_cycles(300), Time::from_cycles(50), 6, d, p), 2);
+        assert_eq!(
+            n_jobs(Time::from_cycles(300), Time::from_cycles(50), 6, d, p),
+            2
+        );
     }
 
     #[test]
@@ -268,7 +279,10 @@ mod tests {
         let t = Time::from_cycles(60);
         let mut resp = vec![Time::ZERO; 3];
         resp[t3.index()] = Time::from_cycles(10);
-        assert_eq!(n_jobs(t, resp[t3.index()], 6, ctx.d_mem(), Time::from_cycles(16)), 4);
+        assert_eq!(
+            n_jobs(t, resp[t3.index()], 6, ctx.d_mem(), Time::from_cycles(16)),
+            4
+        );
         // The paper evaluates BAO at level 3 (τ3's own priority); from τ2's
         // level the hep-band on core y is empty.
         assert_eq!(bao_oblivious(&ctx, t2, y, t, &resp), 0);

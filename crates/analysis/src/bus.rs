@@ -170,10 +170,7 @@ mod tests {
         assert_eq!(bat(&ctx, t2, t, &resp, &cfg), 56);
 
         // Aware: BÂS = 26, BÂO = 9 ⇒ BAT = 26 + min(9, 26) = 35.
-        let cfg = AnalysisConfig::new(
-            BusPolicy::RoundRobin { slots: 1 },
-            PersistenceMode::Aware,
-        );
+        let cfg = AnalysisConfig::new(BusPolicy::RoundRobin { slots: 1 }, PersistenceMode::Aware);
         assert_eq!(bat(&ctx, t2, t, &resp, &cfg), 35);
     }
 

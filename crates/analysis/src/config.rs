@@ -119,7 +119,11 @@ impl AnalysisConfig {
         let modes = [PersistenceMode::Oblivious, PersistenceMode::Aware];
         buses
             .iter()
-            .flat_map(|&bus| modes.iter().map(move |&persistence| AnalysisConfig::new(bus, persistence)))
+            .flat_map(|&bus| {
+                modes
+                    .iter()
+                    .map(move |&persistence| AnalysisConfig::new(bus, persistence))
+            })
             .collect()
     }
 }
@@ -149,8 +153,10 @@ mod tests {
     fn paper_matrix_covers_all_six() {
         let m = AnalysisConfig::paper_matrix(2);
         assert_eq!(m.len(), 6);
-        assert!(m.iter().any(|c| c.bus == BusPolicy::Tdma { slots: 2 }
-            && c.persistence == PersistenceMode::Aware));
+        assert!(m
+            .iter()
+            .any(|c| c.bus == BusPolicy::Tdma { slots: 2 }
+                && c.persistence == PersistenceMode::Aware));
         // No duplicates.
         for (a, i) in m.iter().zip(0..) {
             for b in &m[i + 1..] {

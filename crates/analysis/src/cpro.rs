@@ -115,8 +115,11 @@ mod tests {
     #[test]
     fn excludes_the_persistent_task_itself() {
         // Only "p" on its core: by definition it cannot evict its own PCBs.
-        let ts = TaskSet::new(vec![task("p", 1, 0, 0..10, 0..10), task("w", 2, 1, 0..10, [])])
-            .unwrap();
+        let ts = TaskSet::new(vec![
+            task("p", 1, 0, 0..10, 0..10),
+            task("w", 2, 1, 0..10, []),
+        ])
+        .unwrap();
         let p = ts.id_of("p").unwrap();
         let w = ts.id_of("w").unwrap();
         assert_eq!(cpro_overlap(&ts, p, w), 0);

@@ -250,7 +250,11 @@ mod tests {
         .unwrap();
         let hi = ts.id_of("hi").unwrap();
         let lo = ts.id_of("lo").unwrap();
-        for approach in [CrpdApproach::EcbUnion, CrpdApproach::UcbUnion, CrpdApproach::EcbOnly] {
+        for approach in [
+            CrpdApproach::EcbUnion,
+            CrpdApproach::UcbUnion,
+            CrpdApproach::EcbOnly,
+        ] {
             assert_eq!(gamma_with(&ts, hi, lo, approach), 0, "{approach:?}");
             assert_eq!(gamma_with(&ts, hi, hi, approach), 0, "{approach:?}");
         }
@@ -304,6 +308,9 @@ mod tests {
             task("lo", 2, 0, 20..30, 20..30),
         ])
         .unwrap();
-        assert_eq!(gamma(&ts, ts.id_of("lo").unwrap(), ts.id_of("hi").unwrap()), 0);
+        assert_eq!(
+            gamma(&ts, ts.id_of("lo").unwrap(), ts.id_of("hi").unwrap()),
+            0
+        );
     }
 }

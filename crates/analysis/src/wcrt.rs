@@ -95,7 +95,10 @@ pub fn analyze(ctx: &AnalysisContext<'_>, config: &AnalysisConfig) -> AnalysisRe
     // Initial estimates: R_i = PD_i + MD_i · d_mem (§IV).
     let init: Vec<Time> = tasks
         .iter()
-        .map(|t| t.processing_demand().saturating_add(d_mem.saturating_mul(t.memory_demand())))
+        .map(|t| {
+            t.processing_demand()
+                .saturating_add(d_mem.saturating_mul(t.memory_demand()))
+        })
         .collect();
     let mut resp = init.clone();
 
@@ -112,9 +115,7 @@ pub fn analyze(ctx: &AnalysisContext<'_>, config: &AnalysisConfig) -> AnalysisRe
                         .iter()
                         .zip(tasks.iter())
                         .enumerate()
-                        .map(|(idx, (&r, t))| {
-                            (idx != i.index() && r <= t.deadline()).then_some(r)
-                        })
+                        .map(|(idx, (&r, t))| (idx != i.index() && r <= t.deadline()).then_some(r))
                         .collect();
                     return AnalysisResult {
                         response_times,
@@ -373,8 +374,14 @@ mod tests {
             &AnalysisConfig::new(BusPolicy::FixedPriority, PersistenceMode::Oblivious),
         );
         assert!(res.is_schedulable());
-        assert_eq!(res.response_time(TaskId::new(0)), Some(Time::from_cycles(21)));
-        assert_eq!(res.response_time(TaskId::new(1)), Some(Time::from_cycles(60)));
+        assert_eq!(
+            res.response_time(TaskId::new(0)),
+            Some(Time::from_cycles(21))
+        );
+        assert_eq!(
+            res.response_time(TaskId::new(1)),
+            Some(Time::from_cycles(60))
+        );
     }
 
     #[test]
@@ -408,13 +415,19 @@ mod tests {
         ])
         .unwrap();
         let ctx = AnalysisContext::new(&p, &ts).unwrap();
-        let res = analyze(&ctx, &AnalysisConfig::new(BusPolicy::Perfect, PersistenceMode::Aware));
+        let res = analyze(
+            &ctx,
+            &AnalysisConfig::new(BusPolicy::Perfect, PersistenceMode::Aware),
+        );
         assert!(!res.is_schedulable());
         assert_eq!(res.outer_iterations(), 0);
         // The same set under 10× shorter memory latency passes.
         let fast = platform(2, 10);
         let ctx = AnalysisContext::new(&fast, &ts).unwrap();
-        let res = analyze(&ctx, &AnalysisConfig::new(BusPolicy::Perfect, PersistenceMode::Aware));
+        let res = analyze(
+            &ctx,
+            &AnalysisConfig::new(BusPolicy::Perfect, PersistenceMode::Aware),
+        );
         assert!(res.is_schedulable());
     }
 
@@ -489,7 +502,10 @@ mod tests {
         let p1 = platform(1, 20);
         let solo = TaskSet::new(vec![task("a", 1, 0, 100, 20, 2, 4_000)]).unwrap();
         let ctx1 = AnalysisContext::new(&p1, &solo).unwrap();
-        let cfg = AnalysisConfig::new(BusPolicy::RoundRobin { slots: 1 }, PersistenceMode::Oblivious);
+        let cfg = AnalysisConfig::new(
+            BusPolicy::RoundRobin { slots: 1 },
+            PersistenceMode::Oblivious,
+        );
         let alone = analyze(&ctx1, &cfg).response_time(TaskId::new(0)).unwrap();
 
         let p2 = platform(2, 20);

@@ -155,5 +155,8 @@ fn aggregate_schedulability_declines_with_dmem() {
         counts[0] >= counts[1] && counts[1] >= counts[2],
         "schedulability did not decline with d_mem: {counts:?}"
     );
-    assert!(counts[0] > counts[2], "sweep had no effect at all: {counts:?}");
+    assert!(
+        counts[0] > counts[2],
+        "sweep had no effect at all: {counts:?}"
+    );
 }

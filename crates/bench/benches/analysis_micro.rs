@@ -27,7 +27,12 @@ fn bench_analysis(c: &mut Criterion) {
     group.sample_size(30);
 
     group.bench_function("context_build_32_tasks", |b| {
-        b.iter(|| black_box(AnalysisContext::new(black_box(&platform), black_box(&tasks))));
+        b.iter(|| {
+            black_box(AnalysisContext::new(
+                black_box(&platform),
+                black_box(&tasks),
+            ))
+        });
     });
 
     let ctx = AnalysisContext::new(&platform, &tasks).expect("context");

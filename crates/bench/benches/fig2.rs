@@ -46,9 +46,12 @@ fn bench_fig2(c: &mut Criterion) {
         .expect("task set");
     let ctx = AnalysisContext::new(&platform, &tasks).expect("context");
     for cfg in AnalysisConfig::paper_matrix(2) {
-        group.bench_function(format!("analyze_{}_{}", cfg.bus.label(), cfg.persistence), |b| {
-            b.iter(|| black_box(analyze(black_box(&ctx), &cfg)));
-        });
+        group.bench_function(
+            format!("analyze_{}_{}", cfg.bus.label(), cfg.persistence),
+            |b| {
+                b.iter(|| black_box(analyze(black_box(&ctx), &cfg)));
+            },
+        );
     }
     group.finish();
 }

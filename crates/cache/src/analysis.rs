@@ -175,11 +175,8 @@ impl<'a> Analyzer<'a> {
                 // and the body re-reads — exactly the reuse a preemption in
                 // the loop destroys.
                 let body_blocks = blocks_accessed(self.function, body, self.geometry);
-                self.ucb_blocks.extend(
-                    entry
-                        .resident_blocks()
-                        .filter(|b| body_blocks.contains(b)),
-                );
+                self.ucb_blocks
+                    .extend(entry.resident_blocks().filter(|b| body_blocks.contains(b)));
                 let steady = self.walk(body, entry);
                 WalkOutcome {
                     misses: first
@@ -276,10 +273,7 @@ mod tests {
         // Lines: a touches blocks 0 (addr 0..16) and 1 (16..24); b touches
         // block 1 (24..32): 2 compulsory misses total.
         assert_eq!(out.misses, 2);
-        assert_eq!(
-            blocks_accessed(&f, f.code(), g),
-            BTreeSet::from([0u64, 1])
-        );
+        assert_eq!(blocks_accessed(&f, f.code(), g), BTreeSet::from([0u64, 1]));
     }
 
     #[test]

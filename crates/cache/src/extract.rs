@@ -72,8 +72,8 @@ impl ExtractedParams {
 pub fn extract(function: &Function, geometry: CacheGeometry) -> ExtractedParams {
     let (cold, ucb_blocks) = Analyzer::new(function, geometry).analyze(MustCache::cold(geometry));
     let persistent = persistent_blocks(function, geometry);
-    let (warm, _) =
-        Analyzer::new(function, geometry).analyze(MustCache::seeded(geometry, persistent.iter().copied()));
+    let (warm, _) = Analyzer::new(function, geometry)
+        .analyze(MustCache::seeded(geometry, persistent.iter().copied()));
 
     let set_of = |block: u64| (block as usize) % geometry.sets();
     let footprint = blocks_accessed(function, function.code(), geometry);
@@ -193,7 +193,9 @@ mod tests {
                     for job in 0..jobs {
                         let t = trace::generate(
                             &f,
-                            DecisionPolicy::Random { seed: trace_seed * 31 + job },
+                            DecisionPolicy::Random {
+                                seed: trace_seed * 31 + job,
+                            },
                         );
                         let s = cache.run_trace(&t);
                         // Every single job is bounded by MD ...

@@ -31,7 +31,9 @@ pub enum CfgError {
 impl fmt::Display for CfgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CfgError::UnknownBlock { name } => write!(f, "statement references unknown block `{name}`"),
+            CfgError::UnknownBlock { name } => {
+                write!(f, "statement references unknown block `{name}`")
+            }
             CfgError::DuplicateBlock { name } => write!(f, "block `{name}` declared twice"),
             CfgError::EmptyBlock { name } => write!(f, "block `{name}` has zero instructions"),
             CfgError::ZeroLoopBound => write!(f, "loop bound must be at least 1"),
@@ -48,7 +50,9 @@ mod tests {
 
     #[test]
     fn messages() {
-        assert!(CfgError::UnknownBlock { name: "x".into() }.to_string().contains("`x`"));
+        assert!(CfgError::UnknownBlock { name: "x".into() }
+            .to_string()
+            .contains("`x`"));
         assert!(CfgError::ZeroLoopBound.to_string().contains("at least 1"));
         fn assert_good<E: Error + Send + Sync + 'static>() {}
         assert_good::<CfgError>();

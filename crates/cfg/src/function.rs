@@ -256,7 +256,9 @@ impl FunctionBuilder {
                 .iter()
                 .position(|b| b.name == name)
                 .map(BlockId)
-                .ok_or_else(|| CfgError::UnknownBlock { name: name.to_string() })
+                .ok_or_else(|| CfgError::UnknownBlock {
+                    name: name.to_string(),
+                })
         };
         fn lower(
             stmt: &Stmt,
@@ -344,7 +346,10 @@ mod tests {
             .build()
             .unwrap();
         let a = f.block(BlockId(0));
-        assert_eq!(a.addresses().collect::<Vec<_>>(), vec![0x1000, 0x1002, 0x1004]);
+        assert_eq!(
+            a.addresses().collect::<Vec<_>>(),
+            vec![0x1000, 0x1002, 0x1004]
+        );
     }
 
     #[test]
@@ -367,7 +372,10 @@ mod tests {
             Err(CfgError::MissingBody)
         ));
         assert!(matches!(
-            Function::builder("f").block("A", 0).code(Stmt::block("A")).build(),
+            Function::builder("f")
+                .block("A", 0)
+                .code(Stmt::block("A"))
+                .build(),
             Err(CfgError::EmptyBlock { .. })
         ));
         assert!(matches!(
@@ -379,7 +387,10 @@ mod tests {
             Err(CfgError::DuplicateBlock { .. })
         ));
         assert!(matches!(
-            Function::builder("f").block("A", 1).code(Stmt::block("B")).build(),
+            Function::builder("f")
+                .block("A", 1)
+                .code(Stmt::block("B"))
+                .build(),
             Err(CfgError::UnknownBlock { .. })
         ));
         assert!(matches!(

@@ -152,7 +152,9 @@ impl ProgramGenerator {
         for i in 0..arms {
             let t = format!("then{i}");
             let e = format!("else{i}");
-            b = b.block(&t, rng.gen_range(4..24)).block(&e, rng.gen_range(4..24));
+            b = b
+                .block(&t, rng.gen_range(4..24))
+                .block(&e, rng.gen_range(4..24));
             chain.push(Stmt::branch(Stmt::block(t), Some(Stmt::block(e))));
         }
         b = b.block("exit", rng.gen_range(2..8));
@@ -221,8 +223,12 @@ mod tests {
     fn deterministic_per_seed() {
         let gen = ProgramGenerator::new();
         for shape in ProgramShape::all() {
-            let a = gen.generate(shape, &mut ChaCha8Rng::seed_from_u64(3)).unwrap();
-            let b = gen.generate(shape, &mut ChaCha8Rng::seed_from_u64(3)).unwrap();
+            let a = gen
+                .generate(shape, &mut ChaCha8Rng::seed_from_u64(3))
+                .unwrap();
+            let b = gen
+                .generate(shape, &mut ChaCha8Rng::seed_from_u64(3))
+                .unwrap();
             assert_eq!(a, b, "{shape:?}");
         }
     }
@@ -237,7 +243,8 @@ mod tests {
         // block relative to their size; loop kernels are the reverse.
         let kernel_ratio =
             kernel.worst_case_instruction_count() as f64 / kernel.code_size_instructions() as f64;
-        let sm_ratio = sm.worst_case_instruction_count() as f64 / sm.code_size_instructions() as f64;
+        let sm_ratio =
+            sm.worst_case_instruction_count() as f64 / sm.code_size_instructions() as f64;
         assert!(kernel_ratio > sm_ratio);
     }
 

@@ -155,6 +155,12 @@ mod tests {
         let s = Stmt::seq([Stmt::block("x")]);
         assert!(matches!(s, Stmt::Seq(v) if v.len() == 1));
         let b = Stmt::branch(Stmt::block("x"), None);
-        assert!(matches!(b, Stmt::Branch { else_branch: None, .. }));
+        assert!(matches!(
+            b,
+            Stmt::Branch {
+                else_branch: None,
+                ..
+            }
+        ));
     }
 }

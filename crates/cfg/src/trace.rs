@@ -130,9 +130,10 @@ fn walk(
                     weight(function, then_branch)
                         >= else_branch.as_ref().map_or(0, |e| weight(function, e))
                 }
-                DecisionPolicy::Random { .. } => {
-                    rng.as_mut().expect("random policy carries an rng").gen::<bool>()
-                }
+                DecisionPolicy::Random { .. } => rng
+                    .as_mut()
+                    .expect("random policy carries an rng")
+                    .gen::<bool>(),
             };
             if take_then {
                 walk(function, then_branch, policy, rng, out);

@@ -15,7 +15,9 @@
 use cpa_analysis::{AnalysisConfig, BusPolicy, CrpdApproach, PersistenceMode};
 use cpa_workload::GeneratorConfig;
 
-use crate::runner::{evaluate_point, evaluate_point_with, CurvePoint, ExperimentResult, Series, SweepOptions};
+use crate::runner::{
+    evaluate_point, evaluate_point_with, CurvePoint, ExperimentResult, Series, SweepOptions,
+};
 
 /// Schedulable task sets vs utilization under each CRPD approach
 /// (persistence-aware FP bus; the ordering among approaches is

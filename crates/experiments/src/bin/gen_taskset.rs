@@ -9,47 +9,45 @@
 
 use std::process::ExitCode;
 
+use cpa_experiments::cli::Args;
 use cpa_model::Time;
 use cpa_workload::{GeneratorConfig, TaskSetGenerator};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+const USAGE: &str = "usage: gen_taskset [--seed S] [--utilization U] [--cores M] \
+[--tasks-per-core N] [--cache-sets C] [--d-mem D] [--summary]";
+
 fn main() -> ExitCode {
     let mut seed = 1u64;
     let mut config = GeneratorConfig::paper_default();
     let mut summary = false;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        let mut take = |name: &str| {
-            args.next()
-                .ok_or_else(|| format!("{name} needs a value"))
-        };
+    let mut args = Args::from_env(USAGE);
+    while let Some(arg) = args.next_arg() {
         let result: Result<(), String> = (|| {
             match arg.as_str() {
-                "--seed" => seed = take("--seed")?.parse().map_err(|e| format!("{e}"))?,
+                "--seed" => seed = args.value_for("--seed").map_err(|e| e.to_string())?,
                 "--utilization" => {
                     config.per_core_utilization =
-                        take("--utilization")?.parse().map_err(|e| format!("{e}"))?;
+                        args.value_for("--utilization").map_err(|e| e.to_string())?;
                 }
-                "--cores" => config.cores = take("--cores")?.parse().map_err(|e| format!("{e}"))?,
+                "--cores" => config.cores = args.value_for("--cores").map_err(|e| e.to_string())?,
                 "--tasks-per-core" => {
-                    config.tasks_per_core =
-                        take("--tasks-per-core")?.parse().map_err(|e| format!("{e}"))?;
+                    config.tasks_per_core = args
+                        .value_for("--tasks-per-core")
+                        .map_err(|e| e.to_string())?;
                 }
                 "--cache-sets" => {
                     config.cache_sets =
-                        take("--cache-sets")?.parse().map_err(|e| format!("{e}"))?;
+                        args.value_for("--cache-sets").map_err(|e| e.to_string())?;
                 }
                 "--d-mem" => {
-                    config.d_mem = Time::from_cycles(
-                        take("--d-mem")?.parse().map_err(|e| format!("{e}"))?,
-                    );
+                    config.d_mem =
+                        Time::from_cycles(args.value_for("--d-mem").map_err(|e| e.to_string())?);
                 }
                 "--summary" => summary = true,
-                other => return Err(format!(
-                    "unknown flag `{other}`\nusage: gen_taskset [--seed S] [--utilization U] \
-                     [--cores M] [--tasks-per-core N] [--cache-sets C] [--d-mem D] [--summary]"
-                )),
+                "--help" | "-h" => return Err(args.help().to_string()),
+                other => return Err(args.unknown_flag(other).to_string()),
             }
             Ok(())
         })();
@@ -84,14 +82,6 @@ fn main() -> ExitCode {
         );
         return ExitCode::SUCCESS;
     }
-    match serde_json::to_string_pretty(&tasks) {
-        Ok(json) => {
-            println!("{json}");
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("serialization failed: {e}");
-            ExitCode::FAILURE
-        }
-    }
+    println!("{}", tasks.to_json());
+    ExitCode::SUCCESS
 }

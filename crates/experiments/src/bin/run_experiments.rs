@@ -13,6 +13,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use cpa_experiments::cli::Args;
 use cpa_experiments::{ablation, fig2, fig3, report, table1, ExperimentResult, SweepOptions};
 
 struct Cli {
@@ -25,31 +26,18 @@ fn parse_args() -> Result<Cli, String> {
     let mut opts = SweepOptions::paper();
     let mut out_dir = PathBuf::from("results");
     let mut experiments: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
+    let mut args = Args::from_env(USAGE);
+    while let Some(arg) = args.next_arg() {
         match arg.as_str() {
             "--quick" => opts = SweepOptions::quick(),
             "--sets" => {
-                let v = args.next().ok_or("--sets needs a value")?;
-                opts.sets_per_point = v.parse().map_err(|e| format!("--sets: {e}"))?;
+                opts.sets_per_point = args.value_for("--sets").map_err(|e| e.to_string())?
             }
-            "--seed" => {
-                let v = args.next().ok_or("--seed needs a value")?;
-                opts.seed = v.parse().map_err(|e| format!("--seed: {e}"))?;
-            }
-            "--threads" => {
-                let v = args.next().ok_or("--threads needs a value")?;
-                opts.threads = v.parse().map_err(|e| format!("--threads: {e}"))?;
-            }
-            "--out" => {
-                out_dir = PathBuf::from(args.next().ok_or("--out needs a value")?);
-            }
-            "--help" | "-h" => {
-                return Err(USAGE.to_string());
-            }
-            other if other.starts_with('-') => {
-                return Err(format!("unknown flag `{other}`\n{USAGE}"));
-            }
+            "--seed" => opts.seed = args.value_for("--seed").map_err(|e| e.to_string())?,
+            "--threads" => opts.threads = args.value_for("--threads").map_err(|e| e.to_string())?,
+            "--out" => out_dir = args.value_for("--out").map_err(|e| e.to_string())?,
+            "--help" | "-h" => return Err(args.help().to_string()),
+            other if other.starts_with('-') => return Err(args.unknown_flag(other).to_string()),
             name => experiments.push(name.to_string()),
         }
     }
@@ -97,7 +85,10 @@ fn main() -> ExitCode {
         eprintln!("fig2 done in {:.1?}", start.elapsed());
     }
     for (name, f) in [
-        ("fig3a", fig3::fig3a as fn(&SweepOptions) -> ExperimentResult),
+        (
+            "fig3a",
+            fig3::fig3a as fn(&SweepOptions) -> ExperimentResult,
+        ),
         ("fig3b", fig3::fig3b),
         ("fig3c", fig3::fig3c),
         ("fig3d", fig3::fig3d),
@@ -122,7 +113,11 @@ fn main() -> ExitCode {
 
 fn emit(out_dir: &std::path::Path, result: &ExperimentResult) {
     println!("{}", report::to_markdown(result));
-    write_out(out_dir, &format!("{}.csv", result.id), &report::to_csv(result));
+    write_out(
+        out_dir,
+        &format!("{}.csv", result.id),
+        &report::to_csv(result),
+    );
 }
 
 fn write_out(out_dir: &std::path::Path, name: &str, contents: &str) {

@@ -1,0 +1,157 @@
+//! Minimal shared argument parsing for the workspace binaries.
+//!
+//! All CLIs here follow the same `--flag value` convention; this module
+//! centralizes the boilerplate the binaries used to hand-roll separately:
+//! pulling a flag's value, parsing it with a contextualized error, and
+//! formatting unknown-flag/usage errors consistently.
+//!
+//! # Example
+//!
+//! ```
+//! use cpa_experiments::cli::Args;
+//!
+//! let mut args = Args::new(["--sets", "100", "fig2"].map(String::from), "usage: demo");
+//! let mut sets = 10u32;
+//! let mut rest = Vec::new();
+//! while let Some(arg) = args.next_arg() {
+//!     match arg.as_str() {
+//!         "--sets" => sets = args.value_for("--sets").unwrap(),
+//!         other => rest.push(other.to_string()),
+//!     }
+//! }
+//! assert_eq!(sets, 100);
+//! assert_eq!(rest, ["fig2"]);
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A CLI parsing failure: carries the message to print before exiting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    msg: String,
+}
+
+impl CliError {
+    fn new(msg: impl fmt::Display) -> Self {
+        CliError {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// A stream of command-line arguments with flag-value helpers.
+#[derive(Debug)]
+pub struct Args {
+    args: std::vec::IntoIter<String>,
+    usage: &'static str,
+}
+
+impl Args {
+    /// Wraps an explicit argument list (mainly for tests).
+    pub fn new(args: impl IntoIterator<Item = String>, usage: &'static str) -> Self {
+        Args {
+            args: args.into_iter().collect::<Vec<_>>().into_iter(),
+            usage,
+        }
+    }
+
+    /// Wraps the process arguments (without the program name).
+    #[must_use]
+    pub fn from_env(usage: &'static str) -> Self {
+        Args::new(std::env::args().skip(1), usage)
+    }
+
+    /// The usage string passed at construction.
+    #[must_use]
+    pub fn usage(&self) -> &'static str {
+        self.usage
+    }
+
+    /// The next raw argument, if any.
+    pub fn next_arg(&mut self) -> Option<String> {
+        self.args.next()
+    }
+
+    /// Takes and parses the value following `flag`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] naming `flag` when the value is missing or
+    /// fails to parse.
+    pub fn value_for<T: FromStr>(&mut self, flag: &str) -> Result<T, CliError>
+    where
+        T::Err: fmt::Display,
+    {
+        let raw = self
+            .args
+            .next()
+            .ok_or_else(|| CliError::new(format!("{flag} needs a value\n{}", self.usage)))?;
+        raw.parse()
+            .map_err(|e| CliError::new(format!("{flag}: {e} (got `{raw}`)")))
+    }
+
+    /// The error to report for an unrecognized flag.
+    #[must_use]
+    pub fn unknown_flag(&self, flag: &str) -> CliError {
+        CliError::new(format!("unknown flag `{flag}`\n{}", self.usage))
+    }
+
+    /// The error to report for a `--help` request (the usage text itself).
+    #[must_use]
+    pub fn help(&self) -> CliError {
+        CliError::new(self.usage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::new(list.iter().map(|s| s.to_string()), "usage: test")
+    }
+
+    #[test]
+    fn parses_flag_values_in_order() {
+        let mut a = args(&["--sets", "25", "--ratio", "0.5"]);
+        assert_eq!(a.next_arg().as_deref(), Some("--sets"));
+        assert_eq!(a.value_for::<u32>("--sets").unwrap(), 25);
+        assert_eq!(a.next_arg().as_deref(), Some("--ratio"));
+        assert_eq!(a.value_for::<f64>("--ratio").unwrap(), 0.5);
+        assert!(a.next_arg().is_none());
+    }
+
+    #[test]
+    fn missing_value_names_the_flag_and_usage() {
+        let mut a = args(&["--seed"]);
+        a.next_arg();
+        let err = a.value_for::<u64>("--seed").unwrap_err();
+        assert!(err.to_string().contains("--seed needs a value"), "{err}");
+        assert!(err.to_string().contains("usage: test"), "{err}");
+    }
+
+    #[test]
+    fn bad_value_includes_flag_and_input() {
+        let mut a = args(&["--sets", "many"]);
+        a.next_arg();
+        let err = a.value_for::<u32>("--sets").unwrap_err();
+        assert!(err.to_string().contains("--sets:"), "{err}");
+        assert!(err.to_string().contains("`many`"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flag_and_help_carry_usage() {
+        let a = args(&[]);
+        assert!(a.unknown_flag("--bogus").to_string().contains("`--bogus`"));
+        assert!(a.help().to_string().contains("usage: test"));
+    }
+}

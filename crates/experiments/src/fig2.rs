@@ -16,7 +16,11 @@ use crate::runner::{evaluate_point, CurvePoint, ExperimentResult, Series, SweepO
 pub fn fig2(opts: &SweepOptions) -> Vec<ExperimentResult> {
     [
         ("fig2a", "FP bus", BusPolicy::FixedPriority),
-        ("fig2b", "RR bus", BusPolicy::RoundRobin { slots: opts.slots }),
+        (
+            "fig2b",
+            "RR bus",
+            BusPolicy::RoundRobin { slots: opts.slots },
+        ),
         ("fig2c", "TDMA bus", BusPolicy::Tdma { slots: opts.slots }),
     ]
     .into_iter()

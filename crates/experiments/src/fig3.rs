@@ -203,7 +203,12 @@ mod tests {
         // Pairwise dominance: aware ≥ oblivious for the same bus.
         for pair in [(0, 1), (2, 3), (4, 5)] {
             for (a, o) in r.series[pair.0].points.iter().zip(&r.series[pair.1].points) {
-                assert!(a.weighted >= o.weighted - 1e-12, "{} vs {}", a.weighted, o.weighted);
+                assert!(
+                    a.weighted >= o.weighted - 1e-12,
+                    "{} vs {}",
+                    a.weighted,
+                    o.weighted
+                );
             }
         }
     }
@@ -211,8 +216,10 @@ mod tests {
     #[test]
     fn fig3b_uses_microsecond_axis() {
         let r = fig3b(&tiny().with_utilization_grid(vec![0.4]));
-        assert_eq!(r.series[0].points.iter().map(|p| p.x).collect::<Vec<_>>(),
-            vec![2.0, 4.0, 6.0, 8.0, 10.0]);
+        assert_eq!(
+            r.series[0].points.iter().map(|p| p.x).collect::<Vec<_>>(),
+            vec![2.0, 4.0, 6.0, 8.0, 10.0]
+        );
     }
 
     #[test]

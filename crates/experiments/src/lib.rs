@@ -37,6 +37,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod ablation;
+pub mod cli;
 pub mod fig2;
 pub mod fig3;
 pub mod report;

@@ -101,7 +101,11 @@ fn escape_csv(s: &str) -> String {
 fn trim_float(x: f64) -> String {
     let s = format!("{x:.6}");
     let s = s.trim_end_matches('0').trim_end_matches('.');
-    if s.is_empty() { "0".to_string() } else { s.to_string() }
+    if s.is_empty() {
+        "0".to_string()
+    } else {
+        s.to_string()
+    }
 }
 
 #[cfg(test)]
@@ -119,15 +123,35 @@ mod tests {
                 Series {
                     label: "aware".into(),
                     points: vec![
-                        CurvePoint { x: 0.1, schedulable: 10, total: 10, weighted: 1.0 },
-                        CurvePoint { x: 0.2, schedulable: 7, total: 10, weighted: 0.68 },
+                        CurvePoint {
+                            x: 0.1,
+                            schedulable: 10,
+                            total: 10,
+                            weighted: 1.0,
+                        },
+                        CurvePoint {
+                            x: 0.2,
+                            schedulable: 7,
+                            total: 10,
+                            weighted: 0.68,
+                        },
                     ],
                 },
                 Series {
                     label: "oblivious, baseline".into(),
                     points: vec![
-                        CurvePoint { x: 0.1, schedulable: 9, total: 10, weighted: 0.9 },
-                        CurvePoint { x: 0.2, schedulable: 4, total: 10, weighted: 0.35 },
+                        CurvePoint {
+                            x: 0.1,
+                            schedulable: 9,
+                            total: 10,
+                            weighted: 0.9,
+                        },
+                        CurvePoint {
+                            x: 0.2,
+                            schedulable: 4,
+                            total: 10,
+                            weighted: 0.35,
+                        },
                     ],
                 },
             ],

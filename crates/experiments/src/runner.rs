@@ -223,9 +223,8 @@ pub fn evaluate_point_with(
                 let mut stats = PointStats::new(configs.len());
                 let mut set = worker;
                 while set < sets {
-                    let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(
-                        opts_seed, point_id, set as u64,
-                    ));
+                    let mut rng =
+                        ChaCha8Rng::seed_from_u64(derive_seed(opts_seed, point_id, set as u64));
                     let tasks = generator.generate(&mut rng).expect("generation succeeds");
                     let ctx = AnalysisContext::with_crpd_approach(platform, &tasks, crpd)
                         .expect("task set fits platform");
@@ -290,7 +289,10 @@ mod tests {
         let b = evaluate_point(&gen, &configs, &four, 7);
         for i in 0..configs.len() {
             assert_eq!(a.config(i).samples(), 6);
-            assert_eq!(a.config(i).schedulable_count(), b.config(i).schedulable_count());
+            assert_eq!(
+                a.config(i).schedulable_count(),
+                b.config(i).schedulable_count()
+            );
             assert!((a.config(i).value() - b.config(i).value()).abs() < 1e-12);
         }
     }
@@ -300,7 +302,10 @@ mod tests {
         let gen = GeneratorConfig::paper_default().with_per_core_utilization(0.5);
         let configs = [
             AnalysisConfig::new(BusPolicy::RoundRobin { slots: 2 }, PersistenceMode::Aware),
-            AnalysisConfig::new(BusPolicy::RoundRobin { slots: 2 }, PersistenceMode::Oblivious),
+            AnalysisConfig::new(
+                BusPolicy::RoundRobin { slots: 2 },
+                PersistenceMode::Oblivious,
+            ),
         ];
         let opts = SweepOptions::quick().with_sets_per_point(10);
         let stats = evaluate_point(&gen, &configs, &opts, 1);

@@ -267,7 +267,10 @@ impl CacheBlockSet {
     #[must_use]
     pub fn is_subset(&self, other: &CacheBlockSet) -> bool {
         self.assert_same_capacity(other);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Returns `true` if the sets share no block.
@@ -425,7 +428,10 @@ mod tests {
         let mut s = CacheBlockSet::new(8);
         assert!(matches!(
             s.insert(8),
-            Err(ModelError::BlockOutOfRange { block: 8, capacity: 8 })
+            Err(ModelError::BlockOutOfRange {
+                block: 8,
+                capacity: 8
+            })
         ));
         assert!(!s.contains(10_000));
     }
@@ -449,7 +455,10 @@ mod tests {
             a.union(&b).iter().collect::<Vec<_>>(),
             vec![1, 3, 4, 5, 64, 65, 199, 200]
         );
-        assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![3, 64, 200]);
+        assert_eq!(
+            a.intersection(&b).iter().collect::<Vec<_>>(),
+            vec![3, 64, 200]
+        );
         assert_eq!(a.difference(&b).iter().collect::<Vec<_>>(), vec![1, 5, 65]);
         assert_eq!((&a | &b).len(), 8);
         assert_eq!((&a & &b).len(), 3);

@@ -52,7 +52,10 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::BlockOutOfRange { block, capacity } => {
-                write!(f, "cache block {block} out of range for {capacity} cache sets")
+                write!(
+                    f,
+                    "cache block {block} out of range for {capacity} cache sets"
+                )
             }
             ModelError::MissingField { field } => {
                 write!(f, "task builder is missing required field `{field}`")
@@ -63,7 +66,10 @@ impl fmt::Display for ModelError {
             ModelError::InvalidTaskSet { reason } => write!(f, "invalid task set: {reason}"),
             ModelError::InvalidPlatform { reason } => write!(f, "invalid platform: {reason}"),
             ModelError::CoreOutOfRange { task, core, cores } => {
-                write!(f, "task `{task}` assigned to core {core} but platform has {cores} cores")
+                write!(
+                    f,
+                    "task `{task}` assigned to core {core} but platform has {cores} cores"
+                )
             }
         }
     }
@@ -77,7 +83,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = ModelError::BlockOutOfRange { block: 9, capacity: 8 };
+        let e = ModelError::BlockOutOfRange {
+            block: 9,
+            capacity: 8,
+        };
         assert_eq!(e.to_string(), "cache block 9 out of range for 8 cache sets");
         let e = ModelError::MissingField { field: "period" };
         assert!(e.to_string().contains("period"));

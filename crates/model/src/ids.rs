@@ -15,8 +15,7 @@ use serde::{Deserialize, Serialize};
 /// let id = TaskId::new(3);
 /// assert_eq!(id.index(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct TaskId(usize);
 
@@ -46,8 +45,9 @@ impl fmt::Display for TaskId {
 /// use cpa_model::CoreId;
 /// assert_eq!(CoreId::new(2).index(), 2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct CoreId(usize);
 
@@ -81,8 +81,7 @@ impl fmt::Display for CoreId {
 /// let low = Priority::new(9);
 /// assert!(high.is_higher_than(low));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Priority(u32);
 

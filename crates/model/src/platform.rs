@@ -179,7 +179,9 @@ impl Platform {
     ///
     /// Returns [`ModelError::InvalidPlatform`] if `d_mem` is zero.
     pub fn with_memory_latency(&self, d_mem: Time) -> Result<Platform, ModelError> {
-        PlatformBuilder::from(self.clone()).memory_latency(d_mem).build()
+        PlatformBuilder::from(self.clone())
+            .memory_latency(d_mem)
+            .build()
     }
 
     /// Returns a copy with a different cache geometry (the Fig. 3c sweep).

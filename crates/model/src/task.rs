@@ -238,8 +238,14 @@ impl fmt::Display for Task {
         write!(
             f,
             "{}(PD={}, MD={}, MD^r={}, D={}, T={}, {}@{})",
-            self.name, self.pd, self.md, self.md_r, self.deadline, self.period,
-            self.priority, self.core
+            self.name,
+            self.pd,
+            self.md,
+            self.md_r,
+            self.deadline,
+            self.period,
+            self.priority,
+            self.core
         )
     }
 }
@@ -379,12 +385,24 @@ impl TaskBuilder {
             reason,
         };
 
-        let pd = self.pd.ok_or(ModelError::MissingField { field: "processing_demand" })?;
-        let md = self.md.ok_or(ModelError::MissingField { field: "memory_demand" })?;
-        let period = self.period.ok_or(ModelError::MissingField { field: "period" })?;
-        let deadline = self.deadline.ok_or(ModelError::MissingField { field: "deadline" })?;
-        let core = self.core.ok_or(ModelError::MissingField { field: "core" })?;
-        let priority = self.priority.ok_or(ModelError::MissingField { field: "priority" })?;
+        let pd = self.pd.ok_or(ModelError::MissingField {
+            field: "processing_demand",
+        })?;
+        let md = self.md.ok_or(ModelError::MissingField {
+            field: "memory_demand",
+        })?;
+        let period = self
+            .period
+            .ok_or(ModelError::MissingField { field: "period" })?;
+        let deadline = self
+            .deadline
+            .ok_or(ModelError::MissingField { field: "deadline" })?;
+        let core = self
+            .core
+            .ok_or(ModelError::MissingField { field: "core" })?;
+        let priority = self
+            .priority
+            .ok_or(ModelError::MissingField { field: "priority" })?;
         let md_r = self.md_r.unwrap_or(md);
 
         let capacity = self
@@ -394,7 +412,9 @@ impl TaskBuilder {
             .or(self.pcb.as_ref())
             .map(CacheBlockSet::capacity)
             .or(self.cache_sets)
-            .ok_or(ModelError::MissingField { field: "ecb or cache_sets" })?;
+            .ok_or(ModelError::MissingField {
+                field: "ecb or cache_sets",
+            })?;
 
         let ecb = self.ecb.unwrap_or_else(|| CacheBlockSet::new(capacity));
         let ucb = self.ucb.unwrap_or_else(|| CacheBlockSet::new(capacity));
@@ -476,7 +496,12 @@ mod tests {
     #[test]
     fn missing_fields_reported() {
         let err = Task::builder("t").build().unwrap_err();
-        assert!(matches!(err, ModelError::MissingField { field: "processing_demand" }));
+        assert!(matches!(
+            err,
+            ModelError::MissingField {
+                field: "processing_demand"
+            }
+        ));
         let err = base().clone_without_core().build().unwrap_err();
         assert!(matches!(err, ModelError::MissingField { field: "core" }));
     }
@@ -505,10 +530,7 @@ mod tests {
 
     #[test]
     fn rejects_unconstrained_deadline() {
-        let err = base()
-            .deadline(Time::from_cycles(200))
-            .build()
-            .unwrap_err();
+        let err = base().deadline(Time::from_cycles(200)).build().unwrap_err();
         assert!(err.to_string().contains("exceeds period"));
     }
 

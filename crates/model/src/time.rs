@@ -29,8 +29,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(window.div_ceil(period), 4);
 /// assert_eq!((period * 3).cycles(), 750);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct Time(u64);
 

@@ -101,7 +101,10 @@ mod tests {
     fn builder_chain() {
         let c = SimConfig::new(BusArbitration::Tdma { slots: 3 })
             .with_horizon(Time::from_cycles(42))
-            .with_releases(ReleaseModel::Sporadic { seed: 7, max_extra_percent: 50 });
+            .with_releases(ReleaseModel::Sporadic {
+                seed: 7,
+                max_extra_percent: 50,
+            });
         assert_eq!(c.bus, BusArbitration::Tdma { slots: 3 });
         assert_eq!(c.horizon.cycles(), 42);
         assert!(matches!(c.releases, ReleaseModel::Sporadic { seed: 7, .. }));

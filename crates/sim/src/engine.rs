@@ -438,8 +438,8 @@ mod tests {
         // residual → R = 10 + 2·5 = 20.
         let p = platform(1, 5);
         let ts = TaskSet::new(vec![task("t", 1, 0, 10, 8, 2, 200, 0, 8, 6)]).unwrap();
-        let cfg = SimConfig::new(BusArbitration::FixedPriority)
-            .with_horizon(Time::from_cycles(1_000));
+        let cfg =
+            SimConfig::new(BusArbitration::FixedPriority).with_horizon(Time::from_cycles(1_000));
         let report = Simulator::new(&p, &ts, cfg).unwrap().run();
         let stats = report.task(TaskId::new(0));
         assert_eq!(stats.released, 5);
@@ -462,8 +462,8 @@ mod tests {
         let hi = task("hi", 1, 0, 10, 4, 4, 100, 0, 4, 0); // churns sets 0..4
         let lo = task("lo", 2, 0, 10, 6, 0, 300, 0, 6, 6); // PCBs 0..6
         let ts = TaskSet::new(vec![hi, lo]).unwrap();
-        let cfg = SimConfig::new(BusArbitration::FixedPriority)
-            .with_horizon(Time::from_cycles(900));
+        let cfg =
+            SimConfig::new(BusArbitration::FixedPriority).with_horizon(Time::from_cycles(900));
         let report = Simulator::new(&p, &ts, cfg).unwrap().run();
         let lo_stats = report.task(TaskId::new(1));
         assert_eq!(lo_stats.completed, 3);
@@ -481,8 +481,8 @@ mod tests {
         let hi = task("hi", 1, 0, 10, 3, 3, 60, 0, 3, 0); // churns sets 0..3
         let lo = task("lo", 2, 0, 100, 3, 0, 400, 0, 3, 3); // UCB/PCB 0..3
         let ts = TaskSet::new(vec![hi, lo]).unwrap();
-        let cfg = SimConfig::new(BusArbitration::FixedPriority)
-            .with_horizon(Time::from_cycles(400));
+        let cfg =
+            SimConfig::new(BusArbitration::FixedPriority).with_horizon(Time::from_cycles(400));
         let report = Simulator::new(&p, &ts, cfg).unwrap().run();
         let lo_stats = report.task(TaskId::new(1));
         assert_eq!(lo_stats.completed, 1);
@@ -494,8 +494,8 @@ mod tests {
         // md < md_r + |PCB|: the job must not exceed MD accesses.
         let p = platform(1, 5);
         let ts = TaskSet::new(vec![task("t", 1, 0, 10, 3, 1, 500, 0, 8, 8)]).unwrap();
-        let cfg = SimConfig::new(BusArbitration::FixedPriority)
-            .with_horizon(Time::from_cycles(499));
+        let cfg =
+            SimConfig::new(BusArbitration::FixedPriority).with_horizon(Time::from_cycles(499));
         let report = Simulator::new(&p, &ts, cfg).unwrap().run();
         let stats = report.task(TaskId::new(0));
         assert_eq!(stats.completed, 1);
@@ -518,19 +518,21 @@ mod tests {
         // RR (work-conserving) back-to-back: 2·10 + 5 = 25.
         assert_eq!(rr.task(TaskId::new(0)).max_response, Time::from_cycles(25));
         // TDMA: second access waits out core 1's slot: 10 idle cycles more.
-        assert_eq!(tdma.task(TaskId::new(0)).max_response, Time::from_cycles(35));
+        assert_eq!(
+            tdma.task(TaskId::new(0)).max_response,
+            Time::from_cycles(35)
+        );
     }
 
     #[test]
     fn cross_core_contention_delays() {
         let p = platform(2, 5);
-        let mk = |name: &str, prio, core, start| {
-            task(name, prio, core, 20, 10, 10, 500, start, 10, 0)
-        };
+        let mk =
+            |name: &str, prio, core, start| task(name, prio, core, 20, 10, 10, 500, start, 10, 0);
         let solo_ts = TaskSet::new(vec![mk("a", 1, 0, 0)]).unwrap();
         let solo_p = platform(1, 5);
-        let cfg = SimConfig::new(BusArbitration::FixedPriority)
-            .with_horizon(Time::from_cycles(499));
+        let cfg =
+            SimConfig::new(BusArbitration::FixedPriority).with_horizon(Time::from_cycles(499));
         let solo = Simulator::new(&solo_p, &solo_ts, cfg).unwrap().run();
 
         let pair_ts = TaskSet::new(vec![mk("a", 1, 0, 0), mk("b", 2, 1, 100)]).unwrap();
@@ -550,8 +552,8 @@ mod tests {
         let p = platform(1, 5);
         // Demand 10 + 10·5 = 60 per 50-cycle period: overload.
         let ts = TaskSet::new(vec![task("t", 1, 0, 10, 10, 10, 50, 0, 10, 0)]).unwrap();
-        let cfg = SimConfig::new(BusArbitration::FixedPriority)
-            .with_horizon(Time::from_cycles(1_000));
+        let cfg =
+            SimConfig::new(BusArbitration::FixedPriority).with_horizon(Time::from_cycles(1_000));
         let report = Simulator::new(&p, &ts, cfg).unwrap().run();
         assert!(report.task(TaskId::new(0)).deadline_misses > 0);
         assert!(!report.no_deadline_misses());
@@ -563,7 +565,10 @@ mod tests {
         let ts = TaskSet::new(vec![task("t", 1, 0, 10, 2, 2, 100, 0, 2, 0)]).unwrap();
         let cfg = SimConfig::new(BusArbitration::FixedPriority)
             .with_horizon(Time::from_cycles(10_000))
-            .with_releases(ReleaseModel::Sporadic { seed: 9, max_extra_percent: 50 });
+            .with_releases(ReleaseModel::Sporadic {
+                seed: 9,
+                max_extra_percent: 50,
+            });
         let report = Simulator::new(&p, &ts, cfg).unwrap().run();
         let released = report.task(TaskId::new(0)).released;
         // With up to +50% inter-arrival, between 10_000/150 and 10_000/100.

@@ -32,8 +32,7 @@ impl TaskStats {
     /// Mean observed response time, if any job completed.
     #[must_use]
     pub fn mean_response(&self) -> Option<f64> {
-        (self.completed > 0)
-            .then(|| self.total_response.cycles() as f64 / self.completed as f64)
+        (self.completed > 0).then(|| self.total_response.cycles() as f64 / self.completed as f64)
     }
 }
 

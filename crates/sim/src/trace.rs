@@ -71,7 +71,10 @@ impl TraceRecorder {
             (Some(seg), Some((task, stalled)))
                 if seg.task == task && seg.stalled == stalled && seg.end == now =>
             {
-                self.open[core] = Some(ExecSegment { end: now + 1, ..seg });
+                self.open[core] = Some(ExecSegment {
+                    end: now + 1,
+                    ..seg
+                });
             }
             (open, running) => {
                 if let Some(seg) = open {
@@ -153,14 +156,22 @@ pub fn render_gantt(trace: &ExecutionTrace, tasks: &TaskSet, until: u64, width: 
     let mut out = String::new();
     for core in 0..cores {
         let mut row = vec!['.'; width];
-        for seg in trace.exec.iter().filter(|s| s.core == core && s.start < until) {
+        for seg in trace
+            .exec
+            .iter()
+            .filter(|s| s.core == core && s.start < until)
+        {
             let from = cell_of(seg.start);
             let to = cell_of(seg.end.min(until).saturating_sub(1)).min(width - 1);
             for cell in row.iter_mut().take(to + 1).skip(from) {
                 *cell = if seg.stalled { '▒' } else { glyph(seg.task) };
             }
         }
-        out.push_str(&format!("core {} |{}|\n", core + 1, row.iter().collect::<String>()));
+        out.push_str(&format!(
+            "core {} |{}|\n",
+            core + 1,
+            row.iter().collect::<String>()
+        ));
     }
     let mut bus_row = vec!['.'; width];
     for seg in trace.bus.iter().filter(|s| s.start < until) {
@@ -170,7 +181,10 @@ pub fn render_gantt(trace: &ExecutionTrace, tasks: &TaskSet, until: u64, width: 
             *cell = glyph(seg.task);
         }
     }
-    out.push_str(&format!("bus    |{}|\n", bus_row.iter().collect::<String>()));
+    out.push_str(&format!(
+        "bus    |{}|\n",
+        bus_row.iter().collect::<String>()
+    ));
     let _ = tasks; // reserved for richer labels
     out
 }
@@ -238,18 +252,16 @@ mod tests {
 
     fn dummy_tasks() -> TaskSet {
         use cpa_model::{CoreId, Priority, Task, Time};
-        TaskSet::new(vec![
-            Task::builder("a")
-                .processing_demand(Time::from_cycles(1))
-                .memory_demand(1)
-                .period(Time::from_cycles(10))
-                .deadline(Time::from_cycles(10))
-                .core(CoreId::new(0))
-                .priority(Priority::new(1))
-                .cache_sets(4)
-                .build()
-                .unwrap(),
-        ])
+        TaskSet::new(vec![Task::builder("a")
+            .processing_demand(Time::from_cycles(1))
+            .memory_demand(1)
+            .period(Time::from_cycles(10))
+            .deadline(Time::from_cycles(10))
+            .core(CoreId::new(0))
+            .priority(Priority::new(1))
+            .cache_sets(4)
+            .build()
+            .unwrap()])
         .unwrap()
     }
 }

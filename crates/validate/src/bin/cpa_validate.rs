@@ -1,0 +1,256 @@
+//! Campaign driver for the differential validation subsystem.
+//!
+//! ```text
+//! cpa-validate run [--sets N] [--seed S] [--threads T] [--slots K] [--quick]
+//!                  [--inject none|soundness|dominance] [--report FILE]
+//!                  [--repro-dir DIR] [--max-shrinks M] [--no-progress]
+//! cpa-validate replay FILE...
+//! ```
+//!
+//! `run` prints the JSON report to stdout (or `--report FILE`) and exits
+//! non-zero when any oracle fired; violations are minimized and written as
+//! replayable repro files under `--repro-dir`. `replay` re-executes stored
+//! repros and exits non-zero when one no longer reproduces.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cpa_experiments::cli::Args;
+use cpa_validate::repro::REPRO_SCHEMA;
+use cpa_validate::{run_campaign, shrink_case, CampaignOptions, OracleKind, Repro, ViolationCase};
+
+const USAGE: &str = "usage: cpa-validate run [--sets N] [--seed S] [--threads T] [--slots K] \
+[--quick] [--inject none|soundness|dominance] [--report FILE] [--repro-dir DIR] \
+[--max-shrinks M] [--no-progress]\n       cpa-validate replay FILE...";
+
+fn main() -> ExitCode {
+    let mut args = Args::from_env(USAGE);
+    match args.next_arg().as_deref() {
+        Some("run") => run_cmd(args),
+        Some("replay") => replay_cmd(args),
+        Some("--help" | "-h") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("{}", args.unknown_flag(other));
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_cmd(mut args: Args) -> ExitCode {
+    let mut opts = CampaignOptions::new();
+    opts.progress = true;
+    let mut report_path: Option<PathBuf> = None;
+    let mut repro_dir = PathBuf::from("validate-repros");
+    let mut max_shrinks: usize = 3;
+    while let Some(arg) = args.next_arg() {
+        let parsed: Result<(), String> = (|| {
+            match arg.as_str() {
+                "--sets" => opts.sets = args.value_for("--sets").map_err(|e| e.to_string())?,
+                "--seed" => opts.seed = args.value_for("--seed").map_err(|e| e.to_string())?,
+                "--threads" => {
+                    opts.threads = args.value_for("--threads").map_err(|e| e.to_string())?;
+                }
+                "--slots" => opts.slots = args.value_for("--slots").map_err(|e| e.to_string())?,
+                "--quick" => opts.quick = true,
+                "--inject" => {
+                    opts.inject = args.value_for("--inject").map_err(|e| e.to_string())?;
+                }
+                "--report" => {
+                    report_path = Some(args.value_for("--report").map_err(|e| e.to_string())?);
+                }
+                "--repro-dir" => {
+                    repro_dir = args.value_for("--repro-dir").map_err(|e| e.to_string())?;
+                }
+                "--max-shrinks" => {
+                    max_shrinks = args.value_for("--max-shrinks").map_err(|e| e.to_string())?;
+                }
+                "--no-progress" => opts.progress = false,
+                "--help" | "-h" => return Err(args.help().to_string()),
+                other => return Err(args.unknown_flag(other).to_string()),
+            }
+            Ok(())
+        })();
+        if let Err(msg) = parsed {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    }
+
+    eprintln!(
+        "campaign: {} sets, seed {:#x}, {} threads, {} profile, inject {}",
+        opts.sets,
+        opts.seed,
+        opts.worker_threads(),
+        if opts.quick { "quick" } else { "full" },
+        opts.inject
+    );
+    let mut outcome = run_campaign(&opts);
+
+    let shrinks = outcome.cases.len().min(max_shrinks);
+    for case in outcome.cases.iter().take(shrinks) {
+        match write_repro(case, &opts, &repro_dir) {
+            Ok(path) => {
+                for record in outcome
+                    .report
+                    .stats
+                    .violations
+                    .iter_mut()
+                    .filter(|r| r.set_index == case.set_index)
+                {
+                    record.repro = Some(path.clone());
+                }
+            }
+            Err(msg) => eprintln!("warning: {msg}"),
+        }
+    }
+
+    eprintln!("{}", outcome.report.summary());
+    let json = outcome.report.to_json();
+    match &report_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, json + "\n") {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            eprintln!("wrote {}", path.display());
+        }
+        None => println!("{json}"),
+    }
+    if outcome.report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Minimizes one case and writes its repro file; returns the path.
+fn write_repro(
+    case: &ViolationCase,
+    opts: &CampaignOptions,
+    repro_dir: &std::path::Path,
+) -> Result<String, String> {
+    let mut check = opts.check_options();
+    check.sporadic_seed = case.set_seed;
+    check.determinism = case.violation.oracle == OracleKind::Determinism;
+
+    let (tasks, message, minimized) = match shrink_case(case, &check) {
+        Some(shrunk) => {
+            eprintln!(
+                "shrunk set {}: {} -> {} tasks in {} evaluations",
+                case.set_index,
+                case.tasks.len(),
+                shrunk.tasks.len(),
+                shrunk.evaluations
+            );
+            (shrunk.tasks, shrunk.violation.message, true)
+        }
+        None => (case.tasks.clone(), case.violation.message.clone(), false),
+    };
+    let repro = Repro {
+        schema: REPRO_SCHEMA,
+        description: format!(
+            "{}{} violation found by `cpa-validate run --seed {:#x}` at set {}",
+            case.violation.oracle,
+            if minimized {
+                " (minimized)"
+            } else {
+                " (unminimized)"
+            },
+            opts.seed,
+            case.set_index
+        ),
+        campaign_seed: opts.seed,
+        set_index: case.set_index,
+        set_seed: case.set_seed,
+        d_mem: case.d_mem.cycles(),
+        options: check,
+        oracle: case.violation.oracle,
+        message,
+        tasks,
+    };
+    std::fs::create_dir_all(repro_dir)
+        .map_err(|e| format!("cannot create {}: {e}", repro_dir.display()))?;
+    let path = repro_dir.join(format!(
+        "repro-set{}-{}.json",
+        case.set_index,
+        case.violation.oracle.label()
+    ));
+    repro
+        .write(&path)
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    eprintln!("wrote {}", path.display());
+    Ok(path.display().to_string())
+}
+
+fn replay_cmd(mut args: Args) -> ExitCode {
+    let mut files = Vec::new();
+    while let Some(arg) = args.next_arg() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{}", args.usage());
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("{}", args.unknown_flag(other));
+                return ExitCode::from(2);
+            }
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("replay needs at least one repro file\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut all_reproduced = true;
+    for file in &files {
+        let repro = match Repro::load(file) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        };
+        let replay = match repro.replay() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        };
+        if replay.reproduced {
+            println!(
+                "{}: {} violation reproduced ({} tasks): {}",
+                file.display(),
+                repro.oracle,
+                repro.tasks.len(),
+                replay
+                    .outcome
+                    .violations
+                    .iter()
+                    .find(|v| v.oracle == repro.oracle)
+                    .map_or("", |v| v.message.as_str())
+            );
+        } else {
+            all_reproduced = false;
+            println!(
+                "{}: {} violation did NOT reproduce (recorded: {})",
+                file.display(),
+                repro.oracle,
+                repro.message
+            );
+        }
+    }
+    if all_reproduced {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

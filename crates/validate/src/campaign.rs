@@ -1,0 +1,429 @@
+//! Parallel, deterministic validation campaigns.
+//!
+//! A campaign draws `sets` randomized task sets and runs the full oracle
+//! bundle ([`crate::oracle::check_task_set`]) on each. Seeding follows the
+//! same discipline as `cpa_experiments::runner`: every task set's RNG
+//! stream is derived from `(base seed, campaign tag, set index)` via
+//! [`derive_seed`], so results are independent of the thread count and the
+//! interleaving of workers — campaigns with the same options produce equal
+//! [`CampaignStats`] whether they run on 1 thread or 16.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use cpa_experiments::runner::{derive_seed, platform_for};
+use cpa_model::{TaskSet, Time};
+use cpa_workload::{GeneratorConfig, TaskSetGenerator};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::oracle::{check_task_set, CheckOptions, Inject, OracleKind, Violation};
+use crate::report::{
+    CampaignStats, OptionsSummary, OracleStats, ValidationReport, ViolationRecord, REPORT_SCHEMA,
+};
+
+/// Campaign tag mixed into [`derive_seed`] so validation streams never
+/// collide with the experiment sweeps (which use their point ids).
+pub const CAMPAIGN_POINT: u64 = 0x5AFE;
+
+/// Run the (expensive) determinism oracle on every `DETERMINISM_STRIDE`-th
+/// set rather than all of them.
+const DETERMINISM_STRIDE: u64 = 8;
+
+/// At most this many full violation cases (task set included) are kept per
+/// worker for shrinking; every violation still lands in the report.
+const MAX_CASES_PER_WORKER: usize = 4;
+
+/// Options for [`run_campaign`].
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Number of task sets to validate.
+    pub sets: u64,
+    /// Base seed; everything else derives from it.
+    pub seed: u64,
+    /// Worker threads; `0` picks a value from the available parallelism.
+    pub threads: usize,
+    /// RR/TDMA slot count.
+    pub slots: u64,
+    /// Use the cheap smoke profile (short horizon, synchronous releases
+    /// only, one CRPD approach).
+    pub quick: bool,
+    /// Fault injection, for exercising the violation pipeline.
+    pub inject: Inject,
+    /// Stream progress to stderr.
+    pub progress: bool,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            sets: 1000,
+            seed: 0x0DA7_E202_0001,
+            threads: 0,
+            slots: 2,
+            quick: false,
+            inject: Inject::None,
+            progress: false,
+        }
+    }
+}
+
+impl CampaignOptions {
+    /// Default options (1000 sets, full profile).
+    #[must_use]
+    pub fn new() -> Self {
+        CampaignOptions::default()
+    }
+
+    /// Sets the number of task sets.
+    #[must_use]
+    pub fn with_sets(mut self, sets: u64) -> Self {
+        self.sets = sets;
+        self
+    }
+
+    /// Sets the base seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker thread count (`0` = auto).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Toggles the quick smoke profile.
+    #[must_use]
+    pub fn with_quick(mut self, quick: bool) -> Self {
+        self.quick = quick;
+        self
+    }
+
+    /// Sets the fault-injection mode.
+    #[must_use]
+    pub fn with_inject(mut self, inject: Inject) -> Self {
+        self.inject = inject;
+        self
+    }
+
+    /// Worker threads to use, resolving `0` to the available parallelism
+    /// (capped at 8, matching the experiment runner).
+    #[must_use]
+    pub fn worker_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+        }
+    }
+
+    /// The oracle bundle configuration these options imply.
+    #[must_use]
+    pub fn check_options(&self) -> CheckOptions {
+        let mut check = if self.quick {
+            CheckOptions::quick()
+        } else {
+            CheckOptions::new()
+        };
+        check.slots = self.slots;
+        check.inject = self.inject;
+        check
+    }
+}
+
+/// A violation together with the full task set that produced it — the
+/// input to the shrinker.
+#[derive(Debug, Clone)]
+pub struct ViolationCase {
+    /// Campaign-wide set index.
+    pub set_index: u64,
+    /// Derived seed that regenerates the set.
+    pub set_seed: u64,
+    /// Memory latency the set was validated with.
+    pub d_mem: Time,
+    /// The offending task set.
+    pub tasks: TaskSet,
+    /// The first violation the oracle bundle recorded for it.
+    pub violation: Violation,
+}
+
+/// Result of [`run_campaign`].
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// The structured report (serialize with [`ValidationReport::to_json`]).
+    pub report: ValidationReport,
+    /// Violation cases retained for shrinking, ordered by set index.
+    pub cases: Vec<ViolationCase>,
+}
+
+/// The randomized per-set workload profile: small two-core sets across a
+/// band of per-core utilizations, drawn deterministically from `set_seed`.
+/// Returns the configuration and the RNG (already advanced past the
+/// profile draws) that generation must continue from.
+fn profile_for(set_seed: u64) -> (GeneratorConfig, ChaCha8Rng) {
+    let mut rng = ChaCha8Rng::seed_from_u64(set_seed);
+    let utilization = rng.gen_range(0.10..0.55);
+    let tasks_per_core = rng.gen_range(3usize..6);
+    let cache_sets = if rng.gen_bool(0.5) { 256 } else { 128 };
+    let mut config = GeneratorConfig {
+        cores: 2,
+        tasks_per_core,
+        ..GeneratorConfig::paper_default()
+    }
+    .with_per_core_utilization(utilization)
+    .with_cache_sets(cache_sets);
+    config.d_mem = GeneratorConfig::paper_default().d_mem;
+    (config, rng)
+}
+
+#[derive(Default)]
+struct WorkerPartial {
+    checked: u64,
+    generation_failures: u64,
+    schedulable: u64,
+    oracles: OracleStats,
+    records: Vec<ViolationRecord>,
+    cases: Vec<ViolationCase>,
+}
+
+/// Runs a validation campaign.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (which only happens on internal
+/// invariant failures, not on oracle violations — those are reported).
+#[must_use]
+pub fn run_campaign(opts: &CampaignOptions) -> CampaignOutcome {
+    let started = Instant::now();
+    let sets = opts.sets;
+    let threads = opts.worker_threads().max(1).min(sets.max(1) as usize);
+    let base_check = opts.check_options();
+
+    let progress = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+    let mut partials: Vec<WorkerPartial> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        if opts.progress {
+            let progress = &progress;
+            let done = &done;
+            scope.spawn(move || {
+                let mut last = u64::MAX;
+                while !done.load(Ordering::Relaxed) {
+                    let n = progress.load(Ordering::Relaxed);
+                    if n != last {
+                        eprint!("\rvalidated {n}/{sets} task sets");
+                        last = n;
+                    }
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+                eprintln!(
+                    "\rvalidated {}/{sets} task sets",
+                    progress.load(Ordering::Relaxed)
+                );
+            });
+        }
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let base_check = &base_check;
+            let progress = &progress;
+            let base_seed = opts.seed;
+            let handle = scope.spawn(move || {
+                let mut partial = WorkerPartial::default();
+                let mut set = worker as u64;
+                while set < sets {
+                    validate_one_set(set, base_seed, base_check, &mut partial);
+                    progress.fetch_add(1, Ordering::Relaxed);
+                    set += threads as u64;
+                }
+                partial
+            });
+            handles.push(handle);
+        }
+        for handle in handles {
+            partials.push(handle.join().expect("validation worker panicked"));
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+
+    let mut stats = CampaignStats::default();
+    let mut cases = Vec::new();
+    for partial in partials {
+        stats.checked_sets += partial.checked;
+        stats.generation_failures += partial.generation_failures;
+        stats.schedulable_sets += partial.schedulable;
+        stats.oracles.merge(&partial.oracles);
+        stats.violations.extend(partial.records);
+        cases.extend(partial.cases);
+    }
+    // Workers finish in arbitrary order; canonical order keeps the report
+    // (and therefore CampaignStats equality) thread-count invariant.
+    stats.violations.sort_by_key(|v| v.set_index);
+    cases.sort_by_key(|c| c.set_index);
+
+    let wall_clock_secs = started.elapsed().as_secs_f64();
+    let report = ValidationReport {
+        schema: REPORT_SCHEMA,
+        options: OptionsSummary {
+            sets,
+            seed: opts.seed,
+            threads,
+            slots: opts.slots,
+            quick: opts.quick,
+            inject: opts.inject.label().to_string(),
+        },
+        stats,
+        wall_clock_secs,
+        sets_per_second: if wall_clock_secs > 0.0 {
+            sets as f64 / wall_clock_secs
+        } else {
+            0.0
+        },
+    };
+    CampaignOutcome { report, cases }
+}
+
+fn validate_one_set(
+    set: u64,
+    base_seed: u64,
+    base_check: &CheckOptions,
+    partial: &mut WorkerPartial,
+) {
+    let set_seed = derive_seed(base_seed, CAMPAIGN_POINT, set);
+    let (config, mut rng) = profile_for(set_seed);
+    let generator = TaskSetGenerator::new(config.clone())
+        .expect("campaign profiles are always valid generator configs");
+    let Ok(tasks) = generator.generate(&mut rng) else {
+        partial.generation_failures += 1;
+        return;
+    };
+    let platform = platform_for(&config);
+
+    let mut check = base_check.clone();
+    check.sporadic_seed = set_seed;
+    check.determinism = set % DETERMINISM_STRIDE == 0;
+
+    // Generation determinism: the same derived seed must reproduce the
+    // task set exactly (folded into the determinism oracle).
+    if check.determinism {
+        let (config_again, mut rng_again) = profile_for(set_seed);
+        let regenerated = TaskSetGenerator::new(config_again)
+            .ok()
+            .and_then(|g| g.generate(&mut rng_again).ok());
+        let stat = partial.oracles.stat_mut(OracleKind::Determinism);
+        stat.checks += 1;
+        if regenerated.as_ref() != Some(&tasks) {
+            stat.violations += 1;
+            record_violation(
+                partial,
+                set,
+                set_seed,
+                config.d_mem,
+                &tasks,
+                Violation {
+                    oracle: OracleKind::Determinism,
+                    message: "regenerating from the same seed produced a different task set"
+                        .to_string(),
+                },
+            );
+        }
+    }
+
+    let outcome = check_task_set(&platform, &tasks, &check)
+        .expect("generated task sets always fit their platform");
+    partial.checked += 1;
+    if outcome.any_schedulable {
+        partial.schedulable += 1;
+    }
+    partial.oracles.merge(&outcome.stats);
+    for violation in outcome.violations {
+        record_violation(partial, set, set_seed, config.d_mem, &tasks, violation);
+    }
+}
+
+fn record_violation(
+    partial: &mut WorkerPartial,
+    set: u64,
+    set_seed: u64,
+    d_mem: Time,
+    tasks: &TaskSet,
+    violation: Violation,
+) {
+    partial.records.push(ViolationRecord {
+        set_index: set,
+        set_seed,
+        oracle: violation.oracle,
+        message: violation.message.clone(),
+        repro: None,
+    });
+    // Keep one shrinkable case per set (the first violation), a few per
+    // worker.
+    let already_kept = partial.cases.last().is_some_and(|c| c.set_index == set);
+    if !already_kept && partial.cases.len() < MAX_CASES_PER_WORKER {
+        partial.cases.push(ViolationCase {
+            set_index: set,
+            set_seed,
+            d_mem,
+            tasks: tasks.clone(),
+            violation,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts(sets: u64) -> CampaignOptions {
+        CampaignOptions::new()
+            .with_sets(sets)
+            .with_quick(true)
+            .with_seed(42)
+    }
+
+    #[test]
+    fn clean_campaign_passes_and_counts_every_set() {
+        let outcome = run_campaign(&quick_opts(6));
+        assert!(outcome.report.passed(), "{}", outcome.report.summary());
+        assert_eq!(outcome.report.stats.checked_sets, 6);
+        assert!(outcome.report.stats.oracles.total_checks() > 0);
+        assert!(outcome.cases.is_empty());
+    }
+
+    #[test]
+    fn campaign_stats_are_thread_count_invariant() {
+        let single = run_campaign(&quick_opts(5).with_threads(1));
+        let multi = run_campaign(&quick_opts(5).with_threads(4));
+        assert_eq!(single.report.stats, multi.report.stats);
+    }
+
+    #[test]
+    fn injected_faults_surface_as_cases_and_records() {
+        let outcome = run_campaign(&quick_opts(4).with_inject(Inject::Soundness));
+        assert!(!outcome.report.passed());
+        assert!(!outcome.cases.is_empty());
+        assert!(outcome
+            .report
+            .stats
+            .violations
+            .iter()
+            .all(|v| v.oracle == OracleKind::Soundness));
+        // Cases arrive sorted and reference sets the report also lists.
+        let indices: Vec<u64> = outcome.cases.iter().map(|c| c.set_index).collect();
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        assert_eq!(indices, sorted);
+    }
+
+    #[test]
+    fn profile_is_deterministic_in_the_seed() {
+        let (a, _) = profile_for(99);
+        let (b, _) = profile_for(99);
+        assert_eq!(a.per_core_utilization, b.per_core_utilization);
+        assert_eq!(a.tasks_per_core, b.tasks_per_core);
+        assert_eq!(a.cache_sets, b.cache_sets);
+    }
+}

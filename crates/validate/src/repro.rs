@@ -1,0 +1,190 @@
+//! Self-contained, replayable violation repro files.
+//!
+//! A [`Repro`] bundles everything needed to re-execute one oracle
+//! violation: the (minimized) task set itself, the platform and oracle
+//! parameters it was checked with, and provenance back to the campaign
+//! that found it. `cpa-validate replay <file>` re-runs the bundle and
+//! reports whether the stored oracle still fires — no access to the
+//! original campaign or its seeds required.
+
+use std::fmt;
+use std::path::Path;
+
+use cpa_model::{TaskSet, Time};
+use serde::{Deserialize, Serialize};
+
+use crate::oracle::{check_task_set, platform_for_tasks, CheckOptions, OracleKind, SetOutcome};
+
+/// Current repro file schema version.
+pub const REPRO_SCHEMA: u32 = 1;
+
+/// A self-contained violation reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Repro {
+    /// Repro file schema version.
+    pub schema: u32,
+    /// Human-readable description of the finding.
+    pub description: String,
+    /// Base seed of the campaign that found the violation.
+    pub campaign_seed: u64,
+    /// Campaign-wide index of the originating task set.
+    pub set_index: u64,
+    /// Derived per-set seed.
+    pub set_seed: u64,
+    /// Memory latency `d_mem` (cycles) of the validated platform.
+    pub d_mem: u64,
+    /// Oracle-bundle options the violation was found (and replays) under.
+    pub options: CheckOptions,
+    /// The oracle that fired.
+    pub oracle: OracleKind,
+    /// The recorded violation message.
+    pub message: String,
+    /// The minimized task set.
+    pub tasks: TaskSet,
+}
+
+/// Failure to load or replay a repro file.
+#[derive(Debug)]
+pub enum ReproError {
+    /// Reading the file failed.
+    Io(std::io::Error),
+    /// The file is not a valid repro document.
+    Parse(String),
+}
+
+impl fmt::Display for ReproError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReproError::Io(e) => write!(f, "cannot read repro file: {e}"),
+            ReproError::Parse(msg) => write!(f, "invalid repro file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ReproError {}
+
+/// Result of replaying a repro.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Whether the stored oracle fired again.
+    pub reproduced: bool,
+    /// The full oracle-bundle outcome of the replay.
+    pub outcome: SetOutcome,
+}
+
+impl Repro {
+    /// Pretty-printed JSON form.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("repro serialization is infallible")
+    }
+
+    /// Parses a repro document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReproError::Parse`] for malformed JSON, schema mismatches,
+    /// or an embedded task set that fails model validation.
+    pub fn from_json(json: &str) -> Result<Self, ReproError> {
+        let repro: Repro =
+            serde_json::from_str(json).map_err(|e| ReproError::Parse(e.to_string()))?;
+        if repro.schema != REPRO_SCHEMA {
+            return Err(ReproError::Parse(format!(
+                "unsupported schema {} (this build reads schema {REPRO_SCHEMA})",
+                repro.schema
+            )));
+        }
+        Ok(repro)
+    }
+
+    /// Writes the repro to `path` as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json() + "\n")
+    }
+
+    /// Loads a repro from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReproError`] for unreadable files or malformed documents.
+    pub fn load(path: &Path) -> Result<Self, ReproError> {
+        let json = std::fs::read_to_string(path).map_err(ReproError::Io)?;
+        Repro::from_json(&json)
+    }
+
+    /// Re-runs the oracle bundle on the embedded task set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReproError::Parse`] when the embedded task set does not
+    /// fit any platform (corrupted document).
+    pub fn replay(&self) -> Result<ReplayOutcome, ReproError> {
+        let platform = platform_for_tasks(&self.tasks, Time::from_cycles(self.d_mem))
+            .map_err(|e| ReproError::Parse(e.to_string()))?;
+        let outcome = check_task_set(&platform, &self.tasks, &self.options)
+            .map_err(|e| ReproError::Parse(e.to_string()))?;
+        let reproduced = outcome.violations.iter().any(|v| v.oracle == self.oracle);
+        Ok(ReplayOutcome {
+            reproduced,
+            outcome,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, CampaignOptions};
+    use crate::oracle::Inject;
+    use crate::shrink::shrink_case;
+
+    fn injected_repro() -> Repro {
+        let opts = CampaignOptions::new()
+            .with_sets(2)
+            .with_quick(true)
+            .with_seed(42)
+            .with_inject(Inject::Soundness);
+        let outcome = run_campaign(&opts);
+        let case = outcome.cases.first().expect("injection produces a case");
+        let check = opts.check_options();
+        let shrunk = shrink_case(case, &check).expect("violation reproduces");
+        Repro {
+            schema: REPRO_SCHEMA,
+            description: "test repro".to_string(),
+            campaign_seed: opts.seed,
+            set_index: case.set_index,
+            set_seed: case.set_seed,
+            d_mem: case.d_mem.cycles(),
+            options: check,
+            oracle: case.violation.oracle,
+            message: shrunk.violation.message,
+            tasks: shrunk.tasks,
+        }
+    }
+
+    #[test]
+    fn repro_round_trips_and_replays() {
+        let repro = injected_repro();
+        let parsed = Repro::from_json(&repro.to_json()).expect("round-trips");
+        assert_eq!(parsed, repro);
+        let replay = parsed.replay().expect("replayable");
+        assert!(replay.reproduced, "minimized repro must reproduce");
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let mut repro = injected_repro();
+        repro.schema = 99;
+        let err = Repro::from_json(&repro.to_json()).unwrap_err();
+        assert!(err.to_string().contains("unsupported schema 99"), "{err}");
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(Repro::from_json("not json").is_err());
+    }
+}

@@ -170,7 +170,10 @@ impl TaskSetGenerator {
             return Err(invalid("benchmark pool is empty".into()));
         }
         if let Some(bad) = config.pool.iter().find(|b| !b.is_consistent()) {
-            return Err(invalid(format!("benchmark `{}` violates invariants", bad.name)));
+            return Err(invalid(format!(
+                "benchmark `{}` violates invariants",
+                bad.name
+            )));
         }
         Ok(TaskSetGenerator { config })
     }
@@ -200,9 +203,9 @@ impl TaskSetGenerator {
                 let offset = rng.gen_range(0..cfg.cache_sets);
                 let sizing_d_mem = cfg.period_d_mem.unwrap_or(cfg.d_mem);
                 let demand = match cfg.utilization_model {
-                    UtilizationModel::MemoryScaled => {
-                        bench.pd.saturating_add(bench.md.saturating_mul(sizing_d_mem.cycles()))
-                    }
+                    UtilizationModel::MemoryScaled => bench
+                        .pd
+                        .saturating_add(bench.md.saturating_mul(sizing_d_mem.cycles())),
                     UtilizationModel::Raw => bench.pd.saturating_add(bench.md),
                 };
                 let period = period_for(demand, utilization);
@@ -240,8 +243,16 @@ impl TaskSetGenerator {
                 .deadline(Time::from_cycles(draft.period))
                 .core(CoreId::new(draft.core))
                 .priority(Priority::new(rank as u32))
-                .ecb(CacheBlockSet::contiguous(cfg.cache_sets, draft.offset, ecb_len))
-                .pcb(CacheBlockSet::contiguous(cfg.cache_sets, draft.offset, pcb_len))
+                .ecb(CacheBlockSet::contiguous(
+                    cfg.cache_sets,
+                    draft.offset,
+                    ecb_len,
+                ))
+                .pcb(CacheBlockSet::contiguous(
+                    cfg.cache_sets,
+                    draft.offset,
+                    pcb_len,
+                ))
                 .ucb(CacheBlockSet::contiguous(
                     cfg.cache_sets,
                     draft.offset,
@@ -330,7 +341,9 @@ mod tests {
 
     #[test]
     fn paper_default_shape() {
-        let ts = generator(0.5).generate(&mut ChaCha8Rng::seed_from_u64(1)).unwrap();
+        let ts = generator(0.5)
+            .generate(&mut ChaCha8Rng::seed_from_u64(1))
+            .unwrap();
         assert_eq!(ts.len(), 32);
         for core in 0..4 {
             assert_eq!(ts.on_core(CoreId::new(core)).count(), 8);
@@ -353,7 +366,9 @@ mod tests {
 
     #[test]
     fn deadline_monotonic_priorities() {
-        let ts = generator(0.3).generate(&mut ChaCha8Rng::seed_from_u64(3)).unwrap();
+        let ts = generator(0.3)
+            .generate(&mut ChaCha8Rng::seed_from_u64(3))
+            .unwrap();
         // TaskSet sorts by priority; DM means deadlines are non-decreasing.
         let deadlines: Vec<u64> = ts.iter().map(|t| t.deadline().cycles()).collect();
         let mut sorted = deadlines.clone();

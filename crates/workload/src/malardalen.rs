@@ -67,12 +67,66 @@ impl BenchmarkParams {
 pub fn published_benchmarks() -> &'static [BenchmarkParams] {
     const P: Provenance = Provenance::PublishedTable1;
     const TABLE: [BenchmarkParams; 6] = [
-        BenchmarkParams { name: "lcdnum", pd: 984, md: 1_440, md_r: 192, ecb: 20, pcb: 20, ucb: 20, provenance: P },
-        BenchmarkParams { name: "bsort100", pd: 710_289, md: 89_893, md_r: 88_907, ecb: 20, pcb: 20, ucb: 18, provenance: P },
-        BenchmarkParams { name: "ludcmp", pd: 27_036, md: 8_607, md_r: 3_545, ecb: 98, pcb: 98, ucb: 98, provenance: P },
-        BenchmarkParams { name: "fdct", pd: 6_550, md: 6_017, md_r: 819, ecb: 106, pcb: 22, ucb: 58, provenance: P },
-        BenchmarkParams { name: "nsichneu", pd: 22_009, md: 147_200, md_r: 147_200, ecb: 256, pcb: 0, ucb: 256, provenance: P },
-        BenchmarkParams { name: "statemate", pd: 10_586, md: 18_257, md_r: 3_891, ecb: 256, pcb: 36, ucb: 256, provenance: P },
+        BenchmarkParams {
+            name: "lcdnum",
+            pd: 984,
+            md: 1_440,
+            md_r: 192,
+            ecb: 20,
+            pcb: 20,
+            ucb: 20,
+            provenance: P,
+        },
+        BenchmarkParams {
+            name: "bsort100",
+            pd: 710_289,
+            md: 89_893,
+            md_r: 88_907,
+            ecb: 20,
+            pcb: 20,
+            ucb: 18,
+            provenance: P,
+        },
+        BenchmarkParams {
+            name: "ludcmp",
+            pd: 27_036,
+            md: 8_607,
+            md_r: 3_545,
+            ecb: 98,
+            pcb: 98,
+            ucb: 98,
+            provenance: P,
+        },
+        BenchmarkParams {
+            name: "fdct",
+            pd: 6_550,
+            md: 6_017,
+            md_r: 819,
+            ecb: 106,
+            pcb: 22,
+            ucb: 58,
+            provenance: P,
+        },
+        BenchmarkParams {
+            name: "nsichneu",
+            pd: 22_009,
+            md: 147_200,
+            md_r: 147_200,
+            ecb: 256,
+            pcb: 0,
+            ucb: 256,
+            provenance: P,
+        },
+        BenchmarkParams {
+            name: "statemate",
+            pd: 10_586,
+            md: 18_257,
+            md_r: 3_891,
+            ecb: 256,
+            pcb: 36,
+            ucb: 256,
+            provenance: P,
+        },
     ];
     &TABLE
 }
@@ -85,28 +139,172 @@ pub fn benchmarks() -> &'static [BenchmarkParams] {
     const S: Provenance = Provenance::Synthesized;
     const TABLE: [BenchmarkParams; 16] = [
         // Published (Table I).
-        BenchmarkParams { name: "lcdnum", pd: 984, md: 1_440, md_r: 192, ecb: 20, pcb: 20, ucb: 20, provenance: P },
-        BenchmarkParams { name: "bsort100", pd: 710_289, md: 89_893, md_r: 88_907, ecb: 20, pcb: 20, ucb: 18, provenance: P },
-        BenchmarkParams { name: "ludcmp", pd: 27_036, md: 8_607, md_r: 3_545, ecb: 98, pcb: 98, ucb: 98, provenance: P },
-        BenchmarkParams { name: "fdct", pd: 6_550, md: 6_017, md_r: 819, ecb: 106, pcb: 22, ucb: 58, provenance: P },
-        BenchmarkParams { name: "nsichneu", pd: 22_009, md: 147_200, md_r: 147_200, ecb: 256, pcb: 0, ucb: 256, provenance: P },
-        BenchmarkParams { name: "statemate", pd: 10_586, md: 18_257, md_r: 3_891, ecb: 256, pcb: 36, ucb: 256, provenance: P },
+        BenchmarkParams {
+            name: "lcdnum",
+            pd: 984,
+            md: 1_440,
+            md_r: 192,
+            ecb: 20,
+            pcb: 20,
+            ucb: 20,
+            provenance: P,
+        },
+        BenchmarkParams {
+            name: "bsort100",
+            pd: 710_289,
+            md: 89_893,
+            md_r: 88_907,
+            ecb: 20,
+            pcb: 20,
+            ucb: 18,
+            provenance: P,
+        },
+        BenchmarkParams {
+            name: "ludcmp",
+            pd: 27_036,
+            md: 8_607,
+            md_r: 3_545,
+            ecb: 98,
+            pcb: 98,
+            ucb: 98,
+            provenance: P,
+        },
+        BenchmarkParams {
+            name: "fdct",
+            pd: 6_550,
+            md: 6_017,
+            md_r: 819,
+            ecb: 106,
+            pcb: 22,
+            ucb: 58,
+            provenance: P,
+        },
+        BenchmarkParams {
+            name: "nsichneu",
+            pd: 22_009,
+            md: 147_200,
+            md_r: 147_200,
+            ecb: 256,
+            pcb: 0,
+            ucb: 256,
+            provenance: P,
+        },
+        BenchmarkParams {
+            name: "statemate",
+            pd: 10_586,
+            md: 18_257,
+            md_r: 3_891,
+            ecb: 256,
+            pcb: 36,
+            ucb: 256,
+            provenance: P,
+        },
         // Synthesized extension rows (see module docs).
         // Tiny straight-line / small-loop kernels: small footprints, highly
         // persistent (everything fits, no self-eviction).
-        BenchmarkParams { name: "bs", pd: 445, md: 640, md_r: 64, ecb: 9, pcb: 9, ucb: 8, provenance: S },
-        BenchmarkParams { name: "fibcall", pd: 310, md: 480, md_r: 48, ecb: 7, pcb: 7, ucb: 7, provenance: S },
-        BenchmarkParams { name: "insertsort", pd: 3_892, md: 1_910, md_r: 210, ecb: 14, pcb: 14, ucb: 12, provenance: S },
+        BenchmarkParams {
+            name: "bs",
+            pd: 445,
+            md: 640,
+            md_r: 64,
+            ecb: 9,
+            pcb: 9,
+            ucb: 8,
+            provenance: S,
+        },
+        BenchmarkParams {
+            name: "fibcall",
+            pd: 310,
+            md: 480,
+            md_r: 48,
+            ecb: 7,
+            pcb: 7,
+            ucb: 7,
+            provenance: S,
+        },
+        BenchmarkParams {
+            name: "insertsort",
+            pd: 3_892,
+            md: 1_910,
+            md_r: 210,
+            ecb: 14,
+            pcb: 14,
+            ucb: 12,
+            provenance: S,
+        },
         // Medium loop nests: moderate footprints, mostly persistent.
-        BenchmarkParams { name: "crc", pd: 38_420, md: 5_120, md_r: 1_180, ecb: 42, pcb: 38, ucb: 40, provenance: S },
-        BenchmarkParams { name: "expint", pd: 4_580, md: 2_304, md_r: 512, ecb: 26, pcb: 24, ucb: 22, provenance: S },
-        BenchmarkParams { name: "matmult", pd: 93_610, md: 11_520, md_r: 9_216, ecb: 33, pcb: 33, ucb: 30, provenance: S },
-        BenchmarkParams { name: "jfdctint", pd: 8_934, md: 7_680, md_r: 1_024, ecb: 118, pcb: 30, ucb: 64, provenance: S },
+        BenchmarkParams {
+            name: "crc",
+            pd: 38_420,
+            md: 5_120,
+            md_r: 1_180,
+            ecb: 42,
+            pcb: 38,
+            ucb: 40,
+            provenance: S,
+        },
+        BenchmarkParams {
+            name: "expint",
+            pd: 4_580,
+            md: 2_304,
+            md_r: 512,
+            ecb: 26,
+            pcb: 24,
+            ucb: 22,
+            provenance: S,
+        },
+        BenchmarkParams {
+            name: "matmult",
+            pd: 93_610,
+            md: 11_520,
+            md_r: 9_216,
+            ecb: 33,
+            pcb: 33,
+            ucb: 30,
+            provenance: S,
+        },
+        BenchmarkParams {
+            name: "jfdctint",
+            pd: 8_934,
+            md: 7_680,
+            md_r: 1_024,
+            ecb: 118,
+            pcb: 30,
+            ucb: 64,
+            provenance: S,
+        },
         // Large code: big footprints with partial persistence, in the
         // statemate/nsichneu style.
-        BenchmarkParams { name: "edn", pd: 64_760, md: 23_040, md_r: 6_144, ecb: 184, pcb: 60, ucb: 150, provenance: S },
-        BenchmarkParams { name: "adpcm", pd: 121_400, md: 33_280, md_r: 20_480, ecb: 230, pcb: 44, ucb: 200, provenance: S },
-        BenchmarkParams { name: "compress", pd: 45_190, md: 15_360, md_r: 8_192, ecb: 146, pcb: 52, ucb: 120, provenance: S },
+        BenchmarkParams {
+            name: "edn",
+            pd: 64_760,
+            md: 23_040,
+            md_r: 6_144,
+            ecb: 184,
+            pcb: 60,
+            ucb: 150,
+            provenance: S,
+        },
+        BenchmarkParams {
+            name: "adpcm",
+            pd: 121_400,
+            md: 33_280,
+            md_r: 20_480,
+            ecb: 230,
+            pcb: 44,
+            ucb: 200,
+            provenance: S,
+        },
+        BenchmarkParams {
+            name: "compress",
+            pd: 45_190,
+            md: 15_360,
+            md_r: 8_192,
+            ecb: 146,
+            pcb: 52,
+            ucb: 120,
+            provenance: S,
+        },
     ];
     &TABLE
 }

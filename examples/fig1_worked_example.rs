@@ -67,23 +67,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut resp = vec![Time::ZERO; 3];
     resp[t3.index()] = Time::from_cycles(10);
 
-    println!("Eq. (2)   γ_2,1,x  = |UCB_2 ∩ ECB_1|           = {}", ctx.gamma(t2, t1));
-    println!("Eq. (10)  M̂D_1(3) = min(3·6, 3·1 + |PCB_1|)   = {}", md_hat(&tasks[t1], 3));
-    println!("Eq. (14)  ρ̂_1,2,x(3) = 2·|PCB_1 ∩ ECB_2|      = {}", ctx.cpro(t1, t2, 3));
+    println!(
+        "Eq. (2)   γ_2,1,x  = |UCB_2 ∩ ECB_1|           = {}",
+        ctx.gamma(t2, t1)
+    );
+    println!(
+        "Eq. (10)  M̂D_1(3) = min(3·6, 3·1 + |PCB_1|)   = {}",
+        md_hat(&tasks[t1], 3)
+    );
+    println!(
+        "Eq. (14)  ρ̂_1,2,x(3) = 2·|PCB_1 ∩ ECB_2|      = {}",
+        ctx.cpro(t1, t2, 3)
+    );
     println!();
-    println!("Eq. (12)  BAS_2^x  (oblivious)                 = {}", bas_oblivious(&ctx, t2, window));
-    println!("Eq. (15)  BÂS_2^x  (persistence-aware)         = {}", bas_aware(&ctx, t2, window));
-    println!("Eq. (13)  BAO_3^y  (oblivious)                 = {}", bao_oblivious(&ctx, t3, CoreId::new(1), window, &resp));
-    println!("          BÂO_3^y  (persistence-aware)         = {}", bao_aware(&ctx, t3, CoreId::new(1), window, &resp));
+    println!(
+        "Eq. (12)  BAS_2^x  (oblivious)                 = {}",
+        bas_oblivious(&ctx, t2, window)
+    );
+    println!(
+        "Eq. (15)  BÂS_2^x  (persistence-aware)         = {}",
+        bas_aware(&ctx, t2, window)
+    );
+    println!(
+        "Eq. (13)  BAO_3^y  (oblivious)                 = {}",
+        bao_oblivious(&ctx, t3, CoreId::new(1), window, &resp)
+    );
+    println!(
+        "          BÂO_3^y  (persistence-aware)         = {}",
+        bao_aware(&ctx, t3, CoreId::new(1), window, &resp)
+    );
     println!();
 
-    let oblivious = AnalysisConfig::new(BusPolicy::RoundRobin { slots: 1 }, PersistenceMode::Oblivious);
+    let oblivious = AnalysisConfig::new(
+        BusPolicy::RoundRobin { slots: 1 },
+        PersistenceMode::Oblivious,
+    );
     let aware = AnalysisConfig::new(BusPolicy::RoundRobin { slots: 1 }, PersistenceMode::Aware);
-    println!("Eq. (11)  BAT_2^x RR(s=1) oblivious            = {}", bat(&ctx, t2, window, &resp, &oblivious));
-    println!("          BAT_2^x RR(s=1) persistence-aware    = {}", bat(&ctx, t2, window, &resp, &aware));
+    println!(
+        "Eq. (11)  BAT_2^x RR(s=1) oblivious            = {}",
+        bat(&ctx, t2, window, &resp, &oblivious)
+    );
+    println!(
+        "          BAT_2^x RR(s=1) persistence-aware    = {}",
+        bat(&ctx, t2, window, &resp, &aware)
+    );
     println!();
-    println!("The persistence-aware analysis accounts for {} fewer bus",
-        bat(&ctx, t2, window, &resp, &oblivious) - bat(&ctx, t2, window, &resp, &aware));
+    println!(
+        "The persistence-aware analysis accounts for {} fewer bus",
+        bat(&ctx, t2, window, &resp, &oblivious) - bat(&ctx, t2, window, &resp, &aware)
+    );
     println!("accesses in τ2's response window — the paper's Fig. 1 gap.");
 
     // And the full WCRT (Eq. (19)) under both modes.

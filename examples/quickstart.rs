@@ -5,7 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use cpa::analysis::{analyze, explain, AnalysisConfig, AnalysisContext, BusPolicy, PersistenceMode};
+use cpa::analysis::{
+    analyze, explain, AnalysisConfig, AnalysisContext, BusPolicy, PersistenceMode,
+};
 use cpa::model::{CacheBlockSet, CoreId, Platform, Priority, Task, TaskSet, Time};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -19,8 +21,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // cache-hit execution time PD, its worst-case memory demand MD, the
     // residual demand MD^r once its persistent blocks are cached, and its
     // cache footprint (ECB ⊇ PCB, UCB).
-    let mk = |name: &str, prio: u32, core: usize, pd: u64, md: u64, md_r: u64,
-              period: u64, start: usize, ecb: usize, pcb: usize|
+    let mk = |name: &str,
+              prio: u32,
+              core: usize,
+              pd: u64,
+              md: u64,
+              md_r: u64,
+              period: u64,
+              start: usize,
+              ecb: usize,
+              pcb: usize|
      -> Result<Task, cpa::model::ModelError> {
         let ecb_set = CacheBlockSet::contiguous(256, start, ecb);
         let pcb_set = CacheBlockSet::contiguous(256, start, pcb);

@@ -33,13 +33,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ctx = AnalysisContext::new(&platform, &tasks)?;
 
     println!("{platform}");
-    println!("seed {seed}: {} tasks, total utilization {:.3}\n", tasks.len(),
-        tasks.total_utilization(platform.memory_latency()));
+    println!(
+        "seed {seed}: {} tasks, total utilization {:.3}\n",
+        tasks.len(),
+        tasks.total_utilization(platform.memory_latency())
+    );
 
     for (bus, arbitration) in [
         (BusPolicy::FixedPriority, BusArbitration::FixedPriority),
-        (BusPolicy::RoundRobin { slots: 2 }, BusArbitration::RoundRobin { slots: 2 }),
-        (BusPolicy::Tdma { slots: 2 }, BusArbitration::Tdma { slots: 2 }),
+        (
+            BusPolicy::RoundRobin { slots: 2 },
+            BusArbitration::RoundRobin { slots: 2 },
+        ),
+        (
+            BusPolicy::Tdma { slots: 2 },
+            BusArbitration::Tdma { slots: 2 },
+        ),
     ] {
         let result = analyze(&ctx, &AnalysisConfig::new(bus, PersistenceMode::Aware));
         println!("== {bus} ==");
@@ -65,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.bus_utilization(),
             report.bus_transactions
         );
-        println!("  {:<16} {:>12} {:>12} {:>8}", "task", "WCRT bound", "observed", "slack");
+        println!(
+            "  {:<16} {:>12} {:>12} {:>8}",
+            "task", "WCRT bound", "observed", "slack"
+        );
         for i in tasks.ids() {
             let bound = result.response_time(i).expect("schedulable");
             let observed = report.task(i).max_response;

@@ -23,7 +23,12 @@ fn fig2_dominance_and_policy_ordering() {
         let aware = &r.series[0];
         let oblivious = &r.series[1];
         let perfect = &r.series[2];
-        for ((a, o), p) in aware.points.iter().zip(&oblivious.points).zip(&perfect.points) {
+        for ((a, o), p) in aware
+            .points
+            .iter()
+            .zip(&oblivious.points)
+            .zip(&perfect.points)
+        {
             assert!(a.schedulable >= o.schedulable, "{} @ {}", r.id, a.x);
             assert!(p.schedulable >= a.schedulable, "{} @ {}", r.id, a.x);
         }
@@ -39,8 +44,14 @@ fn fig2_dominance_and_policy_ordering() {
             .sum()
     };
     for mode in [0usize, 1] {
-        assert!(total(0, mode) >= total(1, mode), "FP < RR for series {mode}");
-        assert!(total(1, mode) >= total(2, mode), "RR < TDMA for series {mode}");
+        assert!(
+            total(0, mode) >= total(1, mode),
+            "FP < RR for series {mode}"
+        );
+        assert!(
+            total(1, mode) >= total(2, mode),
+            "RR < TDMA for series {mode}"
+        );
     }
 
     // The headline phenomenon: somewhere in the sweep the aware analysis
@@ -101,7 +112,11 @@ fn fig3c_bigger_caches_help_aware_analyses_more() {
             "{}: aware gained {aware_gain}, oblivious {obl_gain}",
             r.series[aware_idx].label
         );
-        assert!(aware_gain > 0.0, "{}: no cache-size benefit", r.series[aware_idx].label);
+        assert!(
+            aware_gain > 0.0,
+            "{}: no cache-size benefit",
+            r.series[aware_idx].label
+        );
     }
 }
 
@@ -111,7 +126,11 @@ fn fig3d_more_slots_hurt_rr_and_tdma_but_not_fp() {
     // FP (series 0, 1) is slot-independent: exactly flat.
     for s in &r.series[0..2] {
         for p in &s.points[1..] {
-            assert!((p.weighted - s.points[0].weighted).abs() < 1e-12, "{}", s.label);
+            assert!(
+                (p.weighted - s.points[0].weighted).abs() < 1e-12,
+                "{}",
+                s.label
+            );
         }
     }
     // RR and TDMA decline as s grows.

@@ -1,0 +1,162 @@
+//! Simulator determinism and accounting invariants.
+//!
+//! These are the simulator-side counterparts of the `cpa-validate`
+//! accounting oracle: structural properties of [`cpa::sim::SimReport`]
+//! that must hold on *every* run, independent of workload, bus policy, or
+//! release model — plus bit-exact reproducibility in the seed.
+
+use cpa::model::{Platform, TaskSet, Time};
+use cpa::sim::{BusArbitration, ReleaseModel, SimConfig, SimReport, Simulator};
+use cpa::workload::{GeneratorConfig, TaskSetGenerator};
+use cpa_model::CacheGeometry;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const HORIZON: u64 = 150_000;
+
+fn generated_system(seed: u64) -> (Platform, TaskSet) {
+    let config = GeneratorConfig {
+        cores: 2,
+        tasks_per_core: 3,
+        ..GeneratorConfig::paper_default()
+    }
+    .with_per_core_utilization(0.35);
+    let platform = Platform::builder()
+        .cores(config.cores)
+        .cache(CacheGeometry::direct_mapped(config.cache_sets, 32))
+        .memory_latency(config.d_mem)
+        .build()
+        .expect("valid platform");
+    let generator = TaskSetGenerator::new(config).expect("valid config");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let tasks = generator.generate(&mut rng).expect("generation succeeds");
+    (platform, tasks)
+}
+
+fn simulate(platform: &Platform, tasks: &TaskSet, config: SimConfig) -> SimReport {
+    Simulator::new(platform, tasks, config)
+        .expect("task set fits platform")
+        .run()
+}
+
+fn bus_matrix() -> [BusArbitration; 3] {
+    [
+        BusArbitration::FixedPriority,
+        BusArbitration::RoundRobin { slots: 2 },
+        BusArbitration::Tdma { slots: 2 },
+    ]
+}
+
+/// Same config (including the sporadic seed) ⇒ bit-identical report, for
+/// every bus policy and both release models.
+#[test]
+fn identical_configs_produce_identical_reports() {
+    let (platform, tasks) = generated_system(3);
+    for bus in bus_matrix() {
+        for releases in [
+            ReleaseModel::Synchronous,
+            ReleaseModel::Sporadic {
+                seed: 77,
+                max_extra_percent: 40,
+            },
+        ] {
+            let config = SimConfig::new(bus)
+                .with_horizon(Time::from_cycles(HORIZON))
+                .with_releases(releases);
+            let first = simulate(&platform, &tasks, config);
+            let second = simulate(&platform, &tasks, config);
+            assert_eq!(first, second, "{bus:?} {releases:?} diverged across runs");
+        }
+    }
+}
+
+/// The sporadic seed actually feeds the release process: different seeds
+/// must be able to produce different schedules.
+#[test]
+fn sporadic_seed_changes_the_schedule() {
+    let (platform, tasks) = generated_system(5);
+    let reports: Vec<SimReport> = [11u64, 22, 33]
+        .iter()
+        .map(|&seed| {
+            let config = SimConfig::new(BusArbitration::FixedPriority)
+                .with_horizon(Time::from_cycles(HORIZON))
+                .with_releases(ReleaseModel::Sporadic {
+                    seed,
+                    max_extra_percent: 40,
+                });
+            simulate(&platform, &tasks, config)
+        })
+        .collect();
+    assert!(
+        reports[0] != reports[1] || reports[1] != reports[2],
+        "three different sporadic seeds produced three identical schedules"
+    );
+}
+
+/// Per-task and global accounting invariants, on every bus and release
+/// model:
+///
+/// - a job completes at most once per release;
+/// - the response-time aggregate dominates the maximum once anything
+///   completed;
+/// - per-task bus accesses sum exactly to the global transaction count;
+/// - the bus was busy exactly `transactions × d_mem` cycles, and never
+///   longer than the horizon (plus the one transaction that may straddle
+///   its end).
+#[test]
+fn accounting_invariants_hold_across_buses_and_releases() {
+    let (platform, tasks) = generated_system(9);
+    let d_mem = platform.memory_latency().cycles();
+    for bus in bus_matrix() {
+        for releases in [
+            ReleaseModel::Synchronous,
+            ReleaseModel::Sporadic {
+                seed: 4242,
+                max_extra_percent: 40,
+            },
+        ] {
+            let config = SimConfig::new(bus)
+                .with_horizon(Time::from_cycles(HORIZON))
+                .with_releases(releases);
+            let report = simulate(&platform, &tasks, config);
+
+            let mut access_sum = 0u64;
+            let mut released_total = 0u64;
+            for id in tasks.ids() {
+                let stats = report.task(id);
+                access_sum += stats.bus_accesses;
+                released_total += stats.released;
+                assert!(
+                    stats.completed <= stats.released,
+                    "{bus:?} {releases:?} {id}: {} completions out of {} releases",
+                    stats.completed,
+                    stats.released
+                );
+                if stats.completed >= 1 {
+                    assert!(
+                        stats.total_response >= stats.max_response,
+                        "{bus:?} {releases:?} {id}: total response {} below max {}",
+                        stats.total_response,
+                        stats.max_response
+                    );
+                }
+            }
+            assert!(released_total > 0, "{bus:?} {releases:?}: nothing released");
+            assert_eq!(
+                access_sum, report.bus_transactions,
+                "{bus:?} {releases:?}: per-task accesses disagree with the bus total"
+            );
+            assert_eq!(
+                report.bus_busy_cycles,
+                report.bus_transactions * d_mem,
+                "{bus:?} {releases:?}: busy cycles not an exact multiple of d_mem"
+            );
+            assert!(
+                report.bus_busy_cycles <= report.horizon.cycles() + d_mem,
+                "{bus:?} {releases:?}: bus busy {} cycles over horizon {}",
+                report.bus_busy_cycles,
+                report.horizon
+            );
+        }
+    }
+}

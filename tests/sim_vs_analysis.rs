@@ -62,8 +62,8 @@ fn observed_response_times_below_wcrt_bounds() {
                 .unwrap()
                 .saturating_mul(4)
                 .min(3_000_000);
-            let config = SimConfig::new(arbitration_of(bus))
-                .with_horizon(Time::from_cycles(horizon));
+            let config =
+                SimConfig::new(arbitration_of(bus)).with_horizon(Time::from_cycles(horizon));
             let report = Simulator::new(&platform, &tasks, config)
                 .expect("simulator")
                 .run();
@@ -81,7 +81,10 @@ fn observed_response_times_below_wcrt_bounds() {
             }
         }
     }
-    assert!(checked_sets >= 8, "only {checked_sets} schedulable sets exercised");
+    assert!(
+        checked_sets >= 8,
+        "only {checked_sets} schedulable sets exercised"
+    );
 }
 
 #[test]

@@ -1,0 +1,158 @@
+//! Offline vendored ChaCha random generators (`rand_chacha` 0.3 API).
+//!
+//! Implements the real ChaCha stream cipher (RFC 7539 quarter-round, 64-bit
+//! block counter as in the upstream crate) so streams are high-quality and
+//! fully deterministic. The keystream word order matches the upstream
+//! crate's sequential block layout: word `i` of the output is word
+//! `i mod 16` of block `i / 16`.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+macro_rules! chacha_rng {
+    ($name:ident, $doubles:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            buffer: [u32; 16],
+            index: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                let mut state = [0u32; 16];
+                state[..4].copy_from_slice(&CONSTANTS);
+                state[4..12].copy_from_slice(&self.key);
+                state[12] = self.counter as u32;
+                state[13] = (self.counter >> 32) as u32;
+                // Words 14/15: stream id, fixed to 0 (upstream default).
+                let mut working = state;
+                for _ in 0..$doubles {
+                    // Column round.
+                    quarter(&mut working, 0, 4, 8, 12);
+                    quarter(&mut working, 1, 5, 9, 13);
+                    quarter(&mut working, 2, 6, 10, 14);
+                    quarter(&mut working, 3, 7, 11, 15);
+                    // Diagonal round.
+                    quarter(&mut working, 0, 5, 10, 15);
+                    quarter(&mut working, 1, 6, 11, 12);
+                    quarter(&mut working, 2, 7, 8, 13);
+                    quarter(&mut working, 3, 4, 9, 14);
+                }
+                for (out, (w, s)) in self.buffer.iter_mut().zip(working.iter().zip(state.iter())) {
+                    *out = w.wrapping_add(*s);
+                }
+                self.counter = self.counter.wrapping_add(1);
+                self.index = 0;
+            }
+
+            /// The current 64-bit block counter (diagnostics only).
+            #[must_use]
+            pub fn get_word_pos(&self) -> u128 {
+                u128::from(self.counter) * 16 + self.index as u128
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: [u8; 32]) -> Self {
+                let mut key = [0u32; 8];
+                for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                    *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+                }
+                $name {
+                    key,
+                    counter: 0,
+                    buffer: [0; 16],
+                    index: 16, // force refill on first use
+                }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.refill();
+                }
+                let word = self.buffer[self.index];
+                self.index += 1;
+                word
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = u64::from(self.next_u32());
+                let hi = u64::from(self.next_u32());
+                (hi << 32) | lo
+            }
+        }
+    };
+}
+
+#[inline(always)]
+fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+chacha_rng!(
+    ChaCha8Rng,
+    4,
+    "ChaCha with 8 rounds: the fast variant used for workload generation."
+);
+chacha_rng!(ChaCha12Rng, 6, "ChaCha with 12 rounds.");
+chacha_rng!(ChaCha20Rng, 10, "ChaCha with 20 rounds (full-strength).");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chacha20_matches_rfc7539_block_one() {
+        // RFC 7539 §2.3.2 test vector: key 00..1f, counter 1, nonce
+        // 00:00:00:09:00:00:00:4a:00:00:00:00. Our generator fixes the
+        // stream/nonce words to zero, so instead check the zero-key
+        // all-zero-state keystream against the widely published vector for
+        // ChaCha20 with 64-bit counter & zero nonce.
+        let mut rng = ChaCha20Rng::from_seed([0u8; 32]);
+        let first = rng.next_u32();
+        // First keystream word of ChaCha20, zero key/counter/nonce:
+        // block bytes start 76 b8 e0 ad ... → LE word 0xade0b876.
+        assert_eq!(first, 0xade0_b876);
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn fill_bytes_consistent_with_words() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let mut buf = [0u8; 16];
+        a.fill_bytes(&mut buf);
+        let w0 = b.next_u64().to_le_bytes();
+        let w1 = b.next_u64().to_le_bytes();
+        assert_eq!(&buf[..8], &w0);
+        assert_eq!(&buf[8..], &w1);
+    }
+}

@@ -1,0 +1,477 @@
+//! Offline vendored subset of the `serde` API.
+//!
+//! The workspace builds hermetically (no crates.io), so this crate provides
+//! the slice of serde the codebase relies on: `#[derive(Serialize,
+//! Deserialize)]` with the container attributes `transparent`,
+//! `try_from = "…"` and `into = "…"`, externally-tagged enums, and impls for
+//! the std types used in the models.
+//!
+//! Unlike real serde's zero-copy visitor architecture, values round-trip
+//! through an owned [`Content`] tree (a JSON-shaped data model). That is a
+//! deliberate simplification: the only (de)serializer in the workspace is
+//! `serde_json`, whose `Value` is isomorphic to [`Content`].
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every `Serialize`/`Deserialize` impl
+/// targets. Mirrors the JSON value grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// A key-ordered map (insertion order preserved).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The map entries, if this is a map.
+    #[must_use]
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    #[must_use]
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name of the value's kind, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error: a message, optionally prefixed with field context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with an arbitrary message (the escape hatch
+    /// `try_from` conversions use to surface domain validation errors).
+    #[must_use]
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError {
+            msg: msg.to_string(),
+        }
+    }
+
+    fn expected(what: &'static str, got: &Content) -> Self {
+        DeError::custom(format!("expected {what}, got {}", got.kind()))
+    }
+
+    /// Prefixes the message with `context` (used for field/element paths).
+    #[must_use]
+    pub fn contextualize(self, context: impl fmt::Display) -> Self {
+        DeError {
+            msg: format!("{context}: {}", self.msg),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A value that can be converted into the [`Content`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Content`] tree.
+    fn serialize_content(&self) -> Content;
+}
+
+/// A value that can be reconstructed from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from a [`Content`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when the content's shape does not match.
+    fn deserialize_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Marker alias matching serde's `DeserializeOwned` (our `Deserialize` is
+/// already owned).
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+                let value = match content {
+                    Content::U64(v) => *v,
+                    Content::I64(v) if *v >= 0 => *v as u64,
+                    other => return Err(DeError::expected("unsigned integer", other)),
+                };
+                <$t>::try_from(value)
+                    .map_err(|_| DeError::custom(format!(
+                        "integer {value} out of range for {}", stringify!($t)
+                    )))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+                let value: i64 = match content {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v).map_err(|_| {
+                        DeError::custom(format!("integer {v} out of range for i64"))
+                    })?,
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(value)
+                    .map_err(|_| DeError::custom(format!(
+                        "integer {value} out of range for {}", stringify!($t)
+                    )))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        f64::deserialize_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        let s = content
+            .as_str()
+            .ok_or_else(|| DeError::expected("single-char string", content))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom(format!(
+                "expected single-char string, got {s:?}"
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generic container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        T::deserialize_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Some(v) => v.serialize_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        let items = content
+            .as_seq()
+            .ok_or_else(|| DeError::expected("sequence", content))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                T::deserialize_content(item).map_err(|e| e.contextualize(format!("[{i}]")))
+            })
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(vec![self.0.serialize_content(), self.1.serialize_content()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content.as_seq() {
+            Some([a, b]) => Ok((A::deserialize_content(a)?, B::deserialize_content(b)?)),
+            _ => Err(DeError::expected("2-element sequence", content)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize_content(&self) -> Content {
+        // Deterministic output: sort the keys.
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        let entries = content
+            .as_map()
+            .ok_or_else(|| DeError::expected("map", content))?;
+        entries
+            .iter()
+            .map(|(k, v)| {
+                V::deserialize_content(v)
+                    .map(|v| (k.clone(), v))
+                    .map_err(|e| e.contextualize(k))
+            })
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        let entries = content
+            .as_map()
+            .ok_or_else(|| DeError::expected("map", content))?;
+        entries
+            .iter()
+            .map(|(k, v)| {
+                V::deserialize_content(v)
+                    .map(|v| (k.clone(), v))
+                    .map_err(|e| e.contextualize(k))
+            })
+            .collect()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        Vec::<T>::deserialize_content(content).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for HashSet<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        Vec::<T>::deserialize_content(content).map(|v| v.into_iter().collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Derive support (not part of the public serde API)
+// ---------------------------------------------------------------------------
+
+/// Support machinery used by the derive macros; not a stable API.
+pub mod __private {
+    use super::{Content, DeError, Deserialize};
+
+    /// Looks up and deserializes a struct field from map entries.
+    /// Missing fields deserialize from `Null`, which makes `Option` fields
+    /// optional (as in real serde) while everything else reports the
+    /// missing field by name.
+    pub fn de_field<T: Deserialize>(
+        entries: &[(String, Content)],
+        name: &str,
+    ) -> Result<T, DeError> {
+        match entries.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => {
+                T::deserialize_content(v).map_err(|e| e.contextualize(format!("field `{name}`")))
+            }
+            None => T::deserialize_content(&Content::Null)
+                .map_err(|_| DeError::custom(format!("missing field `{name}`"))),
+        }
+    }
+}

@@ -1,0 +1,538 @@
+//! Offline vendored `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for the vendored `serde` data model.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the input item
+//! is parsed with a small hand-rolled walker over `proc_macro::TokenTree`s
+//! and the impl is generated as a string. Supported shapes — which cover
+//! every derive site in this workspace:
+//!
+//! * named-field structs;
+//! * newtype (single-field tuple) structs, serialized transparently;
+//! * enums with unit, newtype and struct variants (external tagging);
+//! * container attributes `#[serde(transparent)]`,
+//!   `#[serde(try_from = "T", into = "T")]`.
+//!
+//! Generics are intentionally unsupported (no derive site needs them); the
+//! macro emits a compile error rather than silently mis-deriving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+#[derive(Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    NewtypeStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    attrs: ContainerAttrs,
+    shape: Shape,
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => {
+            let code = match which {
+                Trait::Serialize => gen_serialize(&parsed),
+                Trait::Deserialize => gen_deserialize(&parsed),
+            };
+            code.parse()
+                .unwrap_or_else(|e| compile_error(&format!("serde_derive codegen: {e}")))
+        }
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg)
+        .parse()
+        .expect("literal compile_error")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut attrs = ContainerAttrs::default();
+
+    // Leading attributes (doc comments, other derives were stripped by the
+    // compiler; `#[serde(...)]` and `#[doc]` remain).
+    while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let group = match tokens.get(i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            _ => return Err("malformed attribute".into()),
+        };
+        parse_container_attr(&group.stream(), &mut attrs)?;
+        i += 2;
+    }
+
+    // Visibility.
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+
+    let item_kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive (vendored): generic type `{name}` is not supported"
+        ));
+    }
+
+    let shape = match item_kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(&g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_chunks(&g.stream());
+                if arity != 1 {
+                    return Err(format!(
+                        "serde_derive (vendored): tuple struct `{name}` has {arity} fields; \
+                         only newtype (1-field) tuple structs are supported"
+                    ));
+                }
+                Shape::NewtypeStruct
+            }
+            _ => return Err(format!("unsupported struct shape for `{name}`")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(&g.stream())?)
+            }
+            _ => return Err(format!("expected enum body for `{name}`")),
+        },
+        other => return Err(format!("cannot derive serde traits for `{other}` items")),
+    };
+
+    Ok(Input { name, attrs, shape })
+}
+
+/// Extracts `transparent` / `try_from` / `into` from one `#[...]` attribute
+/// body; non-serde attributes are ignored.
+fn parse_container_attr(stream: &TokenStream, attrs: &mut ContainerAttrs) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(()), // #[doc], #[must_use], ... — not ours
+    }
+    let args = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return Err("expected `#[serde(...)]`".into()),
+    };
+    let args: Vec<TokenTree> = args.into_iter().collect();
+    let mut i = 0;
+    while i < args.len() {
+        let key = match &args[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("unexpected token `{other}` in #[serde(...)]")),
+        };
+        i += 1;
+        let value = if matches!(args.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            match args.get(i) {
+                Some(TokenTree::Literal(lit)) => {
+                    i += 1;
+                    let s = lit.to_string();
+                    Some(s.trim_matches('"').to_string())
+                }
+                other => return Err(format!("expected string after `{key} =`, got {other:?}")),
+            }
+        } else {
+            None
+        };
+        match (key.as_str(), value) {
+            ("transparent", None) => attrs.transparent = true,
+            ("try_from", Some(ty)) => attrs.try_from = Some(ty),
+            ("into", Some(ty)) => attrs.into = Some(ty),
+            ("default" | "deny_unknown_fields" | "rename_all", _) => {
+                return Err(format!(
+                    "serde_derive (vendored): attribute `{key}` is not implemented"
+                ));
+            }
+            (other, _) => {
+                return Err(format!(
+                    "serde_derive (vendored): unknown serde attribute `{other}`"
+                ));
+            }
+        }
+        // Optional separating comma.
+        if matches!(args.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Collects field names from a named-field body, skipping attributes,
+/// visibility and types (types are never needed — inference fills them in).
+fn parse_named_fields(stream: &TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attributes(&tokens, i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, got `{other}`")),
+        };
+        i += 1;
+        if !matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        i += 1;
+        i = skip_type(&tokens, i);
+        fields.push(name);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: &TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attributes(&tokens, i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, got `{other}`")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_chunks(&g.stream());
+                i += 1;
+                if arity != 1 {
+                    return Err(format!(
+                        "serde_derive (vendored): tuple variant `{name}` has {arity} fields; \
+                         only newtype variants are supported"
+                    ));
+                }
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(&g.stream())?;
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip explicit discriminant `= expr`.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            while i < tokens.len()
+                && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> Result<usize, String> {
+    while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        match tokens.get(i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => i += 2,
+            _ => return Err("malformed attribute".into()),
+        }
+    }
+    Ok(i)
+}
+
+/// Advances past a type: consumes tokens until a comma at angle-bracket
+/// depth zero (or the end).
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut depth: i32 = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Number of top-level comma-separated non-empty chunks (tuple arity).
+fn count_top_level_chunks(stream: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut chunks = 1;
+    let mut depth: i32 = 0;
+    let mut last_was_comma = false;
+    for t in &tokens {
+        last_was_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                chunks += 1;
+                last_was_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if last_was_comma {
+        chunks -= 1; // trailing comma
+    }
+    chunks
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    if let Some(into_ty) = &input.attrs.into {
+        return format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_content(&self) -> ::serde::Content {{\n\
+                     let shadow: {into_ty} = <Self as ::std::clone::Clone>::clone(self).into();\n\
+                     ::serde::Serialize::serialize_content(&shadow)\n\
+                 }}\n\
+             }}"
+        );
+    }
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::serialize_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::NewtypeStruct => "::serde::Serialize::serialize_content(&self.0)".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::Content::Str(::std::string::String::from({vn:?}))"
+                        ),
+                        VariantKind::Newtype => format!(
+                            "{name}::{vn}(__v) => ::serde::Content::Map(::std::vec![\
+                             (::std::string::String::from({vn:?}), \
+                              ::serde::Serialize::serialize_content(__v))])"
+                        ),
+                        VariantKind::Struct(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::serialize_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            let bindings = fields.join(", ");
+                            format!(
+                                "{name}::{vn} {{ {bindings} }} => ::serde::Content::Map(\
+                                 ::std::vec![(::std::string::String::from({vn:?}), \
+                                 ::serde::Content::Map(::std::vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(",\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_content(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    if let Some(from_ty) = &input.attrs.try_from {
+        return format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize_content(content: &::serde::Content) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     let shadow: {from_ty} = ::serde::Deserialize::deserialize_content(content)?;\n\
+                     <Self as ::std::convert::TryFrom<{from_ty}>>::try_from(shadow)\n\
+                         .map_err(::serde::DeError::custom)\n\
+                 }}\n\
+             }}"
+        );
+    }
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::de_field(__entries, {f:?})?"))
+                .collect();
+            format!(
+                "let __entries = content.as_map().ok_or_else(|| \
+                 ::serde::DeError::custom(concat!(\"expected map for struct \", {name:?})))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::NewtypeStruct => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_content(content)?))"
+        ),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "{:?} => ::std::result::Result::Ok({name}::{}),",
+                        v.name, v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Newtype => Some(format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::deserialize_content(__value)?)),"
+                        )),
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("{f}: ::serde::__private::de_field(__inner, {f:?})?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                     let __inner = __value.as_map().ok_or_else(|| \
+                                     ::serde::DeError::custom(concat!(\"expected map for variant \", \
+                                     {vn:?})))?;\n\
+                                     ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                                 }},",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match content {{\n\
+                     ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                         {unit}\n\
+                         __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                             ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __value) = &__entries[0];\n\
+                         #[allow(unused_variables)]\n\
+                         let __value = __value;\n\
+                         match __tag.as_str() {{\n\
+                             {data}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }},\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                         ::std::format!(\"expected variant of {name}, got {{}}\", __other.kind()))),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_content(content: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
