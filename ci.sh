@@ -15,6 +15,14 @@ echo "==> cargo test -q"
 cargo test -q
 
 echo "==> cpa-validate smoke campaign (100 sets, quick profile)"
-cargo run --release -p cpa-validate -- run --sets 100 --quick --no-progress
+cargo run --release -p cpa-validate -- run --sets 100 --quick --no-progress \
+  --metrics validate-metrics.json
+
+echo "==> cpa-trace smoke (analyze + sim)"
+cargo run --release -p cpa-validate --bin cpa-trace -- analyze --seed 7 --json > /dev/null
+cargo run --release -p cpa-validate --bin cpa-trace -- sim --seed 7 --horizon 200000 > /dev/null
+
+echo "==> obs overhead guard (<2% on analysis_micro, emits BENCH_obs.json)"
+cargo run --release -p cpa-experiments --bin obs_overhead
 
 echo "==> ci.sh: all green"

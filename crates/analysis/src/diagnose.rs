@@ -1,0 +1,351 @@
+//! Convergence diagnostics: decomposing a WCRT bound into the paper's
+//! BAS / BAO / CPRO / CRPD terms and naming the dominant one.
+//!
+//! [`crate::explain`] splits Eq. (19)'s right-hand side into *time*
+//! components (processing, preemption, own-core bus, cross-core bus); this
+//! module splits the *bus-access count* `BAT_i^x(t)` itself along the
+//! paper's vocabulary, so a convergence report can answer "which term is
+//! this task's bound made of":
+//!
+//! * **BAS** — the own core's pure memory demand (`MD_i` plus the demand of
+//!   same-core higher-priority jobs, Eq. (1)/Lemma 1), *excluding* the CRPD
+//!   and CPRO shares broken out below.
+//! * **CRPD** — the cache-related preemption delay share `Σ E_j·γ_{i,j,x}`
+//!   (Eq. (2)) charged inside BAS.
+//! * **CPRO** — the cache persistence reload overhead share
+//!   `ρ̂_{j,i,x}(E_j)` (Eq. (14)), charged inside Lemma 1's persistent
+//!   branch when it wins the `min`.
+//! * **BAO** — the cross-core charge after the policy-specific caps
+//!   (Eq. (7)–(9)); reported as a whole, since the CRPD/CPRO shares inside
+//!   it belong to the remote cores' own decompositions.
+//! * **blocking** — the `+1` already-in-service access (Eq. (12) footnote).
+
+use cpa_model::{TaskId, Time};
+
+use crate::bao::{bao, CarryOut, PriorityBand};
+use crate::{bas, cpro, demand, AnalysisConfig, AnalysisContext, BusPolicy, PersistenceMode};
+
+/// The term of Eq. (19) contributing the most bus accesses to a bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DominantTerm {
+    /// Same-core memory demand (Eq. (1)/Lemma 1, net of CRPD/CPRO).
+    Bas,
+    /// Cross-core interference after the policy caps (Eq. (7)–(9)).
+    Bao,
+    /// Cache persistence reload overhead (Eq. (14)).
+    Cpro,
+    /// Cache-related preemption delay (Eq. (2)).
+    Crpd,
+}
+
+impl DominantTerm {
+    /// Upper-case paper name (`"BAS"`, `"BAO"`, `"CPRO"`, `"CRPD"`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DominantTerm::Bas => "BAS",
+            DominantTerm::Bao => "BAO",
+            DominantTerm::Cpro => "CPRO",
+            DominantTerm::Crpd => "CRPD",
+        }
+    }
+}
+
+impl std::fmt::Display for DominantTerm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Bus-access decomposition of `BAT_i^x(window)` along the paper's terms.
+///
+/// The parts always reassemble exactly: [`TermDecomposition::total_accesses`]
+/// equals [`crate::bus::bat`] at the same window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TermDecomposition {
+    /// The window length the decomposition was evaluated at.
+    pub window: Time,
+    /// BAS share: own-core memory demand net of the CRPD/CPRO shares.
+    pub bas_accesses: u64,
+    /// BAO share: cross-core accesses after the policy-specific caps.
+    pub bao_accesses: u64,
+    /// CPRO share inside Lemma 1's persistent branch (aware mode only).
+    pub cpro_accesses: u64,
+    /// CRPD share `Σ E_j·γ_{i,j,x}` inside BAS.
+    pub crpd_accesses: u64,
+    /// The `+1` blocking access, when a same-core lower-priority task exists.
+    pub blocking_accesses: u64,
+}
+
+impl TermDecomposition {
+    /// Sum of every share — equals `BAT_i^x(window)`.
+    #[must_use]
+    pub fn total_accesses(&self) -> u64 {
+        self.bas_accesses
+            .saturating_add(self.bao_accesses)
+            .saturating_add(self.cpro_accesses)
+            .saturating_add(self.crpd_accesses)
+            .saturating_add(self.blocking_accesses)
+    }
+
+    /// The largest of the four named terms (blocking never dominates); ties
+    /// resolve in the order BAS, BAO, CPRO, CRPD.
+    #[must_use]
+    pub fn dominant(&self) -> DominantTerm {
+        let candidates = [
+            (DominantTerm::Bas, self.bas_accesses),
+            (DominantTerm::Bao, self.bao_accesses),
+            (DominantTerm::Cpro, self.cpro_accesses),
+            (DominantTerm::Crpd, self.crpd_accesses),
+        ];
+        let mut best = candidates[0];
+        for c in &candidates[1..] {
+            if c.1 > best.1 {
+                best = *c;
+            }
+        }
+        best.0
+    }
+
+    /// Share of `term` in the total access count, in `[0, 1]`.
+    #[must_use]
+    pub fn share(&self, term: DominantTerm) -> f64 {
+        let total = self.total_accesses();
+        if total == 0 {
+            return 0.0;
+        }
+        let part = match term {
+            DominantTerm::Bas => self.bas_accesses,
+            DominantTerm::Bao => self.bao_accesses,
+            DominantTerm::Cpro => self.cpro_accesses,
+            DominantTerm::Crpd => self.crpd_accesses,
+        };
+        part as f64 / total as f64
+    }
+}
+
+/// Decomposes `BAT_i^x(window)` into the paper's terms, mirroring
+/// [`crate::bus::bat`] (exact carry-out) share by share.
+///
+/// Pass a converged [`crate::AnalysisResult`]'s response times as `resp`
+/// and its WCRT as `window` to explain a fixed point.
+#[must_use]
+pub fn decompose(
+    ctx: &AnalysisContext<'_>,
+    config: &AnalysisConfig,
+    i: TaskId,
+    window: Time,
+    resp: &[Time],
+) -> TermDecomposition {
+    let tasks = ctx.tasks();
+    let core = tasks[i].core();
+    let mode = config.persistence;
+
+    // Split the own-core bound (Eq. (1)/Lemma 1) into its three shares.
+    let own = bas::bas(ctx, i, window, mode);
+    let mut crpd_accesses = 0u64;
+    let mut cpro_accesses = 0u64;
+    for j in tasks.hp_on(i, core) {
+        let e = bas::releases(window, tasks[j].period());
+        crpd_accesses = crpd_accesses.saturating_add(e.saturating_mul(ctx.gamma(i, j)));
+        if mode == PersistenceMode::Aware {
+            let oblivious = e.saturating_mul(tasks[j].memory_demand());
+            let reload = cpro::cpro(ctx.cpro_overlap(j, i), e);
+            let persistent = demand::md_hat(&tasks[j], e).saturating_add(reload);
+            if persistent < oblivious {
+                cpro_accesses = cpro_accesses.saturating_add(reload);
+            }
+        }
+    }
+    let bas_accesses = own
+        .saturating_sub(crpd_accesses)
+        .saturating_sub(cpro_accesses);
+
+    // Cross-core and blocking shares, mirroring `bus::bat_with` exactly
+    // (the perfect bus charges neither).
+    let blocking_accesses = if config.bus == BusPolicy::Perfect {
+        0
+    } else {
+        u64::from(tasks.lp_on(i, core).next().is_some())
+    };
+    let remote_cores = || {
+        (0..ctx.platform().cores())
+            .map(cpa_model::CoreId::new)
+            .filter(move |&y| y != core)
+    };
+    let carry = CarryOut::Exact;
+    let bao_accesses = match config.bus {
+        BusPolicy::FixedPriority => {
+            let higher: u64 = remote_cores()
+                .map(|y| {
+                    bao(
+                        ctx,
+                        i,
+                        y,
+                        window,
+                        resp,
+                        mode,
+                        PriorityBand::HigherOrEqual,
+                        carry,
+                    )
+                })
+                .fold(0u64, u64::saturating_add);
+            let lower: u64 = remote_cores()
+                .map(|y| bao(ctx, i, y, window, resp, mode, PriorityBand::Lower, carry))
+                .fold(0u64, u64::saturating_add);
+            higher.saturating_add(own.min(lower))
+        }
+        BusPolicy::RoundRobin { slots } => {
+            let n = tasks.lowest_priority_id();
+            remote_cores()
+                .map(|y| {
+                    let all = bao(
+                        ctx,
+                        n,
+                        y,
+                        window,
+                        resp,
+                        mode,
+                        PriorityBand::HigherOrEqual,
+                        carry,
+                    );
+                    all.min(slots.saturating_mul(own))
+                })
+                .fold(0u64, u64::saturating_add)
+        }
+        BusPolicy::Tdma { slots } => {
+            let cores = ctx.platform().cores() as u64;
+            let wait_slots = cores.saturating_sub(1).saturating_mul(slots);
+            wait_slots.saturating_mul(own)
+        }
+        BusPolicy::Perfect => 0,
+    };
+
+    TermDecomposition {
+        window,
+        bas_accesses,
+        bao_accesses,
+        cpro_accesses,
+        crpd_accesses,
+        blocking_accesses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, bus};
+    use cpa_model::{CacheBlockSet, CoreId, Platform, Priority, Task, TaskSet};
+
+    fn system() -> (Platform, TaskSet) {
+        let platform = Platform::builder()
+            .cores(2)
+            .memory_latency(Time::from_cycles(20))
+            .build()
+            .unwrap();
+        let task = |name: &str, prio: u32, core: usize, pd: u64, md: u64, md_r: u64, per: u64| {
+            Task::builder(name)
+                .processing_demand(Time::from_cycles(pd))
+                .memory_demand(md)
+                .residual_memory_demand(md_r)
+                .period(Time::from_cycles(per))
+                .deadline(Time::from_cycles(per))
+                .core(CoreId::new(core))
+                .priority(Priority::new(prio))
+                .ecb(CacheBlockSet::contiguous(256, (prio as usize) * 20, 24))
+                .ucb(CacheBlockSet::contiguous(256, (prio as usize) * 20, 6))
+                .pcb(CacheBlockSet::contiguous(256, (prio as usize) * 20, 16))
+                .build()
+                .unwrap()
+        };
+        let tasks = TaskSet::new(vec![
+            task("a", 1, 0, 100, 20, 2, 4_000),
+            task("b", 2, 1, 100, 20, 2, 4_000),
+            task("c", 3, 0, 200, 20, 2, 8_000),
+            task("d", 4, 1, 200, 20, 2, 8_000),
+        ])
+        .unwrap();
+        (platform, tasks)
+    }
+
+    #[test]
+    fn shares_reassemble_bat_for_every_policy_and_mode() {
+        let (platform, tasks) = system();
+        let ctx = AnalysisContext::new(&platform, &tasks).unwrap();
+        for bus_policy in [
+            BusPolicy::FixedPriority,
+            BusPolicy::RoundRobin { slots: 2 },
+            BusPolicy::Tdma { slots: 2 },
+            BusPolicy::Perfect,
+        ] {
+            for mode in [PersistenceMode::Oblivious, PersistenceMode::Aware] {
+                let cfg = AnalysisConfig::new(bus_policy, mode);
+                let result = analyze(&ctx, &cfg);
+                let resp: Vec<Time> = tasks
+                    .ids()
+                    .map(|i| {
+                        result
+                            .response_time(i)
+                            .unwrap_or_else(|| tasks[i].deadline())
+                    })
+                    .collect();
+                for i in tasks.ids() {
+                    let d = decompose(&ctx, &cfg, i, resp[i.index()], &resp);
+                    let total = bus::bat(&ctx, i, resp[i.index()], &resp, &cfg);
+                    assert_eq!(d.total_accesses(), total, "{bus_policy:?} {mode:?} {i:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oblivious_mode_has_no_cpro_share() {
+        let (platform, tasks) = system();
+        let ctx = AnalysisContext::new(&platform, &tasks).unwrap();
+        let cfg = AnalysisConfig::new(BusPolicy::FixedPriority, PersistenceMode::Oblivious);
+        let resp = vec![Time::from_cycles(1_000); tasks.len()];
+        for i in tasks.ids() {
+            let d = decompose(&ctx, &cfg, i, Time::from_cycles(1_000), &resp);
+            assert_eq!(d.cpro_accesses, 0, "{i:?}");
+        }
+    }
+
+    #[test]
+    fn dominant_term_and_shares_are_consistent() {
+        let (platform, tasks) = system();
+        let ctx = AnalysisContext::new(&platform, &tasks).unwrap();
+        let cfg = AnalysisConfig::new(BusPolicy::RoundRobin { slots: 2 }, PersistenceMode::Aware);
+        let result = analyze(&ctx, &cfg);
+        assert!(result.is_schedulable());
+        let resp: Vec<Time> = tasks
+            .ids()
+            .map(|i| result.response_time(i).unwrap())
+            .collect();
+        let low = tasks.id_of("d").unwrap();
+        let d = decompose(&ctx, &cfg, low, resp[low.index()], &resp);
+        let dom = d.dominant();
+        for term in [
+            DominantTerm::Bas,
+            DominantTerm::Bao,
+            DominantTerm::Cpro,
+            DominantTerm::Crpd,
+        ] {
+            assert!(d.share(dom) >= d.share(term), "{dom} vs {term}");
+        }
+        let label = dom.label();
+        assert!(["BAS", "BAO", "CPRO", "CRPD"].contains(&label));
+    }
+
+    #[test]
+    fn perfect_bus_has_no_bao_share() {
+        let (platform, tasks) = system();
+        let ctx = AnalysisContext::new(&platform, &tasks).unwrap();
+        let cfg = AnalysisConfig::new(BusPolicy::Perfect, PersistenceMode::Aware);
+        let resp = vec![Time::from_cycles(2_000); tasks.len()];
+        for i in tasks.ids() {
+            let d = decompose(&ctx, &cfg, i, Time::from_cycles(2_000), &resp);
+            assert_eq!(d.bao_accesses, 0);
+            assert_eq!(d.blocking_accesses, 0, "perfect bus charges no blocking");
+        }
+    }
+}

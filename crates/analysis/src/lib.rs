@@ -86,11 +86,13 @@ mod context;
 pub mod cpro;
 pub mod crpd;
 pub mod demand;
+pub mod diagnose;
 pub mod sched;
 pub mod wcrt;
 
 pub use config::{AnalysisConfig, BusPolicy, PersistenceMode};
 pub use context::AnalysisContext;
 pub use crpd::CrpdApproach;
+pub use diagnose::{decompose, DominantTerm, TermDecomposition};
 pub use sched::{weighted_schedulability, WeightedAccumulator};
 pub use wcrt::{analyze, explain, AnalysisResult, WcrtBreakdown};

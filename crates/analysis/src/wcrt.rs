@@ -24,6 +24,8 @@ pub struct AnalysisResult {
     response_times: Vec<Option<Time>>,
     schedulable: bool,
     outer_iterations: u32,
+    inner_iterations: Vec<u64>,
+    hit_outer_cap: bool,
 }
 
 impl AnalysisResult {
@@ -32,6 +34,36 @@ impl AnalysisResult {
     #[must_use]
     pub fn is_schedulable(&self) -> bool {
         self.schedulable
+    }
+
+    /// `true` iff `τi`'s WCRT converged within its deadline — the ergonomic
+    /// form of `response_time(i).is_some()`.
+    #[must_use]
+    pub fn converged(&self, i: TaskId) -> bool {
+        self.response_time(i).is_some()
+    }
+
+    /// Per-task totals of inner fixed-point iterations (bracket + refine
+    /// steps, summed across every outer sweep), in priority order.
+    #[must_use]
+    pub fn inner_iteration_counts(&self) -> &[u64] {
+        &self.inner_iterations
+    }
+
+    /// Total inner fixed-point iterations spent on one task (see
+    /// [`AnalysisResult::inner_iteration_counts`]).
+    #[must_use]
+    pub fn inner_iterations(&self, i: TaskId) -> u64 {
+        self.inner_iterations.get(i.index()).copied().unwrap_or(0)
+    }
+
+    /// `true` when the outer loop exhausted
+    /// [`crate::AnalysisConfig::max_outer_iterations`] without stabilising;
+    /// the result is then reported unschedulable and a `wcrt.outer_cap`
+    /// warning event is emitted.
+    #[must_use]
+    pub fn hit_outer_iteration_cap(&self) -> bool {
+        self.hit_outer_cap
     }
 
     /// Per-task response times in priority order. `Some(R_i)` for every task
@@ -66,9 +98,11 @@ impl AnalysisResult {
 /// point.
 #[must_use]
 pub fn analyze(ctx: &AnalysisContext<'_>, config: &AnalysisConfig) -> AnalysisResult {
+    let _span = cpa_obs::span!("wcrt.analyze");
     let tasks = ctx.tasks();
     let d_mem = ctx.d_mem();
     let n = tasks.len();
+    let mut inner_iterations = vec![0u64; n];
 
     // The perfect-bus reference line assumes no bus interference as long as
     // the bus is not oversubscribed. Its utilization test uses the
@@ -84,10 +118,17 @@ pub fn analyze(ctx: &AnalysisContext<'_>, config: &AnalysisConfig) -> AnalysisRe
             })
             .sum();
         if residual_bus_utilization > 1.0 {
+            cpa_obs::event!(
+                "wcrt.bus_overutilized",
+                bus = config.bus.label(),
+                utilization_permille = (residual_bus_utilization * 1000.0) as u64,
+            );
             return AnalysisResult {
                 response_times: vec![None; n],
                 schedulable: false,
                 outer_iterations: 0,
+                inner_iterations,
+                hit_outer_cap: false,
             };
         }
     }
@@ -103,12 +144,20 @@ pub fn analyze(ctx: &AnalysisContext<'_>, config: &AnalysisConfig) -> AnalysisRe
     let mut resp = init.clone();
 
     for outer in 1..=config.max_outer_iterations {
-        let mut changed = false;
+        let mut changed_tasks = 0usize;
         for i in tasks.ids() {
             let start = resp[i.index()].max(init[i.index()]);
-            let r = match inner_fixed_point(ctx, config, i, start, &resp) {
+            let solve = inner_fixed_point(ctx, config, i, start, &resp);
+            inner_iterations[i.index()] += solve.iterations;
+            let r = match solve.bound {
                 Some(r) => r,
                 None => {
+                    cpa_obs::event!(
+                        "wcrt.deadline_miss",
+                        task = i.index(),
+                        outer = outer,
+                        deadline = tasks[i].deadline().cycles(),
+                    );
                     // Unschedulable: report what we know, with the failing
                     // task explicitly marked as having no bound.
                     let response_times = resp
@@ -121,28 +170,70 @@ pub fn analyze(ctx: &AnalysisContext<'_>, config: &AnalysisConfig) -> AnalysisRe
                         response_times,
                         schedulable: false,
                         outer_iterations: outer,
+                        inner_iterations,
+                        hit_outer_cap: false,
                     };
                 }
             };
             if r > resp[i.index()] {
+                cpa_obs::event!(
+                    "wcrt.estimate",
+                    task = i.index(),
+                    outer = outer,
+                    inner = solve.iterations,
+                    estimate = r.cycles(),
+                );
                 resp[i.index()] = r;
-                changed = true;
+                changed_tasks += 1;
             }
         }
-        if !changed {
+        cpa_obs::event!("wcrt.outer", iter = outer, changed = changed_tasks);
+        if changed_tasks == 0 {
+            // Converged: trace the fixed point with its term decomposition
+            // (BAS/BAO/CPRO/CRPD) before handing the result back.
+            if cpa_obs::events_enabled() {
+                for i in tasks.ids() {
+                    let d = crate::diagnose::decompose(ctx, config, i, resp[i.index()], &resp);
+                    cpa_obs::event!(
+                        "wcrt.converged",
+                        task = i.index(),
+                        response = resp[i.index()].cycles(),
+                        inner = inner_iterations[i.index()],
+                        bas = d.bas_accesses,
+                        bao = d.bao_accesses,
+                        cpro = d.cpro_accesses,
+                        crpd = d.crpd_accesses,
+                        blocking = d.blocking_accesses,
+                        dominant = d.dominant().label(),
+                    );
+                }
+            }
             return AnalysisResult {
                 response_times: resp.into_iter().map(Some).collect(),
                 schedulable: true,
                 outer_iterations: outer,
+                inner_iterations,
+                hit_outer_cap: false,
             };
         }
     }
 
-    // Outer loop failed to stabilise within the cap: treat as unschedulable.
+    // Outer loop failed to stabilise within the cap: treat as unschedulable,
+    // and say so — a warning event plus an always-on counter replace the
+    // previous silent capping.
+    cpa_obs::event!(
+        "wcrt.outer_cap",
+        level = "warn",
+        max_outer = config.max_outer_iterations,
+        bus = config.bus.label(),
+    );
+    cpa_obs::counter("wcrt.outer_cap_hits").incr();
     AnalysisResult {
         response_times: vec![None; n],
         schedulable: false,
         outer_iterations: config.max_outer_iterations,
+        inner_iterations,
+        hit_outer_cap: true,
     }
 }
 
@@ -259,34 +350,49 @@ fn rhs(
 /// given a last chance via the sufficiency test `f(D_i) ≤ D_i` (any window
 /// of length `D_i` that contains all charged work ends by `D_i`), again
 /// followed by downward refinement.
+/// Outcome of one per-task inner fixed-point solve: the bound (`None` when
+/// the deadline cannot be met) and the iterations it took (bracket steps +
+/// refine steps + the sufficiency test, when taken).
+struct InnerSolve {
+    bound: Option<Time>,
+    iterations: u64,
+}
+
 fn inner_fixed_point(
     ctx: &AnalysisContext<'_>,
     config: &AnalysisConfig,
     i: TaskId,
     start: Time,
     resp: &[Time],
-) -> Option<Time> {
+) -> InnerSolve {
     use bus::CarryOut;
     let deadline = ctx.tasks()[i].deadline();
 
     // Phase 1: capped upward bracket.
     let mut r = start;
     let mut bracket = None;
-    for _ in 0..config.max_inner_iterations {
-        let next = rhs(ctx, config, i, r, resp, CarryOut::Capped);
-        if next == r {
-            bracket = Some(r);
-            break;
-        }
-        r = next;
-        if r > deadline {
-            break;
+    let mut iterations = 0u64;
+    {
+        let _span = cpa_obs::span!("wcrt.bracket");
+        for _ in 0..config.max_inner_iterations {
+            iterations += 1;
+            let next = rhs(ctx, config, i, r, resp, CarryOut::Capped);
+            if next == r {
+                bracket = Some(r);
+                break;
+            }
+            r = next;
+            if r > deadline {
+                break;
+            }
         }
     }
 
     const REFINE_STEPS: u32 = 64;
-    let refine = |mut r: Time| {
+    let refine = |mut r: Time, iterations: &mut u64| {
+        let _span = cpa_obs::span!("wcrt.refine");
         for _ in 0..REFINE_STEPS {
+            *iterations += 1;
             let next = rhs(ctx, config, i, r, resp, CarryOut::Exact);
             debug_assert!(next <= r, "downward refinement must not increase");
             if next == r {
@@ -297,14 +403,16 @@ fn inner_fixed_point(
         r
     };
 
-    match bracket {
-        Some(r_star) if r_star <= deadline => Some(refine(r_star)),
+    let bound = match bracket {
+        Some(r_star) if r_star <= deadline => Some(refine(r_star, &mut iterations)),
         _ => {
             // Exact sufficiency test at the deadline.
+            iterations += 1;
             let at_deadline = rhs(ctx, config, i, deadline, resp, CarryOut::Exact);
-            (at_deadline <= deadline).then(|| refine(at_deadline))
+            (at_deadline <= deadline).then(|| refine(at_deadline, &mut iterations))
         }
-    }
+    };
+    InnerSolve { bound, iterations }
 }
 
 #[cfg(test)]
@@ -495,6 +603,87 @@ mod tests {
         assert!(!bc.core_interference.is_zero());
         assert!(bb.core_interference.is_zero());
         assert!(!bb.cross_core_bus.is_zero());
+    }
+
+    #[test]
+    fn iteration_counts_and_converged_accessor() {
+        let p = platform(2, 20);
+        let ts = TaskSet::new(vec![
+            task("a", 1, 0, 100, 20, 2, 4_000),
+            task("b", 2, 1, 100, 20, 2, 4_000),
+        ])
+        .unwrap();
+        let ctx = AnalysisContext::new(&p, &ts).unwrap();
+        let res = analyze(
+            &ctx,
+            &AnalysisConfig::new(BusPolicy::RoundRobin { slots: 2 }, PersistenceMode::Aware),
+        );
+        assert!(res.is_schedulable());
+        assert!(!res.hit_outer_iteration_cap());
+        assert_eq!(res.inner_iteration_counts().len(), 2);
+        for i in ts.ids() {
+            assert!(res.converged(i), "{i:?}");
+            // Every task needs at least one bracket step per outer sweep.
+            assert!(res.inner_iterations(i) >= u64::from(res.outer_iterations()));
+        }
+        // Out-of-range ids degrade gracefully.
+        assert!(!res.converged(TaskId::new(99)));
+        assert_eq!(res.inner_iterations(TaskId::new(99)), 0);
+    }
+
+    #[test]
+    fn unconverged_tasks_report_not_converged() {
+        let p = platform(1, 10);
+        let ts = TaskSet::new(vec![
+            task("hi", 1, 0, 600, 10, 10, 1_000),
+            task("lo", 2, 0, 600, 10, 10, 1_000),
+        ])
+        .unwrap();
+        let ctx = AnalysisContext::new(&p, &ts).unwrap();
+        let res = analyze(
+            &ctx,
+            &AnalysisConfig::new(BusPolicy::FixedPriority, PersistenceMode::Aware),
+        );
+        assert!(!res.is_schedulable());
+        assert!(res.converged(TaskId::new(0)));
+        assert!(!res.converged(TaskId::new(1)));
+    }
+
+    #[test]
+    fn outer_cap_warns_instead_of_silently_capping() {
+        // A cross-core pair needs more than one outer sweep; capping at one
+        // must be reported through the result *and* a warning event.
+        let p = platform(2, 20);
+        let ts = TaskSet::new(vec![
+            task("a", 1, 0, 100, 20, 2, 4_000),
+            task("b", 2, 1, 100, 20, 2, 4_000),
+        ])
+        .unwrap();
+        let ctx = AnalysisContext::new(&p, &ts).unwrap();
+        let mut cfg =
+            AnalysisConfig::new(BusPolicy::RoundRobin { slots: 2 }, PersistenceMode::Aware);
+        cfg.max_outer_iterations = 1;
+
+        let cap_hits = cpa_obs::counter("wcrt.outer_cap_hits");
+        let before = cap_hits.get();
+        cpa_obs::enable();
+        let res = analyze(&ctx, &cfg);
+        cpa_obs::disable();
+
+        assert!(!res.is_schedulable());
+        assert!(res.hit_outer_iteration_cap());
+        assert_eq!(res.outer_iterations(), 1);
+        assert!(ts.ids().all(|i| !res.converged(i)));
+        assert!(cap_hits.get() > before, "cap hit must bump the counter");
+        let events = cpa_obs::take_events();
+        let warn = events
+            .iter()
+            .find(|e| e.name == "wcrt.outer_cap")
+            .expect("warning event emitted");
+        assert!(warn
+            .fields
+            .iter()
+            .any(|(k, v)| *k == "level" && *v == cpa_obs::FieldValue::Str("warn".into())));
     }
 
     #[test]

@@ -106,6 +106,7 @@ impl PairState {
 /// ```
 #[must_use]
 pub fn classify(function: &Function, geometry: CacheGeometry) -> ClassificationCensus {
+    let _span = cpa_obs::span!("cache.classify");
     let state = PairState {
         must: MustCache::cold(geometry),
         may: MayCache::cold(geometry),

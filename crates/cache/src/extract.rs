@@ -70,10 +70,20 @@ impl ExtractedParams {
 /// See the crate-level example.
 #[must_use]
 pub fn extract(function: &Function, geometry: CacheGeometry) -> ExtractedParams {
-    let (cold, ucb_blocks) = Analyzer::new(function, geometry).analyze(MustCache::cold(geometry));
-    let persistent = persistent_blocks(function, geometry);
-    let (warm, _) = Analyzer::new(function, geometry)
-        .analyze(MustCache::seeded(geometry, persistent.iter().copied()));
+    let _span = cpa_obs::span!("cache.extract");
+    let (cold, ucb_blocks) = {
+        let _span = cpa_obs::span!("cache.must_cold");
+        Analyzer::new(function, geometry).analyze(MustCache::cold(geometry))
+    };
+    let persistent = {
+        let _span = cpa_obs::span!("cache.persistence");
+        persistent_blocks(function, geometry)
+    };
+    let (warm, _) = {
+        let _span = cpa_obs::span!("cache.must_warm");
+        Analyzer::new(function, geometry)
+            .analyze(MustCache::seeded(geometry, persistent.iter().copied()))
+    };
 
     let set_of = |block: u64| (block as usize) % geometry.sets();
     let footprint = blocks_accessed(function, function.code(), geometry);
@@ -90,6 +100,16 @@ pub fn extract(function: &Function, geometry: CacheGeometry) -> ExtractedParams 
     let md_r = warm.misses.min(md);
     debug_assert!(warm.misses <= md, "seeding must not increase misses");
 
+    cpa_obs::event!(
+        "cache.extract",
+        function = function.name(),
+        sets = geometry.sets(),
+        md = md,
+        md_r = md_r,
+        ecb = ecb.len(),
+        ucb = ucb.len(),
+        pcb = pcb.len(),
+    );
     ExtractedParams {
         pd: function.worst_case_instruction_count(),
         md,

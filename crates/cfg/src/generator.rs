@@ -83,6 +83,8 @@ impl ProgramGenerator {
         shape: ProgramShape,
         rng: &mut R,
     ) -> Result<Function, CfgError> {
+        let _span = cpa_obs::span!("cfg.generate");
+        cpa_obs::event!("cfg.generate", shape = format!("{shape:?}"));
         match shape {
             ProgramShape::LoopKernel => self.loop_kernel(rng),
             ProgramShape::NestedLoops => self.nested_loops(rng),

@@ -1,12 +1,18 @@
 //! CLI driver regenerating the paper's tables and figures.
 //!
 //! ```text
-//! run_experiments [--quick] [--sets N] [--seed S] [--out DIR] [EXPERIMENT...]
+//! run_experiments [--quick] [--sets N] [--seed S] [--out DIR]
+//!                 [--trace FILE] [--metrics FILE] [EXPERIMENT...]
 //! ```
 //!
 //! `EXPERIMENT` is any of `table1`, `fig2`, `fig3a`, `fig3b`, `fig3c`,
 //! `fig3d`, or `all` (default). Results are printed as Markdown and written
 //! as CSV files under `--out` (default `results/`).
+//!
+//! `--trace FILE` enables the `cpa-obs` event subscriber and writes the
+//! deterministic JSON-lines event stream when every experiment has run;
+//! `--metrics FILE` enables timing collection only and writes counters,
+//! histograms, and the span-tree self-profile as one JSON document.
 
 use std::fs;
 use std::path::PathBuf;
@@ -20,12 +26,16 @@ struct Cli {
     opts: SweepOptions,
     out_dir: PathBuf,
     experiments: Vec<String>,
+    trace_path: Option<PathBuf>,
+    metrics_path: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Cli, String> {
     let mut opts = SweepOptions::paper();
     let mut out_dir = PathBuf::from("results");
     let mut experiments: Vec<String> = Vec::new();
+    let mut trace_path: Option<PathBuf> = None;
+    let mut metrics_path: Option<PathBuf> = None;
     let mut args = Args::from_env(USAGE);
     while let Some(arg) = args.next_arg() {
         match arg.as_str() {
@@ -36,6 +46,12 @@ fn parse_args() -> Result<Cli, String> {
             "--seed" => opts.seed = args.value_for("--seed").map_err(|e| e.to_string())?,
             "--threads" => opts.threads = args.value_for("--threads").map_err(|e| e.to_string())?,
             "--out" => out_dir = args.value_for("--out").map_err(|e| e.to_string())?,
+            "--trace" => {
+                trace_path = Some(args.value_for("--trace").map_err(|e| e.to_string())?);
+            }
+            "--metrics" => {
+                metrics_path = Some(args.value_for("--metrics").map_err(|e| e.to_string())?);
+            }
             "--help" | "-h" => return Err(args.help().to_string()),
             other if other.starts_with('-') => return Err(args.unknown_flag(other).to_string()),
             name => experiments.push(name.to_string()),
@@ -48,11 +64,14 @@ fn parse_args() -> Result<Cli, String> {
         opts,
         out_dir,
         experiments,
+        trace_path,
+        metrics_path,
     })
 }
 
 const USAGE: &str = "usage: run_experiments [--quick] [--sets N] [--seed S] [--threads T] \
-[--out DIR] [table1|fig2|fig3a|fig3b|fig3c|fig3d|ablation|gain|all]...";
+[--out DIR] [--trace FILE] [--metrics FILE] \
+[table1|fig2|fig3a|fig3b|fig3c|fig3d|ablation|gain|all]...";
 
 fn main() -> ExitCode {
     let cli = match parse_args() {
@@ -65,6 +84,11 @@ fn main() -> ExitCode {
     if let Err(e) = fs::create_dir_all(&cli.out_dir) {
         eprintln!("cannot create {}: {e}", cli.out_dir.display());
         return ExitCode::FAILURE;
+    }
+    if cli.trace_path.is_some() {
+        cpa_obs::enable();
+    } else if cli.metrics_path.is_some() {
+        cpa_obs::enable_metrics();
     }
 
     let all = cli.experiments.iter().any(|e| e == "all");
@@ -107,6 +131,26 @@ fn main() -> ExitCode {
     if !ran_any {
         eprintln!("no experiment matched {:?}\n{USAGE}", cli.experiments);
         return ExitCode::FAILURE;
+    }
+    if let Some(path) = &cli.trace_path {
+        let lines = cpa_obs::events_to_json_lines(&cpa_obs::take_events());
+        if let Err(e) = fs::write(path, lines) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    if let Some(path) = &cli.metrics_path {
+        let doc = format!(
+            "{{\"metrics\":{},\"profile\":{}}}\n",
+            cpa_obs::metrics_snapshot().to_json(),
+            cpa_obs::profile_snapshot().to_json()
+        );
+        if let Err(e) = fs::write(path, doc) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
     }
     ExitCode::SUCCESS
 }

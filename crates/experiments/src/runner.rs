@@ -212,6 +212,13 @@ pub fn evaluate_point_with(
     let threads = opts.worker_threads().max(1);
     let sets = opts.sets_per_point;
 
+    let _span = cpa_obs::span!("experiments.evaluate_point");
+    let evaluated = cpa_obs::counter("experiments.sets_evaluated");
+    // Evaluations run sequentially from the driver, so a process-wide epoch
+    // gives each call a scope block of its own even when point ids repeat
+    // across experiments (fig2 reuses one id per panel to share task sets).
+    static EPOCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let epoch = EPOCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let mut partials: Vec<PointStats> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
@@ -223,8 +230,11 @@ pub fn evaluate_point_with(
                 let mut stats = PointStats::new(configs.len());
                 let mut set = worker;
                 while set < sets {
-                    let mut rng =
-                        ChaCha8Rng::seed_from_u64(derive_seed(opts_seed, point_id, set as u64));
+                    let set_seed = derive_seed(opts_seed, point_id, set as u64);
+                    // Scope events by (epoch, set) so traces sort into one
+                    // canonical order regardless of the thread count.
+                    cpa_obs::set_scope(epoch.wrapping_mul(1 << 32).wrapping_add(set as u64));
+                    let mut rng = ChaCha8Rng::seed_from_u64(set_seed);
                     let tasks = generator.generate(&mut rng).expect("generation succeeds");
                     let ctx = AnalysisContext::with_crpd_approach(platform, &tasks, crpd)
                         .expect("task set fits platform");
@@ -233,6 +243,7 @@ pub fn evaluate_point_with(
                         let result = analyze(&ctx, cfg);
                         stats.accumulators[i].record(utilization, result.is_schedulable());
                     }
+                    evaluated.incr();
                     set += threads;
                 }
                 stats

@@ -1,0 +1,230 @@
+//! Counters, histograms, and the metrics snapshot they aggregate into.
+
+use crate::value::write_json_string;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A named monotonic counter.
+///
+/// Counters are **always on** — they are the one `cpa-obs` primitive that
+/// records regardless of [`crate::events_enabled`] / [`crate::timing_enabled`],
+/// because cheap cumulative totals are what progress reporting and `--metrics`
+/// share (one `fetch_add` per increment, no locking). Obtain a handle once via
+/// [`crate::counter`] and keep it; `Counter` is `Copy`.
+#[derive(Debug, Clone, Copy)]
+pub struct Counter {
+    pub(crate) name: &'static str,
+    pub(crate) cell: &'static AtomicU64,
+}
+
+impl Counter {
+    /// The counter's registered name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Reads the current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Power-of-two-bucketed histogram of `u64` samples.
+///
+/// Bucket `b` covers values in `[2^(b-1), 2^b)` (bucket 0 holds exactly the
+/// value 0), which keeps recording allocation-free and the snapshot encoding
+/// deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Smallest recorded sample (meaningless when `count == 0`).
+    pub min: u64,
+    /// Largest recorded sample.
+    pub max: u64,
+    /// `buckets[b]` counts samples whose bucket index is `b`.
+    pub buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+/// Bucket index for a sample: 0 for 0, otherwise `bit_length(value)`.
+fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+
+    /// Mean of the recorded samples, or 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Appends the JSON encoding (`{"count":..,"sum":..,"min":..,"max":..,
+    /// "buckets":[[floor,count],..]}`) to `out`. Only non-empty buckets are
+    /// encoded, as `[inclusive_lower_bound, count]` pairs.
+    pub fn write_json(&self, out: &mut String) {
+        let min = if self.count == 0 { 0 } else { self.min };
+        let _ = write!(
+            out,
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+            self.count, self.sum, min, self.max
+        );
+        let mut first = true;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let floor: u64 = if b == 0 { 0 } else { 1u64 << (b - 1) };
+            let _ = write!(out, "[{floor},{n}]");
+        }
+        out.push_str("]}");
+    }
+}
+
+/// Point-in-time copy of every registered counter and histogram.
+///
+/// Entries are sorted by name, so the JSON encoding of two snapshots taken at
+/// the same logical point of two same-seed runs is identical.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every registered counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, histogram)` for every registered histogram, sorted by name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// Encodes the snapshot as a single JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(name, &mut out);
+            let _ = write!(out, ":{value}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, hist)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(name, &mut out);
+            out.push(':');
+            hist.write_json(&mut out);
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the snapshot as aligned human-readable text.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.histograms.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0);
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "{name:width$}  {value}");
+        }
+        for (name, hist) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{name:width$}  n={} mean={:.2} min={} max={}",
+                hist.count,
+                hist.mean(),
+                if hist.count == 0 { 0 } else { hist.min },
+                hist.max
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1034);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1024);
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2..=3
+        assert_eq!(h.buckets[3], 1); // 4..=7
+        assert_eq!(h.buckets[11], 1); // 1024..=2047
+        let mut json = String::new();
+        h.write_json(&mut json);
+        assert_eq!(
+            json,
+            "{\"count\":6,\"sum\":1034,\"min\":0,\"max\":1024,\
+             \"buckets\":[[0,1],[1,1],[2,2],[4,1],[1024,1]]}"
+        );
+    }
+
+    #[test]
+    fn snapshot_json_is_sorted_and_stable() {
+        let snapshot = MetricsSnapshot {
+            counters: vec![("a.x".into(), 1), ("b.y".into(), 2)],
+            histograms: vec![],
+        };
+        assert_eq!(
+            snapshot.to_json(),
+            "{\"counters\":{\"a.x\":1,\"b.y\":2},\"histograms\":{}}"
+        );
+    }
+}

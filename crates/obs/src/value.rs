@@ -1,0 +1,174 @@
+//! Field values carried by events, and the hand-rolled JSON encoding they
+//! share with every other `cpa-obs` artefact.
+//!
+//! `cpa-obs` must stay dependency-free (it sits below every other crate in
+//! the workspace), so it does not use `serde`; the JSON subset emitted here
+//! is deliberately tiny: objects, arrays, strings, booleans, and integers /
+//! finite floats.
+
+use std::fmt::Write as _;
+
+/// A single typed field value attached to an [`crate::Event`].
+///
+/// Values are deliberately restricted to deterministic encodings: integers
+/// render exactly, floats render through Rust's shortest-roundtrip `Display`
+/// (identical across runs for identical bits), and strings are escaped per
+/// RFC 8259.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer (cycle counts, iteration numbers, indices).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating-point value; non-finite values encode as `null`.
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Owned string (task names, labels, policy names).
+    Str(String),
+}
+
+impl FieldValue {
+    /// Appends the JSON encoding of this value to `out`.
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            FieldValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            FieldValue::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            FieldValue::F64(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                    // `Display` omits the decimal point for integral floats;
+                    // keep the type visible in the stream.
+                    if !out.ends_with(['.', 'e']) && v.fract() == 0.0 {
+                        let tail: String = out
+                            .chars()
+                            .rev()
+                            .take_while(|c| c.is_ascii_digit() || *c == '-')
+                            .collect();
+                        if tail.len() == out.len() || !out.contains('.') {
+                            out.push_str(".0");
+                        }
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            FieldValue::Str(s) => write_json_string(s, out),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<u16> for FieldValue {
+    fn from(v: u16) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<i32> for FieldValue {
+    fn from(v: i32) -> Self {
+        FieldValue::I64(i64::from(v))
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// Appends `s` to `out` as a quoted, RFC 8259-escaped JSON string.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json(v: FieldValue) -> String {
+        let mut s = String::new();
+        v.write_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn integers_render_exactly() {
+        assert_eq!(json(FieldValue::U64(u64::MAX)), u64::MAX.to_string());
+        assert_eq!(json(FieldValue::I64(-42)), "-42");
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(json(FieldValue::F64(0.5)), "0.5");
+        assert_eq!(json(FieldValue::F64(3.0)), "3.0");
+        assert_eq!(json(FieldValue::F64(f64::NAN)), "null");
+    }
+
+    #[test]
+    fn strings_escape_control_characters() {
+        let mut out = String::new();
+        write_json_string("a\"b\\c\nd\u{1}", &mut out);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

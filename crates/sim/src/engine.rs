@@ -116,6 +116,7 @@ impl<'a> Simulator<'a> {
     /// passed are counted as deadline misses.
     #[must_use]
     pub fn run(mut self) -> SimReport {
+        let _span = cpa_obs::span!("sim.run");
         let horizon = self.config.horizon.cycles();
         while self.now < horizon {
             self.release_jobs();
@@ -130,8 +131,51 @@ impl<'a> Simulator<'a> {
                 self.report.task_mut(job.task).deadline_misses += 1;
             }
         }
+        self.observe_run(horizon);
         self.report.trace = self.recorder.finish();
         self.report
+    }
+
+    /// Reports the run's totals through `cpa-obs`: cumulative counters for
+    /// campaign metrics and one `sim.report` event for traces. Counters are
+    /// only touched when a subscriber is active, so untraced simulations pay
+    /// a single branch.
+    fn observe_run(&self, horizon: u64) {
+        if !cpa_obs::active() {
+            return;
+        }
+        let released: u64 = self.tasks.ids().map(|i| self.report.task(i).released).sum();
+        let completed: u64 = self
+            .tasks
+            .ids()
+            .map(|i| self.report.task(i).completed)
+            .sum();
+        let misses: u64 = self
+            .tasks
+            .ids()
+            .map(|i| self.report.task(i).deadline_misses)
+            .sum();
+        cpa_obs::counter("sim.runs").incr();
+        cpa_obs::counter("sim.cycles").add(horizon);
+        cpa_obs::counter("sim.jobs_released").add(released);
+        cpa_obs::counter("sim.jobs_completed").add(completed);
+        cpa_obs::counter("sim.deadline_misses").add(misses);
+        cpa_obs::counter("sim.bus_transactions").add(self.report.bus_transactions);
+        cpa_obs::counter("sim.bus_busy_cycles").add(self.report.bus_busy_cycles);
+        // Bus-slot occupancy in permille, binned for the distribution view.
+        cpa_obs::histogram!(
+            "sim.bus_occupancy_permille",
+            (self.report.bus_utilization() * 1000.0) as u64
+        );
+        cpa_obs::event!(
+            "sim.report",
+            horizon = horizon,
+            released = released,
+            completed = completed,
+            deadline_misses = misses,
+            bus_transactions = self.report.bus_transactions,
+            bus_busy_cycles = self.report.bus_busy_cycles,
+        );
     }
 
     fn d_mem(&self) -> u64 {
@@ -160,6 +204,7 @@ impl<'a> Simulator<'a> {
             self.jobs.push(job);
             self.ready[task.core().index()].push(idx);
             self.report.task_mut(i).released += 1;
+            cpa_obs::event!("sim.release", task = i.index(), t = self.now);
 
             let period = task.period().cycles();
             let extra = match self.config.releases {
@@ -289,9 +334,17 @@ impl<'a> Simulator<'a> {
                 stats.completed += 1;
                 stats.max_response = stats.max_response.max(Time::from_cycles(response));
                 stats.total_response += Time::from_cycles(response);
-                if self.now + 1 > deadline {
+                let missed = self.now + 1 > deadline;
+                if missed {
                     stats.deadline_misses += 1;
                 }
+                cpa_obs::event!(
+                    "sim.complete",
+                    task = task.index(),
+                    t = self.now + 1,
+                    response = response,
+                    missed = missed,
+                );
             }
         }
     }
@@ -384,6 +437,13 @@ impl<'a> Simulator<'a> {
             self.bus.busy_until = self.now + d_mem;
             self.recorder
                 .record_bus(self.jobs[job].task, self.now, self.now + d_mem);
+            // Queue depth at grant time: cores left waiting on the bus.
+            if cpa_obs::timing_enabled() {
+                let waiting = (0..cores)
+                    .filter(|&c| self.requesting_job(c).is_some_and(|j| j != job))
+                    .count() as u64;
+                cpa_obs::histogram_record("sim.bus_queue_depth", waiting);
+            }
         }
     }
 }

@@ -1,0 +1,490 @@
+//! One traced analysis or simulation run, with convergence diagnostics.
+//!
+//! ```text
+//! cpa-trace analyze [--seed S] [--cores N] [--tasks-per-core K] [--util U]
+//!                   [--bus fp|rr|tdma|perfect] [--slots K]
+//!                   [--mode aware|oblivious] [--trace FILE] [--profile FILE]
+//!                   [--json]
+//! cpa-trace sim     [--seed S] [--cores N] [--tasks-per-core K] [--util U]
+//!                   [--bus fp|rr|tdma] [--slots K] [--horizon H]
+//!                   [--trace FILE] [--profile FILE] [--json]
+//! ```
+//!
+//! `analyze` generates one task set (paper-default profile with the given
+//! overrides), runs the WCRT analysis with the `cpa-obs` subscriber
+//! enabled, and prints a per-task convergence report: WCRT, inner
+//! iteration counts, and the BAS/BAO/CPRO/CRPD decomposition of the bound
+//! at its fixed point, naming the dominant term. `sim` runs the
+//! cycle-accurate simulator on the same workload instead and reports the
+//! observed per-task statistics and bus occupancy.
+//!
+//! Both subcommands end with a self-profile: the span tree with wall-time
+//! aggregation, pretty-printed (or embedded in the `--json` document).
+//! `--trace FILE` writes the deterministic JSON-lines event stream
+//! (payloads carry iterations and seeds, never wall-clock values);
+//! `--profile FILE` writes the metrics + profile JSON document.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cpa_analysis::{
+    analyze, decompose, AnalysisConfig, AnalysisContext, BusPolicy, DominantTerm, PersistenceMode,
+};
+use cpa_experiments::cli::Args;
+use cpa_model::{Platform, TaskSet, Time};
+use cpa_sim::{SimConfig, SimReport, Simulator};
+use cpa_validate::oracle::{arbitration_of, horizon_for};
+use cpa_validate::platform_for_tasks;
+use cpa_workload::{GeneratorConfig, TaskSetGenerator};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+/// One row of the `analyze --json` convergence report.
+#[derive(Serialize)]
+struct AnalyzeTaskRow {
+    task: String,
+    core: usize,
+    priority: u32,
+    wcrt: Option<u64>,
+    deadline: u64,
+    converged: bool,
+    inner_iterations: u64,
+    dominant: &'static str,
+    bas: u64,
+    bao: u64,
+    cpro: u64,
+    crpd: u64,
+    blocking: u64,
+}
+
+/// The `analyze --json` report (profile spliced in separately).
+#[derive(Serialize)]
+struct AnalyzeDoc {
+    command: &'static str,
+    seed: u64,
+    bus: &'static str,
+    mode: &'static str,
+    schedulable: bool,
+    outer_iterations: u32,
+    hit_outer_cap: bool,
+    tasks: Vec<AnalyzeTaskRow>,
+}
+
+/// One row of the `sim --json` report.
+#[derive(Serialize)]
+struct SimTaskRow {
+    task: String,
+    core: usize,
+    released: u64,
+    completed: u64,
+    max_response: u64,
+    deadline_misses: u64,
+}
+
+/// The `sim --json` report (profile spliced in separately).
+#[derive(Serialize)]
+struct SimDoc {
+    command: &'static str,
+    seed: u64,
+    bus: &'static str,
+    horizon: u64,
+    no_deadline_misses: bool,
+    bus_transactions: u64,
+    bus_busy_cycles: u64,
+    bus_utilization: f64,
+    tasks: Vec<SimTaskRow>,
+}
+
+const USAGE: &str = "usage: cpa-trace analyze [--seed S] [--cores N] [--tasks-per-core K] \
+[--util U] [--bus fp|rr|tdma|perfect] [--slots K] [--mode aware|oblivious] [--trace FILE] \
+[--profile FILE] [--json]\n       cpa-trace sim [--seed S] [--cores N] [--tasks-per-core K] \
+[--util U] [--bus fp|rr|tdma] [--slots K] [--horizon H] [--trace FILE] [--profile FILE] [--json]";
+
+/// Everything both subcommands share.
+struct TraceOptions {
+    seed: u64,
+    cores: usize,
+    tasks_per_core: usize,
+    util: f64,
+    bus: String,
+    slots: u64,
+    mode: String,
+    horizon: u64,
+    trace_path: Option<PathBuf>,
+    profile_path: Option<PathBuf>,
+    json: bool,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions {
+            seed: 42,
+            cores: 2,
+            tasks_per_core: 4,
+            util: 0.3,
+            bus: "fp".to_string(),
+            slots: 2,
+            mode: "aware".to_string(),
+            horizon: 1_500_000,
+            trace_path: None,
+            profile_path: None,
+            json: false,
+        }
+    }
+}
+
+impl TraceOptions {
+    fn parse(args: &mut Args) -> Result<TraceOptions, String> {
+        let mut opts = TraceOptions::default();
+        while let Some(arg) = args.next_arg() {
+            match arg.as_str() {
+                "--seed" => opts.seed = args.value_for("--seed").map_err(|e| e.to_string())?,
+                "--cores" => opts.cores = args.value_for("--cores").map_err(|e| e.to_string())?,
+                "--tasks-per-core" => {
+                    opts.tasks_per_core = args
+                        .value_for("--tasks-per-core")
+                        .map_err(|e| e.to_string())?;
+                }
+                "--util" => opts.util = args.value_for("--util").map_err(|e| e.to_string())?,
+                "--bus" => opts.bus = args.value_for("--bus").map_err(|e| e.to_string())?,
+                "--slots" => opts.slots = args.value_for("--slots").map_err(|e| e.to_string())?,
+                "--mode" => opts.mode = args.value_for("--mode").map_err(|e| e.to_string())?,
+                "--horizon" => {
+                    opts.horizon = args.value_for("--horizon").map_err(|e| e.to_string())?;
+                }
+                "--trace" => {
+                    opts.trace_path = Some(args.value_for("--trace").map_err(|e| e.to_string())?);
+                }
+                "--profile" => {
+                    opts.profile_path =
+                        Some(args.value_for("--profile").map_err(|e| e.to_string())?);
+                }
+                "--json" => opts.json = true,
+                "--help" | "-h" => return Err(args.help().to_string()),
+                other => return Err(args.unknown_flag(other).to_string()),
+            }
+        }
+        Ok(opts)
+    }
+
+    fn bus_policy(&self) -> Result<BusPolicy, String> {
+        match self.bus.as_str() {
+            "fp" => Ok(BusPolicy::FixedPriority),
+            "rr" => Ok(BusPolicy::RoundRobin { slots: self.slots }),
+            "tdma" => Ok(BusPolicy::Tdma { slots: self.slots }),
+            "perfect" => Ok(BusPolicy::Perfect),
+            other => Err(format!(
+                "unknown bus `{other}` (expected fp, rr, tdma, or perfect)"
+            )),
+        }
+    }
+
+    fn persistence(&self) -> Result<PersistenceMode, String> {
+        match self.mode.as_str() {
+            "aware" => Ok(PersistenceMode::Aware),
+            "oblivious" => Ok(PersistenceMode::Oblivious),
+            other => Err(format!(
+                "unknown mode `{other}` (expected aware or oblivious)"
+            )),
+        }
+    }
+
+    fn workload(&self) -> Result<(GeneratorConfig, Platform, TaskSet), String> {
+        let config = GeneratorConfig {
+            cores: self.cores,
+            tasks_per_core: self.tasks_per_core,
+            ..GeneratorConfig::paper_default()
+        }
+        .with_per_core_utilization(self.util);
+        let generator = TaskSetGenerator::new(config.clone()).map_err(|e| e.to_string())?;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let tasks = generator.generate(&mut rng).map_err(|e| e.to_string())?;
+        let platform = platform_for_tasks(&tasks, config.d_mem).map_err(|e| e.to_string())?;
+        Ok((config, platform, tasks))
+    }
+
+    fn describe(&self, config: &GeneratorConfig) -> String {
+        format!(
+            "task set: seed {:#x}, {} cores x {} tasks, util {:.2}/core, d_mem {}",
+            self.seed,
+            self.cores,
+            self.tasks_per_core,
+            self.util,
+            config.d_mem.cycles()
+        )
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = Args::from_env(USAGE);
+    match args.next_arg().as_deref() {
+        Some("analyze") => dispatch(&mut args, analyze_cmd),
+        Some("sim") => dispatch(&mut args, sim_cmd),
+        Some("--help" | "-h") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("{}", args.unknown_flag(other));
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn dispatch(args: &mut Args, cmd: fn(&TraceOptions) -> Result<(), String>) -> ExitCode {
+    let opts = match TraceOptions::parse(args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    cpa_obs::enable();
+    cpa_obs::set_scope(0);
+    match cmd(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn analyze_cmd(opts: &TraceOptions) -> Result<(), String> {
+    let bus = opts.bus_policy()?;
+    let mode = opts.persistence()?;
+    let (gen_config, platform, tasks) = opts.workload()?;
+    let ctx = AnalysisContext::new(&platform, &tasks).map_err(|e| e.to_string())?;
+    let config = AnalysisConfig::new(bus, mode);
+    let result = analyze(&ctx, &config);
+
+    // Decomposition windows: the fixed point where one exists, the
+    // deadline (the last window the sufficiency test probed) otherwise.
+    let windows: Vec<Time> = tasks
+        .ids()
+        .map(|i| {
+            result
+                .response_time(i)
+                .unwrap_or_else(|| tasks[i].deadline())
+        })
+        .collect();
+    let decompositions: Vec<_> = tasks
+        .ids()
+        .map(|i| decompose(&ctx, &config, i, windows[i.index()], &windows))
+        .collect();
+
+    write_sinks(opts)?;
+    let profile = cpa_obs::profile_snapshot();
+
+    if opts.json {
+        let task_rows: Vec<AnalyzeTaskRow> = tasks
+            .ids()
+            .map(|i| {
+                let task = &tasks[i];
+                let d = &decompositions[i.index()];
+                AnalyzeTaskRow {
+                    task: task.name().to_string(),
+                    core: task.core().index(),
+                    priority: task.priority().level(),
+                    wcrt: result.response_time(i).map(|t| t.cycles()),
+                    deadline: task.deadline().cycles(),
+                    converged: result.converged(i),
+                    inner_iterations: result.inner_iterations(i),
+                    dominant: d.dominant().label(),
+                    bas: d.bas_accesses,
+                    bao: d.bao_accesses,
+                    cpro: d.cpro_accesses,
+                    crpd: d.crpd_accesses,
+                    blocking: d.blocking_accesses,
+                }
+            })
+            .collect();
+        let doc = AnalyzeDoc {
+            command: "analyze",
+            seed: opts.seed,
+            bus: bus.label(),
+            mode: mode.label(),
+            schedulable: result.is_schedulable(),
+            outer_iterations: result.outer_iterations(),
+            hit_outer_cap: result.hit_outer_iteration_cap(),
+            tasks: task_rows,
+        };
+        println!("{}", with_profile(&doc, &profile)?);
+        return Ok(());
+    }
+
+    println!("{}", opts.describe(&gen_config));
+    println!(
+        "analysis: bus {}, persistence {} ({} outer sweeps{})",
+        bus.label(),
+        mode.label(),
+        result.outer_iterations(),
+        if result.hit_outer_iteration_cap() {
+            ", OUTER CAP HIT"
+        } else {
+            ""
+        }
+    );
+    println!();
+    println!(
+        "{:<14} {:>4} {:>4} {:>10} {:>10} {:>5} {:>7}  {:<8} {}",
+        "task", "core", "prio", "wcrt", "deadline", "conv", "inner", "dominant", "shares"
+    );
+    for i in tasks.ids() {
+        let task = &tasks[i];
+        let d = &decompositions[i.index()];
+        let wcrt = result
+            .response_time(i)
+            .map_or_else(|| "-".to_string(), |t| t.cycles().to_string());
+        let shares = [
+            DominantTerm::Bas,
+            DominantTerm::Bao,
+            DominantTerm::Cpro,
+            DominantTerm::Crpd,
+        ]
+        .map(|t| format!("{}={:.1}%", t.label(), d.share(t) * 100.0))
+        .join(" ");
+        println!(
+            "{:<14} {:>4} {:>4} {:>10} {:>10} {:>5} {:>7}  {:<8} {}",
+            task.name(),
+            task.core().index(),
+            task.priority().level(),
+            wcrt,
+            task.deadline().cycles(),
+            if result.converged(i) { "yes" } else { "no" },
+            result.inner_iterations(i),
+            d.dominant().label(),
+            shares
+        );
+    }
+    println!();
+    println!(
+        "schedulable: {}",
+        if result.is_schedulable() { "yes" } else { "no" }
+    );
+    print_profile(&profile);
+    Ok(())
+}
+
+fn sim_cmd(opts: &TraceOptions) -> Result<(), String> {
+    let bus = opts.bus_policy()?;
+    let (gen_config, platform, tasks) = opts.workload()?;
+    let horizon = horizon_for(&tasks, opts.horizon);
+    let config = SimConfig::new(arbitration_of(bus)).with_horizon(horizon);
+    let report = Simulator::new(&platform, &tasks, config)
+        .map_err(|e| e.to_string())?
+        .run();
+
+    write_sinks(opts)?;
+    let profile = cpa_obs::profile_snapshot();
+
+    if opts.json {
+        let doc = SimDoc {
+            command: "sim",
+            seed: opts.seed,
+            bus: bus.label(),
+            horizon: report.horizon.cycles(),
+            no_deadline_misses: report.no_deadline_misses(),
+            bus_transactions: report.bus_transactions,
+            bus_busy_cycles: report.bus_busy_cycles,
+            bus_utilization: report.bus_utilization(),
+            tasks: task_sim_rows(&tasks, &report),
+        };
+        println!("{}", with_profile(&doc, &profile)?);
+        return Ok(());
+    }
+
+    println!("{}", opts.describe(&gen_config));
+    println!(
+        "simulation: bus {}, horizon {} cycles",
+        bus.label(),
+        report.horizon.cycles()
+    );
+    println!();
+    println!(
+        "{:<14} {:>4} {:>9} {:>9} {:>12} {:>7}",
+        "task", "core", "released", "completed", "max_response", "misses"
+    );
+    for i in tasks.ids() {
+        let task = &tasks[i];
+        let stats = report.task(i);
+        println!(
+            "{:<14} {:>4} {:>9} {:>9} {:>12} {:>7}",
+            task.name(),
+            task.core().index(),
+            stats.released,
+            stats.completed,
+            stats.max_response.cycles(),
+            stats.deadline_misses
+        );
+    }
+    println!();
+    println!(
+        "bus: {} transactions, {} busy cycles, {:.1}% occupancy",
+        report.bus_transactions,
+        report.bus_busy_cycles,
+        report.bus_utilization() * 100.0
+    );
+    print_profile(&profile);
+    Ok(())
+}
+
+fn task_sim_rows(tasks: &TaskSet, report: &SimReport) -> Vec<SimTaskRow> {
+    tasks
+        .ids()
+        .map(|i| {
+            let stats = report.task(i);
+            SimTaskRow {
+                task: tasks[i].name().to_string(),
+                core: tasks[i].core().index(),
+                released: stats.released,
+                completed: stats.completed,
+                max_response: stats.max_response.cycles(),
+                deadline_misses: stats.deadline_misses,
+            }
+        })
+        .collect()
+}
+
+/// Serializes `doc` and splices the span-tree profile in as a top-level
+/// `"profile"` key (the profile renders its own JSON).
+fn with_profile<T: Serialize>(doc: &T, profile: &cpa_obs::ProfileNode) -> Result<String, String> {
+    let body = serde_json::to_string(doc).map_err(|e| e.to_string())?;
+    let without_brace = body
+        .strip_suffix('}')
+        .ok_or_else(|| "report did not serialize to a JSON object".to_string())?;
+    Ok(format!(
+        "{without_brace},\"profile\":{}}}",
+        profile.to_json()
+    ))
+}
+
+/// Writes the `--trace` / `--profile` sinks.
+fn write_sinks(opts: &TraceOptions) -> Result<(), String> {
+    if let Some(path) = &opts.trace_path {
+        let lines = cpa_obs::events_to_json_lines(&cpa_obs::take_events());
+        std::fs::write(path, lines).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("wrote {}", path.display());
+    }
+    if let Some(path) = &opts.profile_path {
+        let doc = format!(
+            "{{\"metrics\":{},\"profile\":{}}}\n",
+            cpa_obs::metrics_snapshot().to_json(),
+            cpa_obs::profile_snapshot().to_json()
+        );
+        std::fs::write(path, doc).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn print_profile(profile: &cpa_obs::ProfileNode) {
+    println!();
+    println!("self-profile:");
+    print!("{}", profile.render_text());
+}

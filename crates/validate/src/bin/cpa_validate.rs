@@ -4,6 +4,7 @@
 //! cpa-validate run [--sets N] [--seed S] [--threads T] [--slots K] [--quick]
 //!                  [--inject none|soundness|dominance] [--report FILE]
 //!                  [--repro-dir DIR] [--max-shrinks M] [--no-progress]
+//!                  [--trace FILE] [--metrics FILE]
 //! cpa-validate replay FILE...
 //! ```
 //!
@@ -11,6 +12,13 @@
 //! non-zero when any oracle fired; violations are minimized and written as
 //! replayable repro files under `--repro-dir`. `replay` re-executes stored
 //! repros and exits non-zero when one no longer reproduces.
+//!
+//! `--trace FILE` enables the `cpa-obs` event subscriber and writes the
+//! canonical JSON-lines event stream after the campaign (deterministic:
+//! same seed and set count produce byte-identical output regardless of
+//! `--threads`). `--metrics FILE` enables timing collection only and
+//! writes a JSON document with counters, histograms, and the span-tree
+//! self-profile.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -21,7 +29,8 @@ use cpa_validate::{run_campaign, shrink_case, CampaignOptions, OracleKind, Repro
 
 const USAGE: &str = "usage: cpa-validate run [--sets N] [--seed S] [--threads T] [--slots K] \
 [--quick] [--inject none|soundness|dominance] [--report FILE] [--repro-dir DIR] \
-[--max-shrinks M] [--no-progress]\n       cpa-validate replay FILE...";
+[--max-shrinks M] [--no-progress] [--trace FILE] [--metrics FILE]\n       \
+cpa-validate replay FILE...";
 
 fn main() -> ExitCode {
     let mut args = Args::from_env(USAGE);
@@ -47,6 +56,8 @@ fn run_cmd(mut args: Args) -> ExitCode {
     let mut opts = CampaignOptions::new();
     opts.progress = true;
     let mut report_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut metrics_path: Option<PathBuf> = None;
     let mut repro_dir = PathBuf::from("validate-repros");
     let mut max_shrinks: usize = 3;
     while let Some(arg) = args.next_arg() {
@@ -71,6 +82,12 @@ fn run_cmd(mut args: Args) -> ExitCode {
                 "--max-shrinks" => {
                     max_shrinks = args.value_for("--max-shrinks").map_err(|e| e.to_string())?;
                 }
+                "--trace" => {
+                    trace_path = Some(args.value_for("--trace").map_err(|e| e.to_string())?);
+                }
+                "--metrics" => {
+                    metrics_path = Some(args.value_for("--metrics").map_err(|e| e.to_string())?);
+                }
                 "--no-progress" => opts.progress = false,
                 "--help" | "-h" => return Err(args.help().to_string()),
                 other => return Err(args.unknown_flag(other).to_string()),
@@ -83,6 +100,12 @@ fn run_cmd(mut args: Args) -> ExitCode {
         }
     }
 
+    if trace_path.is_some() {
+        cpa_obs::enable();
+    } else if metrics_path.is_some() {
+        cpa_obs::enable_metrics();
+    }
+
     eprintln!(
         "campaign: {} sets, seed {:#x}, {} threads, {} profile, inject {}",
         opts.sets,
@@ -92,6 +115,27 @@ fn run_cmd(mut args: Args) -> ExitCode {
         opts.inject
     );
     let mut outcome = run_campaign(&opts);
+
+    if let Some(path) = &trace_path {
+        let lines = cpa_obs::events_to_json_lines(&cpa_obs::take_events());
+        if let Err(e) = std::fs::write(path, lines) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    if let Some(path) = &metrics_path {
+        let doc = format!(
+            "{{\"metrics\":{},\"profile\":{}}}\n",
+            cpa_obs::metrics_snapshot().to_json(),
+            cpa_obs::profile_snapshot().to_json()
+        );
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("wrote {}", path.display());
+    }
 
     let shrinks = outcome.cases.len().min(max_shrinks);
     for case in outcome.cases.iter().take(shrinks) {

@@ -8,7 +8,7 @@
 //! interleaving of workers — campaigns with the same options produce equal
 //! [`CampaignStats`] whether they run on 1 thread or 16.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use cpa_experiments::runner::{derive_seed, platform_for};
@@ -198,22 +198,27 @@ struct WorkerPartial {
 /// invariant failures, not on oracle violations — those are reported).
 #[must_use]
 pub fn run_campaign(opts: &CampaignOptions) -> CampaignOutcome {
+    let _span = cpa_obs::span!("campaign.run");
     let started = Instant::now();
     let sets = opts.sets;
     let threads = opts.worker_threads().max(1).min(sets.max(1) as usize);
     let base_check = opts.check_options();
 
-    let progress = AtomicU64::new(0);
+    // Progress and `--metrics` share one code path: workers bump the
+    // always-on `campaign.sets_validated` counter and the progress thread
+    // polls it (relative to the campaign's starting value, since counters
+    // are cumulative across campaigns in one process).
+    let validated = cpa_obs::counter("campaign.sets_validated");
+    let validated_base = validated.get();
     let done = AtomicBool::new(false);
     let mut partials: Vec<WorkerPartial> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         if opts.progress {
-            let progress = &progress;
             let done = &done;
             scope.spawn(move || {
                 let mut last = u64::MAX;
                 while !done.load(Ordering::Relaxed) {
-                    let n = progress.load(Ordering::Relaxed);
+                    let n = validated.get() - validated_base;
                     if n != last {
                         eprint!("\rvalidated {n}/{sets} task sets");
                         last = n;
@@ -222,21 +227,20 @@ pub fn run_campaign(opts: &CampaignOptions) -> CampaignOutcome {
                 }
                 eprintln!(
                     "\rvalidated {}/{sets} task sets",
-                    progress.load(Ordering::Relaxed)
+                    validated.get() - validated_base
                 );
             });
         }
         let mut handles = Vec::with_capacity(threads);
         for worker in 0..threads {
             let base_check = &base_check;
-            let progress = &progress;
             let base_seed = opts.seed;
             let handle = scope.spawn(move || {
                 let mut partial = WorkerPartial::default();
                 let mut set = worker as u64;
                 while set < sets {
                     validate_one_set(set, base_seed, base_check, &mut partial);
-                    progress.fetch_add(1, Ordering::Relaxed);
+                    validated.incr();
                     set += threads as u64;
                 }
                 partial
@@ -259,6 +263,10 @@ pub fn run_campaign(opts: &CampaignOptions) -> CampaignOutcome {
         stats.violations.extend(partial.records);
         cases.extend(partial.cases);
     }
+    cpa_obs::counter("campaign.checked_sets").add(stats.checked_sets);
+    cpa_obs::counter("campaign.generation_failures").add(stats.generation_failures);
+    cpa_obs::counter("campaign.schedulable_sets").add(stats.schedulable_sets);
+    cpa_obs::counter("campaign.violations").add(stats.violations.len() as u64);
     // Workers finish in arbitrary order; canonical order keeps the report
     // (and therefore CampaignStats equality) thread-count invariant.
     stats.violations.sort_by_key(|v| v.set_index);
@@ -293,11 +301,13 @@ fn validate_one_set(
     partial: &mut WorkerPartial,
 ) {
     let set_seed = derive_seed(base_seed, CAMPAIGN_POINT, set);
+    cpa_obs::set_scope(set);
     let (config, mut rng) = profile_for(set_seed);
     let generator = TaskSetGenerator::new(config.clone())
         .expect("campaign profiles are always valid generator configs");
     let Ok(tasks) = generator.generate(&mut rng) else {
         partial.generation_failures += 1;
+        cpa_obs::event!("campaign.generation_failure", set = set, seed = set_seed);
         return;
     };
     let platform = platform_for(&config);
@@ -339,6 +349,14 @@ fn validate_one_set(
         partial.schedulable += 1;
     }
     partial.oracles.merge(&outcome.stats);
+    cpa_obs::event!(
+        "campaign.set_done",
+        set = set,
+        seed = set_seed,
+        tasks = tasks.len(),
+        schedulable = outcome.any_schedulable,
+        violations = outcome.violations.len(),
+    );
     for violation in outcome.violations {
         record_violation(partial, set, set_seed, config.d_mem, &tasks, violation);
     }

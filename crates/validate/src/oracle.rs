@@ -264,6 +264,7 @@ pub fn check_task_set(
     tasks: &TaskSet,
     opts: &CheckOptions,
 ) -> Result<SetOutcome, ModelError> {
+    let _span = cpa_obs::span!("oracle.check_set");
     let buses = [
         BusPolicy::FixedPriority,
         BusPolicy::RoundRobin { slots: opts.slots },
@@ -272,6 +273,7 @@ pub fn check_task_set(
     let mut out = SetOutcome::default();
 
     // Analysis matrix + dominance oracle (pure computation, cheap).
+    let analysis_span = cpa_obs::span!("oracle.analysis");
     let mut entries = Vec::with_capacity(opts.approaches.len() * buses.len());
     for &approach in &opts.approaches {
         let ctx = AnalysisContext::with_crpd_approach(platform, tasks, approach)?;
@@ -299,9 +301,12 @@ pub fn check_task_set(
         }
     }
 
+    drop(analysis_span);
+
     // Simulation + soundness/accounting oracles (the expensive part).
     // Simulation is independent of persistence mode and CRPD approach, so
     // one run per (bus, release model) covers every analysis column.
+    let simulate_span = cpa_obs::span!("oracle.simulate");
     let horizon = horizon_for(tasks, opts.horizon_cap);
     for (bus_index, &bus) in buses.iter().enumerate() {
         let bus_entries: Vec<&MatrixEntry> = entries
@@ -350,7 +355,10 @@ pub fn check_task_set(
         }
     }
 
+    drop(simulate_span);
+
     if opts.determinism {
+        let _span = cpa_obs::span!("oracle.determinism");
         check_determinism(platform, tasks, opts, &entries, horizon, &mut out)?;
     }
     Ok(out)

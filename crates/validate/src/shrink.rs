@@ -162,6 +162,7 @@ fn violation_of(
 /// sound to shrink).
 #[must_use]
 pub fn shrink_case(case: &ViolationCase, opts: &CheckOptions) -> Option<ShrinkOutcome> {
+    let _span = cpa_obs::span!("shrink.case");
     // The determinism oracle is only re-run while shrinking determinism
     // violations; for everything else it would spend budget without
     // affecting whether the target oracle fires.
@@ -183,10 +184,20 @@ pub fn shrink_case(case: &ViolationCase, opts: &CheckOptions) -> Option<ShrinkOu
                 continue;
             };
             evaluations += 1;
+            cpa_obs::counter("shrink.evaluations").incr();
             if let Some(v) = violation_of(&tasks, case.d_mem, oracle, &opts) {
                 current = candidate;
                 violation = v;
                 steps += 1;
+                cpa_obs::counter("shrink.accepted_steps").incr();
+                cpa_obs::event!(
+                    "shrink.step",
+                    set = case.set_index,
+                    oracle = oracle.label(),
+                    step = steps,
+                    evaluations = evaluations,
+                    tasks = tasks.len(),
+                );
                 continue 'outer;
             }
         }

@@ -1,0 +1,42 @@
+//! The event stream is deterministic by construction: payloads carry
+//! iteration counts and seeds, never wall-clock values, and every event is
+//! stamped with a `(scope, seq)` key assigned per task-set so the drained,
+//! canonically-sorted stream does not depend on worker interleaving.
+//!
+//! This test pins the strongest form of that property: the *bytes* of the
+//! JSON-lines sink are identical between a 1-worker and an 8-worker
+//! campaign over the same seed and set count. It lives in its own
+//! integration-test binary because it toggles the process-wide `cpa-obs`
+//! subscriber.
+
+use cpa_validate::{run_campaign, CampaignOptions};
+
+fn traced_campaign(threads: usize) -> String {
+    cpa_obs::reset();
+    cpa_obs::enable();
+    let outcome = run_campaign(
+        &CampaignOptions::new()
+            .with_sets(12)
+            .with_seed(0xDECAF)
+            .with_quick(true)
+            .with_threads(threads),
+    );
+    cpa_obs::disable();
+    assert!(outcome.report.passed(), "clean campaign expected");
+    cpa_obs::events_to_json_lines(&cpa_obs::take_events())
+}
+
+#[test]
+fn event_stream_bytes_are_worker_count_invariant() {
+    let single = traced_campaign(1);
+    let parallel = traced_campaign(8);
+    assert!(!single.is_empty(), "traced campaign produced no events");
+    assert!(
+        single.lines().any(|l| l.contains("campaign.set_done")),
+        "expected per-set events in the stream"
+    );
+    assert_eq!(
+        single, parallel,
+        "same seed must produce byte-identical traces across worker counts"
+    );
+}

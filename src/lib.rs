@@ -8,6 +8,7 @@
 //! * [`analysis`] — CRPD/CPRO, Lemmas 1–2, bus bounds, WCRT
 //!   ([`cpa_analysis`]).
 //! * [`mod@cfg`] — synthetic program substrate ([`cpa_cfg`]).
+//! * [`obs`] — structured tracing, metrics, self-profiling ([`cpa_obs`]).
 //! * [`cache`] — cache models and static cache analysis ([`cpa_cache`]).
 //! * [`sim`] — discrete-event multicore simulator ([`cpa_sim`]).
 //! * [`workload`] — UUnifast + Mälardalen task-set generation
@@ -50,5 +51,6 @@ pub use cpa_cache as cache;
 pub use cpa_cfg as cfg;
 pub use cpa_experiments as experiments;
 pub use cpa_model as model;
+pub use cpa_obs as obs;
 pub use cpa_sim as sim;
 pub use cpa_workload as workload;
