@@ -8,11 +8,17 @@ cd "$(dirname "$0")"
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> cargo clippy -p cpa-analysis --all-targets -- -D warnings (engine gate)"
+cargo clippy -p cpa-analysis --all-targets -- -D warnings
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> engine_equivalence smoke (engine vs reference, all policy x mode combos)"
+cargo test -q -p cpa-analysis --release --test engine_equivalence
 
 echo "==> cpa-validate smoke campaign (100 sets, quick profile)"
 cargo run --release -p cpa-validate -- run --sets 100 --quick --no-progress \
@@ -24,5 +30,8 @@ cargo run --release -p cpa-validate --bin cpa-trace -- sim --seed 7 --horizon 20
 
 echo "==> obs overhead guard (<2% on analysis_micro, emits BENCH_obs.json)"
 cargo run --release -p cpa-experiments --bin obs_overhead
+
+echo "==> analysis engine bench (>=2x on fig2 FP sweep, emits BENCH_analysis.json)"
+cargo bench -p cpa-bench --bench analysis_engine
 
 echo "==> ci.sh: all green"

@@ -1,0 +1,321 @@
+//! The bus arbitration abstraction: one trait owning the Eq. (7)/(8)/(9)
+//! composition.
+//!
+//! `BAT_i^x(t)` always has the shape
+//!
+//! ```text
+//! BAT = BAS + cross_core(BAS, BAO…) + blocking
+//! ```
+//!
+//! where only the *cross-core* term differs between arbitration policies.
+//! [`BusArbiter`] captures exactly that term (plus the two policy facts the
+//! composition needs: whether the `+1` blocking access is charged and
+//! whether the policy consumes remote response times at all), so adding an
+//! arbitration policy is one new impl instead of a new arm in every
+//! `match config.bus` across the workspace. Both [`crate::bus::bat_with`]
+//! and [`crate::diagnose::decompose`] are composed from this trait; the
+//! [`crate::engine`] additionally feeds it memoized `BAO` curves through
+//! [`BaoSource`].
+
+use cpa_model::{CoreId, TaskId, Time};
+
+use crate::bao::{self, CarryOut, PriorityBand};
+use crate::{AnalysisContext, BusPolicy, PersistenceMode};
+
+/// Supplier of `BAO_k^y(t)` values (Eq. (3)–(6)) to an arbiter.
+///
+/// The direct implementation ([`DirectBao`]) recomputes the bound from
+/// first principles; the analysis engine substitutes a memoized step-curve
+/// cache. Arbiters must treat the two interchangeably, which is what makes
+/// the engine's differential pin against the reference path meaningful.
+pub trait BaoSource {
+    /// Upper bound on the bus accesses issued by tasks of `band` relative
+    /// to priority level `level` on remote core `core` within a window of
+    /// length `t`.
+    fn bao(
+        &mut self,
+        level: TaskId,
+        core: CoreId,
+        t: Time,
+        band: PriorityBand,
+        carry: CarryOut,
+    ) -> u64;
+
+    /// Both bands at once, `(hep, lower)` — the FP bus consumes both at
+    /// the same window, and a memoizing source can answer the pair from
+    /// one cached segment. The default simply asks per band.
+    fn bao_pair(&mut self, level: TaskId, core: CoreId, t: Time, carry: CarryOut) -> (u64, u64) {
+        (
+            self.bao(level, core, t, PriorityBand::HigherOrEqual, carry),
+            self.bao(level, core, t, PriorityBand::Lower, carry),
+        )
+    }
+}
+
+/// [`BaoSource`] that evaluates [`bao::bao`] directly (no memoization);
+/// the pre-engine reference path.
+#[derive(Debug)]
+pub struct DirectBao<'r, 'ctx, 'a> {
+    ctx: &'ctx AnalysisContext<'a>,
+    resp: &'r [Time],
+    mode: PersistenceMode,
+}
+
+impl<'r, 'ctx, 'a> DirectBao<'r, 'ctx, 'a> {
+    /// Builds a direct source over the given response-time estimates.
+    #[must_use]
+    pub fn new(ctx: &'ctx AnalysisContext<'a>, resp: &'r [Time], mode: PersistenceMode) -> Self {
+        DirectBao { ctx, resp, mode }
+    }
+}
+
+impl BaoSource for DirectBao<'_, '_, '_> {
+    fn bao(
+        &mut self,
+        level: TaskId,
+        core: CoreId,
+        t: Time,
+        band: PriorityBand,
+        carry: CarryOut,
+    ) -> u64 {
+        bao::bao(self.ctx, level, core, t, self.resp, self.mode, band, carry)
+    }
+}
+
+/// One memory bus arbitration policy's contribution to `BAT_i^x(t)`.
+///
+/// Implementations own the policy-specific part of Eq. (7) (fixed
+/// priority), Eq. (8) (round robin) and Eq. (9) (TDMA); the shared
+/// `BAS + … + blocking` composition lives in [`crate::bus::bat_with`].
+pub trait BusArbiter {
+    /// The policy this arbiter implements.
+    fn policy(&self) -> BusPolicy;
+
+    /// Whether the `+1` already-in-service blocking access (the footnote to
+    /// Eq. (12)) is charged when a same-core lower-priority task exists.
+    /// The perfect bus charges nothing beyond the own-core demand.
+    fn charges_blocking(&self) -> bool {
+        true
+    }
+
+    /// Whether the cross-core term reads remote tasks' response-time
+    /// estimates (through Eq. (5)/(6)). TDMA and the perfect bus do not,
+    /// which lets the engine's worklist skip re-enqueuing on remote
+    /// response-time changes under those policies.
+    fn consumes_remote_response_times(&self) -> bool {
+        true
+    }
+
+    /// The policy-specific cross-core access bound for `τi` in a window of
+    /// length `t`, given the own-core demand `own = BAS_i^x(t)`.
+    fn cross_core(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        src: &mut dyn BaoSource,
+        i: TaskId,
+        t: Time,
+        own: u64,
+        carry: CarryOut,
+    ) -> u64;
+}
+
+/// Eq. (7): fixed-priority bus — all remote higher-or-equal-priority
+/// demand, plus lower-priority accesses capped at one per own access.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FixedPriorityArbiter;
+
+impl BusArbiter for FixedPriorityArbiter {
+    fn policy(&self) -> BusPolicy {
+        BusPolicy::FixedPriority
+    }
+
+    fn cross_core(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        src: &mut dyn BaoSource,
+        i: TaskId,
+        t: Time,
+        own: u64,
+        carry: CarryOut,
+    ) -> u64 {
+        let core = ctx.tasks()[i].core();
+        let mut higher = 0u64;
+        let mut lower = 0u64;
+        // One pass over the remote cores, accumulating both priority bands
+        // (the bands only split the same per-core member walk).
+        for y in (0..ctx.platform().cores()).map(CoreId::new) {
+            if y == core {
+                continue;
+            }
+            let (hep, low) = src.bao_pair(i, y, t, carry);
+            higher = higher.saturating_add(hep);
+            lower = lower.saturating_add(low);
+        }
+        higher.saturating_add(own.min(lower))
+    }
+}
+
+/// Eq. (8): round-robin bus with `slots` consecutive slots per core — each
+/// remote core contributes at most `slots` accesses per own access, with
+/// `BAO` taken at the lowest priority level (RR ignores priorities).
+#[derive(Debug, Clone, Copy)]
+pub struct RoundRobinArbiter {
+    /// Memory access slots per core per round (`s ≥ 1`).
+    pub slots: u64,
+}
+
+impl BusArbiter for RoundRobinArbiter {
+    fn policy(&self) -> BusPolicy {
+        BusPolicy::RoundRobin { slots: self.slots }
+    }
+
+    fn cross_core(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        src: &mut dyn BaoSource,
+        i: TaskId,
+        t: Time,
+        own: u64,
+        carry: CarryOut,
+    ) -> u64 {
+        let tasks = ctx.tasks();
+        let core = tasks[i].core();
+        // Hoisted out of the per-core loop: the lowest priority level and
+        // the per-core slot cap are window-independent.
+        let level = tasks.lowest_priority_id();
+        let cap = self.slots.saturating_mul(own);
+        let mut total = 0u64;
+        for y in (0..ctx.platform().cores()).map(CoreId::new) {
+            if y == core {
+                continue;
+            }
+            let all = src.bao(level, y, t, PriorityBand::HigherOrEqual, carry);
+            total = total.saturating_add(all.min(cap));
+        }
+        total
+    }
+}
+
+/// Eq. (9): TDMA bus — non-work-conserving; every own access may wait for
+/// the other cores' `slots` slots regardless of actual remote demand.
+#[derive(Debug, Clone, Copy)]
+pub struct TdmaArbiter {
+    /// Memory access slots per core per TDMA cycle (`s ≥ 1`).
+    pub slots: u64,
+}
+
+impl BusArbiter for TdmaArbiter {
+    fn policy(&self) -> BusPolicy {
+        BusPolicy::Tdma { slots: self.slots }
+    }
+
+    fn consumes_remote_response_times(&self) -> bool {
+        false
+    }
+
+    fn cross_core(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        _src: &mut dyn BaoSource,
+        _i: TaskId,
+        _t: Time,
+        own: u64,
+        _carry: CarryOut,
+    ) -> u64 {
+        let cores = ctx.platform().cores() as u64;
+        let wait_slots = cores.saturating_sub(1).saturating_mul(self.slots);
+        wait_slots.saturating_mul(own)
+    }
+}
+
+/// The idealised contention-free bus: no cross-core term, no blocking
+/// access (Fig. 2's reference line).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerfectArbiter;
+
+impl BusArbiter for PerfectArbiter {
+    fn policy(&self) -> BusPolicy {
+        BusPolicy::Perfect
+    }
+
+    fn charges_blocking(&self) -> bool {
+        false
+    }
+
+    fn consumes_remote_response_times(&self) -> bool {
+        false
+    }
+
+    fn cross_core(
+        &self,
+        _ctx: &AnalysisContext<'_>,
+        _src: &mut dyn BaoSource,
+        _i: TaskId,
+        _t: Time,
+        _own: u64,
+        _carry: CarryOut,
+    ) -> u64 {
+        0
+    }
+}
+
+/// Runs `f` with the arbiter implementing `policy`, constructed on the
+/// stack (no allocation — suitable for per-call use on the hot path).
+pub fn with_arbiter<R>(policy: BusPolicy, f: impl FnOnce(&dyn BusArbiter) -> R) -> R {
+    match policy {
+        BusPolicy::FixedPriority => f(&FixedPriorityArbiter),
+        BusPolicy::RoundRobin { slots } => f(&RoundRobinArbiter { slots }),
+        BusPolicy::Tdma { slots } => f(&TdmaArbiter { slots }),
+        BusPolicy::Perfect => f(&PerfectArbiter),
+    }
+}
+
+/// Boxed arbiter for `policy`, for holders that outlive a single call
+/// (the analysis engine builds one per run).
+#[must_use]
+pub fn arbiter_for(policy: BusPolicy) -> Box<dyn BusArbiter> {
+    match policy {
+        BusPolicy::FixedPriority => Box::new(FixedPriorityArbiter),
+        BusPolicy::RoundRobin { slots } => Box::new(RoundRobinArbiter { slots }),
+        BusPolicy::Tdma { slots } => Box::new(TdmaArbiter { slots }),
+        BusPolicy::Perfect => Box::new(PerfectArbiter),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arbiter_round_trips_policy() {
+        for policy in [
+            BusPolicy::FixedPriority,
+            BusPolicy::RoundRobin { slots: 3 },
+            BusPolicy::Tdma { slots: 2 },
+            BusPolicy::Perfect,
+        ] {
+            with_arbiter(policy, |a| assert_eq!(a.policy(), policy));
+            assert_eq!(arbiter_for(policy).policy(), policy);
+        }
+    }
+
+    #[test]
+    fn policy_facts_match_the_equations() {
+        // Only the perfect bus skips the +1 blocking access; only FP and RR
+        // consume remote response times.
+        with_arbiter(BusPolicy::Perfect, |a| {
+            assert!(!a.charges_blocking());
+            assert!(!a.consumes_remote_response_times());
+        });
+        with_arbiter(BusPolicy::Tdma { slots: 2 }, |a| {
+            assert!(a.charges_blocking());
+            assert!(!a.consumes_remote_response_times());
+        });
+        for policy in [BusPolicy::FixedPriority, BusPolicy::RoundRobin { slots: 2 }] {
+            with_arbiter(policy, |a| {
+                assert!(a.charges_blocking());
+                assert!(a.consumes_remote_response_times());
+            });
+        }
+    }
+}

@@ -93,11 +93,7 @@ pub fn bao(
     let tasks = ctx.tasks();
     let d_mem = ctx.d_mem();
     let mut total = 0u64;
-    let members: Vec<TaskId> = match band {
-        PriorityBand::HigherOrEqual => tasks.hep_on(k, y).collect(),
-        PriorityBand::Lower => tasks.lp_on(k, y).collect(),
-    };
-    for l in members {
+    let mut add = |l: TaskId| {
         let task = &tasks[l];
         let gamma = ctx.gamma(k, l);
         let cost = task.memory_demand().saturating_add(gamma);
@@ -142,8 +138,520 @@ pub fn bao(
             }
         };
         total = total.saturating_add(full_jobs).saturating_add(cout);
+    };
+    match band {
+        PriorityBand::HigherOrEqual => tasks.hep_on(k, y).for_each(&mut add),
+        PriorityBand::Lower => tasks.lp_on(k, y).for_each(&mut add),
     }
     total
+}
+
+/// `u64::MAX`, the saturation point of the window arithmetic, as `u128`.
+const SAT: u128 = u64::MAX as u128;
+
+/// Eq. (6)'s numerator under the crate's saturating `u64` semantics,
+/// modelled exactly in `u128`: `max(min(t + r, SAT) − c, 0)`.
+fn numerator(t: u128, r: u128, c: u128) -> u128 {
+    (t + r).min(SAT).saturating_sub(c)
+}
+
+/// Smallest `t` with `numerator(t) ≥ bound`; callers only ask for bounds
+/// already reached at some window, so the result is exact there.
+fn smallest_t_reaching(bound: u128, r: u128, c: u128) -> u128 {
+    if bound == 0 {
+        return 0;
+    }
+    bound.saturating_add(c).saturating_sub(r).min(SAT)
+}
+
+/// Largest `t ≤ SAT` with `numerator(t) ≤ bound`; callers only ask when
+/// the current window already satisfies the bound.
+fn largest_t_within(bound: u128, r: u128, c: u128) -> u128 {
+    let lim = bound.saturating_add(c);
+    if lim >= SAT {
+        // The saturation plateau never exceeds the bound: constant to the end.
+        SAT
+    } else {
+        lim.saturating_sub(r)
+    }
+}
+
+/// Maximal window interval containing `t` on which `bao(...)` — with the
+/// very same arguments — is constant.
+///
+/// Per remote task `l`, the bound only changes when either the full-job
+/// count `N` of Eq. (6) steps (at period-scale events) or, for
+/// [`CarryOut::Exact`], the carry-out term of Eq. (5) steps (on the
+/// `d_mem` grid, until it reaches its cap and stays there for the rest of
+/// the `N`-interval). The span is the intersection of those constancy
+/// intervals over the band's members; it is what the engine's step-curve
+/// cache stores alongside each computed value, so it must be *exactly*
+/// sound against [`bao`]'s saturating `u64` arithmetic — all interval
+/// endpoints are therefore derived in `u128` from the same formulas.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // mirrors `bao`'s parameter list
+pub fn bao_span(
+    ctx: &AnalysisContext<'_>,
+    k: TaskId,
+    y: CoreId,
+    t: Time,
+    resp: &[Time],
+    mode: PersistenceMode,
+    band: PriorityBand,
+    carry: CarryOut,
+) -> crate::curve::Span {
+    let tasks = ctx.tasks();
+    let d_mem = ctx.d_mem();
+    let t_now = t.cycles() as u128;
+    let mut lo = 0u128;
+    let mut hi = SAT;
+    let mut restrict = |l: TaskId| {
+        let task = &tasks[l];
+        let gamma = ctx.gamma(k, l);
+        let cost = task.memory_demand().saturating_add(gamma);
+        let r = resp[l.index()].cycles() as u128;
+        let period = task.period().cycles() as u128;
+        let c = (d_mem.cycles() as u128)
+            .saturating_mul(cost as u128)
+            .min(SAT);
+        let num = numerator(t_now, r, c);
+        let n = num / period;
+        // N-interval: numerator ∈ [n·T, (n+1)·T − 1].
+        let n_lo = if n == 0 {
+            0
+        } else {
+            smallest_t_reaching(n * period, r, c)
+        };
+        let n_hi = largest_t_within((n + 1) * period - 1, r, c);
+        lo = lo.max(n_lo);
+        hi = hi.min(n_hi);
+        if carry == CarryOut::Exact {
+            // Carry-out value: min(⌈overlap/d_mem⌉, cost, cout_cap). It is
+            // constant on one d_mem cell of the overlap — or on the whole
+            // tail of the N-interval once the cap m = min(cost, cout_cap)
+            // is reached.
+            let cout_cap = match mode {
+                PersistenceMode::Oblivious => cost,
+                PersistenceMode::Aware => {
+                    let overlap_pw = ctx.cpro_overlap(l, k);
+                    let n64 = u64::try_from(n).unwrap_or(u64::MAX);
+                    let d_md_hat = demand::md_hat(task, n64.saturating_add(1))
+                        .saturating_sub(demand::md_hat(task, n64));
+                    let d_cpro = cpro::cpro(overlap_pw, n64.saturating_add(1))
+                        .saturating_sub(cpro::cpro(overlap_pw, n64));
+                    cost.min(d_md_hat.saturating_add(d_cpro).saturating_add(gamma))
+                }
+            };
+            let m = cost.min(cout_cap) as u128;
+            let d = d_mem.cycles() as u128;
+            let overlap = num - n * period;
+            let q = if overlap == 0 {
+                0
+            } else {
+                (overlap - 1) / d + 1
+            };
+            if m == 0 {
+                // Carry-out identically zero across the N-interval.
+            } else if q >= m {
+                // Capped tail: overlap ≥ (m−1)·d + 1 keeps the value at m.
+                let floor = (n * period)
+                    .saturating_add((m - 1).saturating_mul(d))
+                    .saturating_add(1);
+                lo = lo.max(smallest_t_reaching(floor, r, c));
+            } else if q == 0 {
+                hi = hi.min(largest_t_within(n * period, r, c));
+            } else {
+                let floor = n * period + (q - 1) * d + 1;
+                lo = lo.max(smallest_t_reaching(floor, r, c));
+                hi = hi.min(largest_t_within(n * period + q * d, r, c));
+            }
+        }
+    };
+    match band {
+        PriorityBand::HigherOrEqual => tasks.hep_on(k, y).for_each(&mut restrict),
+        PriorityBand::Lower => tasks.lp_on(k, y).for_each(&mut restrict),
+    }
+    let span = crate::curve::Span {
+        lo: Time::from_cycles(u64::try_from(lo).unwrap_or(u64::MAX)),
+        hi: Time::from_cycles(u64::try_from(hi.min(SAT)).unwrap_or(u64::MAX)),
+    };
+    debug_assert!(span.contains(t), "span {span:?} must contain t={t}");
+    span
+}
+
+/// The window- and response-time-independent inputs one band member
+/// contributes to [`bao`], precomputed once per `(level, core, band)` key:
+/// rebuilding a [`BaoSegment`] walks these compact records instead of
+/// re-filtering the task set and re-reading the CRPD/CPRO matrices on
+/// every rebuild.
+#[derive(Debug, Clone, Copy)]
+pub struct BaoMember {
+    /// The member's index into the response-time estimate slice.
+    idx: usize,
+    /// Per-job bus charge `MD_l + γ_{k,l}`.
+    cost: u64,
+    /// `γ_{k,l}`: the member's CRPD charge at the slot's priority level.
+    gamma: u64,
+    /// `|PCB_l ∩ ECB-union|`: the per-job CPRO overlap of Eq. (14).
+    overlap: u64,
+    /// `MD_l`.
+    md: u64,
+    /// `MD_l^r` (the residual demand of persistent jobs).
+    md_r: u64,
+    /// `|PCB_l|`.
+    pcb_len: u64,
+    /// `T_l`.
+    period: Time,
+}
+
+/// Both priority bands' [`BaoMember`] records for one `(level, core)` key:
+/// the `hep(k)` members first, then the `lp(k)` members from
+/// [`BaoMembers::split`] on, each sub-slice in its band's iteration order
+/// (the saturating accumulation order of [`bao`]). The bands are kept
+/// together because the FP bus consumes both at the same window — one
+/// fused record set (and one [`BaoSegment`]) serves every `BAO` query of
+/// the key.
+#[derive(Debug, Clone, Default)]
+pub struct BaoMembers {
+    /// `hep(k)` prefix followed by `lp(k)` suffix.
+    members: Vec<BaoMember>,
+    /// First index of the `lp(k)` suffix.
+    split: usize,
+}
+
+impl BaoMembers {
+    /// Number of members across both bands.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the remote core contributes no members at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// One member's static record (see [`BaoMember`]).
+fn member_record(ctx: &AnalysisContext<'_>, k: TaskId, l: TaskId) -> BaoMember {
+    let task = &ctx.tasks()[l];
+    let gamma = ctx.gamma(k, l);
+    BaoMember {
+        idx: l.index(),
+        cost: task.memory_demand().saturating_add(gamma),
+        gamma,
+        overlap: ctx.cpro_overlap(l, k),
+        md: task.memory_demand(),
+        md_r: task.residual_memory_demand(),
+        pcb_len: task.pcb().len() as u64,
+        period: task.period(),
+    }
+}
+
+/// Precomputes both bands' [`BaoMember`] records for priority level `k`
+/// and remote core `y` — the one-off filtering walk every [`BaoSegment`]
+/// rebuild of that key then avoids.
+#[must_use]
+pub fn bao_members(ctx: &AnalysisContext<'_>, k: TaskId, y: CoreId) -> BaoMembers {
+    let tasks = ctx.tasks();
+    let mut members: Vec<BaoMember> = tasks
+        .hep_on(k, y)
+        .map(|l| member_record(ctx, k, l))
+        .collect();
+    let split = members.len();
+    members.extend(tasks.lp_on(k, y).map(|l| member_record(ctx, k, l)));
+    BaoMembers { members, split }
+}
+
+/// As [`bao_members`], but walking a precomputed list of the remote
+/// core's task ids (in id order) instead of filtering the whole task set
+/// band by band — the engine's fast path. Task ids are priority order, so
+/// the `hep(k)` prefix is exactly the ids `≤ k` and one ordered walk
+/// yields both bands.
+#[must_use]
+pub fn bao_members_on(ctx: &AnalysisContext<'_>, k: TaskId, on_core: &[TaskId]) -> BaoMembers {
+    let mut members = Vec::with_capacity(on_core.len());
+    let mut split = 0;
+    for &l in on_core {
+        members.push(member_record(ctx, k, l));
+        if l.index() <= k.index() {
+            split = members.len();
+        }
+    }
+    BaoMembers { members, split }
+}
+
+/// One band member's contribution to [`bao`] on a fixed `N`-interval of
+/// the window axis: the full-job charge and the carry-out cap of Eq. (5)
+/// are constant there, so only the [`CarryOut::Exact`] carry-out term
+/// still depends on `t` — and its window-independent pieces (the two
+/// subtrahends of Eq. (5)'s overlap and the combined cap) are
+/// pre-saturated here, leaving a handful of operations per evaluation.
+#[derive(Debug, Clone, Copy)]
+struct BaoTerm {
+    /// The `N` full jobs' charge (at the persistence mode's bound),
+    /// including their CRPD.
+    full_jobs: u64,
+    /// The exact carry-out's combined cap `min(cost, cout_cap)` — the two
+    /// `min`s of [`w_cout`]`.min(cout_cap)` folded into one. Also the
+    /// member's [`CarryOut::Capped`] carry-out charge (the cap formulas
+    /// never exceed `cost`).
+    cap: u64,
+    /// The member's response-time estimate the term was built from.
+    r: Time,
+    /// `cost · d_mem`, the first saturating subtrahend of Eq. (5)'s
+    /// overlap.
+    sub1: Time,
+    /// `N · T_l`, the second saturating subtrahend.
+    sub2: Time,
+    /// The member's own `N`-interval `[lo, hi]` in cycles: the term stays
+    /// exact for any window inside it (at the response time `r`), letting
+    /// [`BaoSegment::refresh`] keep it across segment-level span exits.
+    lo: u64,
+    /// Upper end of the member's `N`-interval.
+    hi: u64,
+}
+
+impl BaoMember {
+    /// Derives the member's [`BaoTerm`] around window length `t` given its
+    /// current response-time estimate `r_l` — the `N`-determined charges
+    /// exactly as [`bao`] derives them, plus the `N`-interval they are
+    /// valid on (the same exact `u128` model of the crate's saturating
+    /// `u64` arithmetic as [`bao_span`]).
+    fn term(&self, t: Time, r_l: Time, d_mem: Time, mode: PersistenceMode) -> BaoTerm {
+        let n = n_jobs(t, r_l, self.cost, d_mem, self.period);
+        let r = r_l.cycles() as u128;
+        let p = self.period.cycles() as u128;
+        let c = (d_mem.cycles() as u128)
+            .saturating_mul(self.cost as u128)
+            .min(SAT);
+        let n_big = n as u128;
+        let lo = if n == 0 {
+            0
+        } else {
+            smallest_t_reaching(n_big * p, r, c)
+        };
+        let hi = largest_t_within((n_big + 1) * p - 1, r, c).min(SAT);
+        let cout_cap = match mode {
+            PersistenceMode::Oblivious => self.cost,
+            PersistenceMode::Aware => {
+                let md_hat = |jobs| demand::md_hat_parts(self.md, self.md_r, self.pcb_len, jobs);
+                let d_md_hat = md_hat(n.saturating_add(1)).saturating_sub(md_hat(n));
+                let d_cpro = cpro::cpro(self.overlap, n.saturating_add(1))
+                    .saturating_sub(cpro::cpro(self.overlap, n));
+                self.cost
+                    .min(d_md_hat.saturating_add(d_cpro).saturating_add(self.gamma))
+            }
+        };
+        let full_jobs = match mode {
+            PersistenceMode::Oblivious => n.saturating_mul(self.cost),
+            PersistenceMode::Aware => {
+                let oblivious = n.saturating_mul(self.md);
+                let persistent = demand::md_hat_parts(self.md, self.md_r, self.pcb_len, n)
+                    .saturating_add(cpro::cpro(self.overlap, n));
+                oblivious
+                    .min(persistent)
+                    .saturating_add(n.saturating_mul(self.gamma))
+            }
+        };
+        BaoTerm {
+            full_jobs,
+            cap: self.cost.min(cout_cap),
+            r: r_l,
+            sub1: d_mem.saturating_mul(self.cost),
+            sub2: self.period.saturating_mul(n),
+            lo: u64::try_from(lo).unwrap_or(u64::MAX),
+            hi: u64::try_from(hi).unwrap_or(u64::MAX),
+        }
+    }
+}
+
+/// [`bao`] — for one fixed `(level, core)`, *both* priority bands and
+/// *both* carry-out modes — restricted to a window interval on which every
+/// member's full-job count `N` (Eq. (6)) is constant.
+///
+/// [`BaoSegment::eval`] reproduces [`bao`]'s per-band values bit-for-bit
+/// anywhere in [`BaoSegment::span`]: [`CarryOut::Capped`] in O(1) (the
+/// whole sum is window-independent there, precomputed per band), and
+/// [`CarryOut::Exact`] at a few arithmetic operations per member — no
+/// band-membership filtering, no persistence-demand (`M̂D`), CPRO or CRPD
+/// lookups; those are all `N`-determined and folded into the stored terms.
+/// This is what makes the engine's curve cache pay: the span covers whole
+/// job periods rather than single `d_mem` carry-out cells (the constancy
+/// grain of a *scalar* [`CarryOut::Exact`] value, see [`bao_span`]), and
+/// one segment serves both bands of the FP bus and both the Capped bracket
+/// phase and the Exact refine phase of the WCRT solver. When the window
+/// leaves the span or a member's response-time estimate moves,
+/// [`BaoSegment::refresh`] re-derives only the affected members' terms.
+#[derive(Debug, Clone)]
+pub struct BaoSegment {
+    /// Maximal window interval — containing the seed `t` — on which the
+    /// stored terms are valid (the intersection of the members'
+    /// `N`-intervals).
+    pub span: crate::curve::Span,
+    /// Per-member terms: `hep(k)` prefix then `lp(k)` suffix, each in its
+    /// band's iteration order (the saturating accumulation order of
+    /// [`bao`]).
+    terms: Vec<BaoTerm>,
+    /// First index of the `lp(k)` suffix in `terms`.
+    split: usize,
+    /// The window-independent [`CarryOut::Capped`] totals on the span,
+    /// `(hep, lower)`.
+    capped: (u64, u64),
+}
+
+impl Default for BaoSegment {
+    fn default() -> Self {
+        BaoSegment::new()
+    }
+}
+
+impl BaoSegment {
+    /// An empty segment covering no window (every lookup misses until the
+    /// first [`BaoSegment::refresh`]).
+    #[must_use]
+    pub fn new() -> Self {
+        BaoSegment {
+            span: crate::curve::Span {
+                lo: Time::from_cycles(1),
+                hi: Time::ZERO,
+            },
+            terms: Vec::new(),
+            split: 0,
+            capped: (0, 0),
+        }
+    }
+
+    /// Rebuilds every term in place around window length `t`: one walk
+    /// over the precomputed `members`. The term storage is reused —
+    /// steady-state rebuilds allocate nothing.
+    pub fn rebuild(
+        &mut self,
+        members: &BaoMembers,
+        t: Time,
+        resp: &[Time],
+        d_mem: Time,
+        mode: PersistenceMode,
+    ) {
+        self.terms.clear();
+        self.split = members.split;
+        self.terms.extend(
+            members
+                .members
+                .iter()
+                .map(|m| m.term(t, resp[m.idx], d_mem, mode)),
+        );
+        self.commit(t);
+    }
+
+    /// Brings the segment to window length `t` and the current estimates
+    /// `resp`, re-deriving only the terms that actually changed: a stored
+    /// term is kept verbatim when its member's response time is unchanged
+    /// and `t` still lies in the member's own `N`-interval. A typical span
+    /// exit crosses one member's period boundary, so this costs one term
+    /// derivation plus a cheap scan — not a full rebuild.
+    pub fn refresh(
+        &mut self,
+        members: &BaoMembers,
+        t: Time,
+        resp: &[Time],
+        d_mem: Time,
+        mode: PersistenceMode,
+    ) {
+        if self.terms.len() != members.members.len() || self.split != members.split {
+            self.rebuild(members, t, resp, d_mem, mode);
+            return;
+        }
+        let tc = t.cycles();
+        for (term, m) in self.terms.iter_mut().zip(&members.members) {
+            let r_l = resp[m.idx];
+            if r_l == term.r && term.lo <= tc && tc <= term.hi {
+                continue;
+            }
+            *term = m.term(t, r_l, d_mem, mode);
+        }
+        self.commit(t);
+    }
+
+    /// Re-derives the aggregate state from the terms: the span (the
+    /// intersection of the member `N`-intervals) and the per-band
+    /// [`CarryOut::Capped`] totals, accumulated in [`bao`]'s exact
+    /// saturating order.
+    fn commit(&mut self, t: Time) {
+        let mut lo = 0u64;
+        let mut hi = u64::MAX;
+        let mut capped = (0u64, 0u64);
+        for (i, term) in self.terms.iter().enumerate() {
+            lo = lo.max(term.lo);
+            hi = hi.min(term.hi);
+            let total = if i < self.split {
+                &mut capped.0
+            } else {
+                &mut capped.1
+            };
+            *total = total
+                .saturating_add(term.full_jobs)
+                .saturating_add(term.cap);
+        }
+        self.span = crate::curve::Span {
+            lo: Time::from_cycles(lo),
+            hi: Time::from_cycles(hi),
+        };
+        self.capped = capped;
+        debug_assert!(
+            self.span.contains(t),
+            "segment span {:?} must contain t={t}",
+            self.span
+        );
+    }
+
+    /// Evaluates the `(hep, lower)` bounds at window length `t ∈ span` —
+    /// identical to [`bao`] per band with the arguments the segment was
+    /// built from and `carry`.
+    #[must_use]
+    pub fn eval(&self, t: Time, d_mem: Time, carry: CarryOut) -> (u64, u64) {
+        debug_assert!(self.span.contains(t), "eval outside span {:?}", self.span);
+        if carry == CarryOut::Capped {
+            return self.capped;
+        }
+        let exact_total = |terms: &[BaoTerm]| {
+            let mut total = 0u64;
+            for term in terms {
+                // Eq. (5) with its subtrahends pre-saturated; the same
+                // saturating chain as `w_cout`, then the carry-out cap.
+                let overlap = t
+                    .saturating_add(term.r)
+                    .saturating_sub(term.sub1)
+                    .saturating_sub(term.sub2);
+                let cout = overlap.div_ceil(d_mem).min(term.cap);
+                total = total.saturating_add(term.full_jobs).saturating_add(cout);
+            }
+            total
+        };
+        (
+            exact_total(&self.terms[..self.split]),
+            exact_total(&self.terms[self.split..]),
+        )
+    }
+}
+
+/// Builds the [`BaoSegment`] containing window length `t` from scratch
+/// (members walk plus rebuild) — the one-shot convenience over
+/// [`bao_members`] + [`BaoSegment::rebuild`].
+#[must_use]
+pub fn bao_segment(
+    ctx: &AnalysisContext<'_>,
+    k: TaskId,
+    y: CoreId,
+    t: Time,
+    resp: &[Time],
+    mode: PersistenceMode,
+) -> BaoSegment {
+    let members = bao_members(ctx, k, y);
+    let mut seg = BaoSegment::new();
+    seg.rebuild(&members, t, resp, ctx.d_mem(), mode);
+    seg
 }
 
 /// Eq. (3): the persistence-oblivious `BAO_k^y(t)` over `Γy ∩ hep(k)`.
@@ -367,6 +875,134 @@ mod tests {
                             &[Time::from_cycles(r_hi); 3], mode,
                             PriorityBand::HigherOrEqual, CarryOut::Capped);
                         prop_assert!(exact <= capped);
+                    }
+                }
+            }
+        }
+
+        /// `bao_span` must be a true constancy interval of `bao` under the
+        /// exact same arguments — the contract the engine's curve cache
+        /// relies on for soundness.
+        #[test]
+        fn bao_span_is_a_constancy_interval(
+            t in 0u64..5_000,
+            ra in 0u64..2_000,
+            rb in 0u64..2_000,
+            rc in 0u64..2_000,
+        ) {
+            let (platform, tasks) = fig1();
+            let ctx = AnalysisContext::new(&platform, &tasks).unwrap();
+            let resp = [ra, rb, rc].map(Time::from_cycles).to_vec();
+            let t = Time::from_cycles(t);
+            for k in tasks.ids() {
+                for y in [CoreId::new(0), CoreId::new(1)] {
+                    for mode in [PersistenceMode::Oblivious, PersistenceMode::Aware] {
+                        for band in [PriorityBand::HigherOrEqual, PriorityBand::Lower] {
+                            for carry in [CarryOut::Exact, CarryOut::Capped] {
+                                let span = bao_span(&ctx, k, y, t, &resp, mode, band, carry);
+                                prop_assert!(span.contains(t));
+                                let v = bao(&ctx, k, y, t, &resp, mode, band, carry);
+                                // Constant at both endpoints and at probes
+                                // straddling the seed.
+                                let lo = span.lo.cycles();
+                                let hi = span.hi.cycles().min(lo.saturating_add(100_000));
+                                let probes = [lo, (lo + hi) / 2, hi, t.cycles()];
+                                for p in probes {
+                                    let w = Time::from_cycles(p);
+                                    prop_assert_eq!(
+                                        bao(&ctx, k, y, w, &resp, mode, band, carry),
+                                        v,
+                                        "{mode:?} {band:?} {carry:?} k={k:?} y={y:?} \
+                                         t={t} probe={w} span={span:?}"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        /// `bao_segment` must evaluate to exactly `bao` everywhere on its
+        /// span — the engine's cache hits return `eval`, never `bao`.
+        #[test]
+        fn bao_segment_evaluates_bao_across_its_span(
+            t in 0u64..5_000,
+            ra in 0u64..2_000,
+            rb in 0u64..2_000,
+            rc in 0u64..2_000,
+        ) {
+            let (platform, tasks) = fig1();
+            let ctx = AnalysisContext::new(&platform, &tasks).unwrap();
+            let resp = [ra, rb, rc].map(Time::from_cycles).to_vec();
+            let t = Time::from_cycles(t);
+            for k in tasks.ids() {
+                for y in [CoreId::new(0), CoreId::new(1)] {
+                    for mode in [PersistenceMode::Oblivious, PersistenceMode::Aware] {
+                        let seg = bao_segment(&ctx, k, y, t, &resp, mode);
+                        prop_assert!(seg.span.contains(t));
+                        let lo = seg.span.lo.cycles();
+                        let hi = seg.span.hi.cycles().min(lo.saturating_add(100_000));
+                        let probes = [lo, lo + (hi - lo) / 2, hi, t.cycles()];
+                        for carry in [CarryOut::Exact, CarryOut::Capped] {
+                            for p in probes {
+                                let w = Time::from_cycles(p);
+                                let (hep, lower) = seg.eval(w, ctx.d_mem(), carry);
+                                let reference = |band| {
+                                    bao(&ctx, k, y, w, &resp, mode, band, carry)
+                                };
+                                prop_assert_eq!(
+                                    (hep, lower),
+                                    (
+                                        reference(PriorityBand::HigherOrEqual),
+                                        reference(PriorityBand::Lower),
+                                    ),
+                                    "{mode:?} {carry:?} k={k:?} y={y:?} \
+                                     t={t} probe={w} span={:?}", seg.span
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        /// `refresh` — keeping unchanged members' terms across a window
+        /// move and a response-time move — must land on exactly the state
+        /// a from-scratch rebuild produces.
+        #[test]
+        fn refresh_matches_full_rebuild(
+            t in 0u64..5_000,
+            t2 in 0u64..20_000,
+            ra in 0u64..2_000,
+            rb in 0u64..2_000,
+            rc in 0u64..2_000,
+            rb2 in 0u64..2_000,
+        ) {
+            let (platform, tasks) = fig1();
+            let ctx = AnalysisContext::new(&platform, &tasks).unwrap();
+            let resp = [ra, rb, rc].map(Time::from_cycles).to_vec();
+            // Second state: one estimate moves — the common outer-round event.
+            let resp2 = [ra, rb2, rc].map(Time::from_cycles).to_vec();
+            let (t, t2) = (Time::from_cycles(t), Time::from_cycles(t2));
+            for k in tasks.ids() {
+                for y in [CoreId::new(0), CoreId::new(1)] {
+                    for mode in [PersistenceMode::Oblivious, PersistenceMode::Aware] {
+                        let members = bao_members(&ctx, k, y);
+                        let mut seg = BaoSegment::new();
+                        // Empty → falls back to a rebuild.
+                        seg.refresh(&members, t, &resp, ctx.d_mem(), mode);
+                        // Incremental: window and one response time move.
+                        seg.refresh(&members, t2, &resp2, ctx.d_mem(), mode);
+                        let fresh = bao_segment(&ctx, k, y, t2, &resp2, mode);
+                        prop_assert_eq!(seg.span, fresh.span, "k={:?} y={:?} {:?}", k, y, mode);
+                        for carry in [CarryOut::Exact, CarryOut::Capped] {
+                            prop_assert_eq!(
+                                seg.eval(t2, ctx.d_mem(), carry),
+                                fresh.eval(t2, ctx.d_mem(), carry),
+                                "k={:?} y={:?} {:?} {:?}", k, y, mode, carry
+                            );
+                        }
                     }
                 }
             }

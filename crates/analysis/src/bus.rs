@@ -2,8 +2,8 @@
 
 use cpa_model::{TaskId, Time};
 
-use crate::bao::{bao, PriorityBand};
-use crate::{bas, AnalysisConfig, AnalysisContext, BusPolicy};
+use crate::arbiter::{with_arbiter, DirectBao};
+use crate::{bas, AnalysisConfig, AnalysisContext};
 
 pub use crate::bao::CarryOut;
 
@@ -44,6 +44,12 @@ pub fn bat(
 
 /// [`bat`] with an explicit carry-out mode (see [`CarryOut`]); used by the
 /// WCRT driver to bracket the fixed point.
+///
+/// The policy-specific cross-core term lives in the matching
+/// [`crate::arbiter::BusArbiter`] impl; this function owns only the shared
+/// `BAS + cross + blocking` composition. Each arbiter walks the remote
+/// cores exactly once per call (FP accumulates both priority bands in one
+/// pass, RR hoists the lowest-priority level out of the loop).
 #[must_use]
 pub fn bat_with(
     ctx: &AnalysisContext<'_>,
@@ -57,49 +63,18 @@ pub fn bat_with(
     let core = tasks[i].core();
     let mode = config.persistence;
     let own = bas::bas(ctx, i, t, mode);
-    let blocking = u64::from(tasks.lp_on(i, core).next().is_some());
-    let remote_cores = || {
-        (0..ctx.platform().cores())
-            .map(cpa_model::CoreId::new)
-            .filter(move |&y| y != core)
-    };
-
-    match config.bus {
-        BusPolicy::FixedPriority => {
-            let higher: u64 = remote_cores()
-                .map(|y| bao(ctx, i, y, t, resp, mode, PriorityBand::HigherOrEqual, carry))
-                .fold(0u64, u64::saturating_add);
-            let lower: u64 = remote_cores()
-                .map(|y| bao(ctx, i, y, t, resp, mode, PriorityBand::Lower, carry))
-                .fold(0u64, u64::saturating_add);
-            own.saturating_add(higher)
-                .saturating_add(own.min(lower))
-                .saturating_add(blocking)
-        }
-        BusPolicy::RoundRobin { slots } => {
-            let n = tasks.lowest_priority_id();
-            let remote: u64 = remote_cores()
-                .map(|y| {
-                    let all = bao(ctx, n, y, t, resp, mode, PriorityBand::HigherOrEqual, carry);
-                    all.min(slots.saturating_mul(own))
-                })
-                .fold(0u64, u64::saturating_add);
-            own.saturating_add(remote).saturating_add(blocking)
-        }
-        BusPolicy::Tdma { slots } => {
-            let cores = ctx.platform().cores() as u64;
-            let wait_slots = cores.saturating_sub(1).saturating_mul(slots);
-            own.saturating_add(wait_slots.saturating_mul(own))
-                .saturating_add(blocking)
-        }
-        BusPolicy::Perfect => own,
-    }
+    with_arbiter(config.bus, |arb| {
+        let mut src = DirectBao::new(ctx, resp, mode);
+        let cross = arb.cross_core(ctx, &mut src, i, t, own, carry);
+        let blocking = u64::from(arb.charges_blocking() && tasks.lp_on(i, core).next().is_some());
+        own.saturating_add(cross).saturating_add(blocking)
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::PersistenceMode;
+    use crate::{BusPolicy, PersistenceMode};
     use cpa_model::{CacheBlockSet, CoreId, Platform, Priority, Task, TaskSet};
     use proptest::prelude::*;
 

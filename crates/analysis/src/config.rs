@@ -40,6 +40,33 @@ impl BusPolicy {
             BusPolicy::Perfect => "perfect",
         }
     }
+
+    /// Parses a [`BusPolicy::label`] back into a policy, instantiating the
+    /// slotted policies with `slots`. The inverse of `label` for every
+    /// policy (labels deliberately drop the slot count); `None` for
+    /// unknown labels.
+    #[must_use]
+    pub fn parse(label: &str, slots: u64) -> Option<BusPolicy> {
+        match label {
+            "fp" => Some(BusPolicy::FixedPriority),
+            "rr" => Some(BusPolicy::RoundRobin { slots }),
+            "tdma" => Some(BusPolicy::Tdma { slots }),
+            "perfect" => Some(BusPolicy::Perfect),
+            _ => None,
+        }
+    }
+
+    /// The three arbitration policies the paper evaluates (Fig. 2/3), in
+    /// its canonical FP / RR / TDMA order, with the given slot count for
+    /// the slotted policies.
+    #[must_use]
+    pub fn paper_buses(slots: u64) -> [BusPolicy; 3] {
+        [
+            BusPolicy::FixedPriority,
+            BusPolicy::RoundRobin { slots },
+            BusPolicy::Tdma { slots },
+        ]
+    }
 }
 
 impl fmt::Display for BusPolicy {
@@ -111,11 +138,7 @@ impl AnalysisConfig {
     /// oblivious-first.
     #[must_use]
     pub fn paper_matrix(slots: u64) -> Vec<AnalysisConfig> {
-        let buses = [
-            BusPolicy::FixedPriority,
-            BusPolicy::RoundRobin { slots },
-            BusPolicy::Tdma { slots },
-        ];
+        let buses = BusPolicy::paper_buses(slots);
         let modes = [PersistenceMode::Oblivious, PersistenceMode::Aware];
         buses
             .iter()
@@ -147,6 +170,23 @@ mod tests {
         assert_eq!(PersistenceMode::Aware.to_string(), "aware");
         let cfg = AnalysisConfig::new(BusPolicy::FixedPriority, PersistenceMode::Oblivious);
         assert_eq!(cfg.to_string(), "FP/oblivious");
+    }
+
+    #[test]
+    fn parse_round_trips_labels() {
+        for bus in [
+            BusPolicy::FixedPriority,
+            BusPolicy::RoundRobin { slots: 3 },
+            BusPolicy::Tdma { slots: 3 },
+            BusPolicy::Perfect,
+        ] {
+            assert_eq!(BusPolicy::parse(bus.label(), 3), Some(bus));
+        }
+        assert_eq!(BusPolicy::parse("bogus", 2), None);
+        assert_eq!(
+            BusPolicy::paper_buses(2).map(|b| b.label()),
+            ["fp", "rr", "tdma"]
+        );
     }
 
     #[test]

@@ -22,8 +22,9 @@
 
 use cpa_model::{TaskId, Time};
 
-use crate::bao::{bao, CarryOut, PriorityBand};
-use crate::{bas, cpro, demand, AnalysisConfig, AnalysisContext, BusPolicy, PersistenceMode};
+use crate::arbiter::{with_arbiter, DirectBao};
+use crate::bao::CarryOut;
+use crate::{bas, cpro, demand, AnalysisConfig, AnalysisContext, PersistenceMode};
 
 /// The term of Eq. (19) contributing the most bus accesses to a bound.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -161,65 +162,15 @@ pub fn decompose(
         .saturating_sub(crpd_accesses)
         .saturating_sub(cpro_accesses);
 
-    // Cross-core and blocking shares, mirroring `bus::bat_with` exactly
-    // (the perfect bus charges neither).
-    let blocking_accesses = if config.bus == BusPolicy::Perfect {
-        0
-    } else {
-        u64::from(tasks.lp_on(i, core).next().is_some())
-    };
-    let remote_cores = || {
-        (0..ctx.platform().cores())
-            .map(cpa_model::CoreId::new)
-            .filter(move |&y| y != core)
-    };
-    let carry = CarryOut::Exact;
-    let bao_accesses = match config.bus {
-        BusPolicy::FixedPriority => {
-            let higher: u64 = remote_cores()
-                .map(|y| {
-                    bao(
-                        ctx,
-                        i,
-                        y,
-                        window,
-                        resp,
-                        mode,
-                        PriorityBand::HigherOrEqual,
-                        carry,
-                    )
-                })
-                .fold(0u64, u64::saturating_add);
-            let lower: u64 = remote_cores()
-                .map(|y| bao(ctx, i, y, window, resp, mode, PriorityBand::Lower, carry))
-                .fold(0u64, u64::saturating_add);
-            higher.saturating_add(own.min(lower))
-        }
-        BusPolicy::RoundRobin { slots } => {
-            let n = tasks.lowest_priority_id();
-            remote_cores()
-                .map(|y| {
-                    let all = bao(
-                        ctx,
-                        n,
-                        y,
-                        window,
-                        resp,
-                        mode,
-                        PriorityBand::HigherOrEqual,
-                        carry,
-                    );
-                    all.min(slots.saturating_mul(own))
-                })
-                .fold(0u64, u64::saturating_add)
-        }
-        BusPolicy::Tdma { slots } => {
-            let cores = ctx.platform().cores() as u64;
-            let wait_slots = cores.saturating_sub(1).saturating_mul(slots);
-            wait_slots.saturating_mul(own)
-        }
-        BusPolicy::Perfect => 0,
-    };
+    // Cross-core and blocking shares: the same `BusArbiter` impl that backs
+    // `bus::bat_with` supplies both, so the decomposition reassembles `bat`
+    // by construction.
+    let (bao_accesses, blocking_accesses) = with_arbiter(config.bus, |arb| {
+        let mut src = DirectBao::new(ctx, resp, mode);
+        let cross = arb.cross_core(ctx, &mut src, i, window, own, CarryOut::Exact);
+        let blocking = u64::from(arb.charges_blocking() && tasks.lp_on(i, core).next().is_some());
+        (cross, blocking)
+    });
 
     TermDecomposition {
         window,
@@ -234,7 +185,7 @@ pub fn decompose(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{analyze, bus};
+    use crate::{analyze, bus, BusPolicy};
     use cpa_model::{CacheBlockSet, CoreId, Platform, Priority, Task, TaskSet};
 
     fn system() -> (Platform, TaskSet) {

@@ -20,9 +20,17 @@
 //! | Eq. (14) `ρ̂_{j,i,x}(n)` (CPRO-union) | [`cpro`], [`AnalysisContext::cpro`] |
 //! | Lemma 1 `BÂS_i^x(t)` | [`bas::bas_aware`] |
 //! | Lemma 2 `BÂO_k^y(t)` | [`bao::bao_aware`] |
-//! | Eq. (19) WCRT recurrence + outer loop | [`wcrt`] |
+//! | Eq. (19) WCRT recurrence + outer loop | [`wcrt`], [`engine`] |
 //! | "perfect bus" reference (Fig. 2) | [`BusPolicy::Perfect`], [`sched`] |
 //! | weighted schedulability (Fig. 3) | [`sched::weighted_schedulability`] |
+//!
+//! The hot path is organised as an engine ([`engine::AnalysisEngine`]):
+//! demand bounds are memoized as monotone step curves ([`curve`]), the
+//! outer fixed point runs as a dependency-driven worklist, and the
+//! per-policy Eq. (7)/(8)/(9) composition lives behind one
+//! [`arbiter::BusArbiter`] trait. [`analyze`] always goes through the
+//! engine; [`analyze_reference`] keeps the direct sweep as the semantic
+//! baseline the engine is differentially pinned against.
 //!
 //! # Example
 //!
@@ -78,6 +86,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod arbiter;
 pub mod bao;
 pub mod bas;
 pub mod bus;
@@ -85,8 +94,10 @@ mod config;
 mod context;
 pub mod cpro;
 pub mod crpd;
+pub mod curve;
 pub mod demand;
 pub mod diagnose;
+pub mod engine;
 pub mod sched;
 pub mod wcrt;
 
@@ -95,4 +106,4 @@ pub use context::AnalysisContext;
 pub use crpd::CrpdApproach;
 pub use diagnose::{decompose, DominantTerm, TermDecomposition};
 pub use sched::{weighted_schedulability, WeightedAccumulator};
-pub use wcrt::{analyze, explain, AnalysisResult, WcrtBreakdown};
+pub use wcrt::{analyze, analyze_reference, explain, AnalysisResult, WcrtBreakdown};

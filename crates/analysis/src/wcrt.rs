@@ -21,11 +21,11 @@ use crate::{bus, AnalysisConfig, AnalysisContext, BusPolicy};
 /// Result of a full WCRT analysis of a task set.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnalysisResult {
-    response_times: Vec<Option<Time>>,
-    schedulable: bool,
-    outer_iterations: u32,
-    inner_iterations: Vec<u64>,
-    hit_outer_cap: bool,
+    pub(crate) response_times: Vec<Option<Time>>,
+    pub(crate) schedulable: bool,
+    pub(crate) outer_iterations: u32,
+    pub(crate) inner_iterations: Vec<u64>,
+    pub(crate) hit_outer_cap: bool,
 }
 
 impl AnalysisResult {
@@ -90,7 +90,10 @@ impl AnalysisResult {
 }
 
 /// Runs the full WCRT analysis (Eq. (19)) for every task under the given
-/// configuration.
+/// configuration, through the memoized [`crate::engine::AnalysisEngine`]
+/// (demand-curve cache plus dependency-driven outer worklist; results are
+/// identical to [`analyze_reference`], see the `engine_equivalence`
+/// differential test).
 ///
 /// For [`BusPolicy::Perfect`] the paper's reference line additionally
 /// requires the total bus utilization `Σ MD_i · d_mem / T_i ≤ 1`; task sets
@@ -98,49 +101,112 @@ impl AnalysisResult {
 /// point.
 #[must_use]
 pub fn analyze(ctx: &AnalysisContext<'_>, config: &AnalysisConfig) -> AnalysisResult {
-    let _span = cpa_obs::span!("wcrt.analyze");
+    crate::engine::AnalysisEngine::new(ctx, config).run()
+}
+
+/// The perfect-bus residual bus-utilization gate shared by [`analyze`] and
+/// [`analyze_reference`]: `Some(unschedulable)` when the bus itself is
+/// oversubscribed, `None` when the fixed point should run.
+///
+/// The perfect-bus reference line assumes no bus interference as long as
+/// the bus is not oversubscribed. Its utilization test uses the
+/// steady-state per-job demand (the residual demand MD^r — PCB loads
+/// amortise to zero across jobs), so the line stays an upper envelope of
+/// the persistence-aware analyses.
+pub(crate) fn perfect_bus_check(
+    ctx: &AnalysisContext<'_>,
+    config: &AnalysisConfig,
+) -> Option<AnalysisResult> {
+    if config.bus != BusPolicy::Perfect {
+        return None;
+    }
     let tasks = ctx.tasks();
     let d_mem = ctx.d_mem();
-    let n = tasks.len();
-    let mut inner_iterations = vec![0u64; n];
-
-    // The perfect-bus reference line assumes no bus interference as long as
-    // the bus is not oversubscribed. Its utilization test uses the
-    // steady-state per-job demand (the residual demand MD^r — PCB loads
-    // amortise to zero across jobs), so the line stays an upper envelope of
-    // the persistence-aware analyses.
-    if config.bus == BusPolicy::Perfect {
-        let residual_bus_utilization: f64 = tasks
-            .iter()
-            .map(|t| {
-                (t.residual_memory_demand() as f64 * d_mem.cycles() as f64)
-                    / t.period().cycles() as f64
-            })
-            .sum();
-        if residual_bus_utilization > 1.0 {
-            cpa_obs::event!(
-                "wcrt.bus_overutilized",
-                bus = config.bus.label(),
-                utilization_permille = (residual_bus_utilization * 1000.0) as u64,
-            );
-            return AnalysisResult {
-                response_times: vec![None; n],
-                schedulable: false,
-                outer_iterations: 0,
-                inner_iterations,
-                hit_outer_cap: false,
-            };
-        }
+    let residual_bus_utilization: f64 = tasks
+        .iter()
+        .map(|t| {
+            (t.residual_memory_demand() as f64 * d_mem.cycles() as f64) / t.period().cycles() as f64
+        })
+        .sum();
+    if residual_bus_utilization > 1.0 {
+        cpa_obs::event!(
+            "wcrt.bus_overutilized",
+            bus = config.bus.label(),
+            utilization_permille = (residual_bus_utilization * 1000.0) as u64,
+        );
+        return Some(AnalysisResult {
+            response_times: vec![None; tasks.len()],
+            schedulable: false,
+            outer_iterations: 0,
+            inner_iterations: vec![0u64; tasks.len()],
+            hit_outer_cap: false,
+        });
     }
+    None
+}
 
-    // Initial estimates: R_i = PD_i + MD_i · d_mem (§IV).
-    let init: Vec<Time> = tasks
+/// Initial estimates `R_i = PD_i + MD_i · d_mem` (§IV), the floor every
+/// monotone outer iteration starts from.
+pub(crate) fn initial_estimates(ctx: &AnalysisContext<'_>) -> Vec<Time> {
+    let d_mem = ctx.d_mem();
+    ctx.tasks()
         .iter()
         .map(|t| {
             t.processing_demand()
                 .saturating_add(d_mem.saturating_mul(t.memory_demand()))
         })
-        .collect();
+        .collect()
+}
+
+/// Emits the per-task `wcrt.converged` trace events (with the BAS/BAO/
+/// CPRO/CRPD decomposition) for a converged fixed point; shared by both
+/// analysis paths.
+pub(crate) fn emit_converged_events(
+    ctx: &AnalysisContext<'_>,
+    config: &AnalysisConfig,
+    resp: &[Time],
+    inner_iterations: &[u64],
+) {
+    if !cpa_obs::events_enabled() {
+        return;
+    }
+    for i in ctx.tasks().ids() {
+        let d = crate::diagnose::decompose(ctx, config, i, resp[i.index()], resp);
+        cpa_obs::event!(
+            "wcrt.converged",
+            task = i.index(),
+            response = resp[i.index()].cycles(),
+            inner = inner_iterations[i.index()],
+            bas = d.bas_accesses,
+            bao = d.bao_accesses,
+            cpro = d.cpro_accesses,
+            crpd = d.crpd_accesses,
+            blocking = d.blocking_accesses,
+            dominant = d.dominant().label(),
+        );
+    }
+}
+
+/// The pre-engine reference implementation of [`analyze`]: full outer
+/// sweeps over every task, with every bound recomputed from first
+/// principles on each evaluation.
+///
+/// Kept (and exported) as the semantic baseline: the `engine_equivalence`
+/// differential test pins [`analyze`]'s results against this path on
+/// seeded campaigns, and the `analysis_engine` bench measures the engine's
+/// speedup over it. Prefer [`analyze`] everywhere else.
+#[must_use]
+pub fn analyze_reference(ctx: &AnalysisContext<'_>, config: &AnalysisConfig) -> AnalysisResult {
+    let _span = cpa_obs::span!("wcrt.analyze");
+    let tasks = ctx.tasks();
+    let n = tasks.len();
+    let mut inner_iterations = vec![0u64; n];
+
+    if let Some(result) = perfect_bus_check(ctx, config) {
+        return result;
+    }
+
+    let init = initial_estimates(ctx);
     let mut resp = init.clone();
 
     for outer in 1..=config.max_outer_iterations {
@@ -191,23 +257,7 @@ pub fn analyze(ctx: &AnalysisContext<'_>, config: &AnalysisConfig) -> AnalysisRe
         if changed_tasks == 0 {
             // Converged: trace the fixed point with its term decomposition
             // (BAS/BAO/CPRO/CRPD) before handing the result back.
-            if cpa_obs::events_enabled() {
-                for i in tasks.ids() {
-                    let d = crate::diagnose::decompose(ctx, config, i, resp[i.index()], &resp);
-                    cpa_obs::event!(
-                        "wcrt.converged",
-                        task = i.index(),
-                        response = resp[i.index()].cycles(),
-                        inner = inner_iterations[i.index()],
-                        bas = d.bas_accesses,
-                        bao = d.bao_accesses,
-                        cpro = d.cpro_accesses,
-                        crpd = d.crpd_accesses,
-                        blocking = d.blocking_accesses,
-                        dominant = d.dominant().label(),
-                    );
-                }
-            }
+            emit_converged_events(ctx, config, &resp, &inner_iterations);
             return AnalysisResult {
                 response_times: resp.into_iter().map(Some).collect(),
                 schedulable: true,
@@ -328,10 +378,21 @@ fn rhs(
         .saturating_add(ctx.d_mem().saturating_mul(bus_accesses))
 }
 
-/// Sound WCRT bound for one task given the current response-time estimates
-/// of all other tasks; `None` when the deadline cannot be met.
+/// Outcome of one per-task inner fixed-point solve: the bound (`None` when
+/// the deadline cannot be met) and the iterations it took (bracket steps +
+/// refine steps + the sufficiency test, when taken).
+pub(crate) struct InnerSolve {
+    pub(crate) bound: Option<Time>,
+    pub(crate) iterations: u64,
+}
+
+/// Sound WCRT bound for one task given the right-hand side of its
+/// recurrence; `bound` is `None` when the deadline cannot be met.
 ///
-/// The recurrence is solved in two phases:
+/// The solver is generic over the right-hand-side evaluator so the
+/// reference path (direct recomputation) and the engine (memoized curves)
+/// share one algorithm — byte-identical results follow from the evaluators
+/// agreeing pointwise. The recurrence is solved in two phases:
 ///
 /// 1. **Bracket** — iterate upward with the *capped* carry-out bound
 ///    ([`bus::CarryOut::Capped`], an over-approximation of Eq. (5) whose
@@ -350,23 +411,13 @@ fn rhs(
 /// given a last chance via the sufficiency test `f(D_i) ≤ D_i` (any window
 /// of length `D_i` that contains all charged work ends by `D_i`), again
 /// followed by downward refinement.
-/// Outcome of one per-task inner fixed-point solve: the bound (`None` when
-/// the deadline cannot be met) and the iterations it took (bracket steps +
-/// refine steps + the sufficiency test, when taken).
-struct InnerSolve {
-    bound: Option<Time>,
-    iterations: u64,
-}
-
-fn inner_fixed_point(
-    ctx: &AnalysisContext<'_>,
-    config: &AnalysisConfig,
-    i: TaskId,
+pub(crate) fn solve_inner(
+    deadline: Time,
     start: Time,
-    resp: &[Time],
+    max_inner_iterations: u32,
+    mut rhs_at: impl FnMut(Time, bus::CarryOut) -> Time,
 ) -> InnerSolve {
     use bus::CarryOut;
-    let deadline = ctx.tasks()[i].deadline();
 
     // Phase 1: capped upward bracket.
     let mut r = start;
@@ -374,9 +425,9 @@ fn inner_fixed_point(
     let mut iterations = 0u64;
     {
         let _span = cpa_obs::span!("wcrt.bracket");
-        for _ in 0..config.max_inner_iterations {
+        for _ in 0..max_inner_iterations {
             iterations += 1;
-            let next = rhs(ctx, config, i, r, resp, CarryOut::Capped);
+            let next = rhs_at(r, CarryOut::Capped);
             if next == r {
                 bracket = Some(r);
                 break;
@@ -389,11 +440,15 @@ fn inner_fixed_point(
     }
 
     const REFINE_STEPS: u32 = 64;
-    let refine = |mut r: Time, iterations: &mut u64| {
+    fn refine<F: FnMut(Time, bus::CarryOut) -> Time>(
+        mut r: Time,
+        iterations: &mut u64,
+        rhs_at: &mut F,
+    ) -> Time {
         let _span = cpa_obs::span!("wcrt.refine");
         for _ in 0..REFINE_STEPS {
             *iterations += 1;
-            let next = rhs(ctx, config, i, r, resp, CarryOut::Exact);
+            let next = rhs_at(r, bus::CarryOut::Exact);
             debug_assert!(next <= r, "downward refinement must not increase");
             if next == r {
                 break;
@@ -401,18 +456,31 @@ fn inner_fixed_point(
             r = next;
         }
         r
-    };
+    }
 
     let bound = match bracket {
-        Some(r_star) if r_star <= deadline => Some(refine(r_star, &mut iterations)),
+        Some(r_star) if r_star <= deadline => Some(refine(r_star, &mut iterations, &mut rhs_at)),
         _ => {
             // Exact sufficiency test at the deadline.
             iterations += 1;
-            let at_deadline = rhs(ctx, config, i, deadline, resp, CarryOut::Exact);
-            (at_deadline <= deadline).then(|| refine(at_deadline, &mut iterations))
+            let at_deadline = rhs_at(deadline, bus::CarryOut::Exact);
+            (at_deadline <= deadline).then(|| refine(at_deadline, &mut iterations, &mut rhs_at))
         }
     };
     InnerSolve { bound, iterations }
+}
+
+fn inner_fixed_point(
+    ctx: &AnalysisContext<'_>,
+    config: &AnalysisConfig,
+    i: TaskId,
+    start: Time,
+    resp: &[Time],
+) -> InnerSolve {
+    let deadline = ctx.tasks()[i].deadline();
+    solve_inner(deadline, start, config.max_inner_iterations, |r, carry| {
+        rhs(ctx, config, i, r, resp, carry)
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,122 @@
+//! Throwaway timing probe (not a test of correctness): compares the cost
+//! of the reference `bao()` walk, `BaoSegment::rebuild` and
+//! `BaoSegment::eval` on a paper-default task set. Run with
+//! `cargo test --release -p cpa-analysis --test perf_probe -- --ignored --nocapture`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use cpa_analysis::bao::{bao, bao_members, bao_segment, CarryOut};
+use cpa_analysis::{AnalysisContext, PersistenceMode};
+use cpa_model::{CoreId, Time};
+use cpa_workload::{GeneratorConfig, TaskSetGenerator};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+#[ignore]
+fn probe() {
+    let gen = GeneratorConfig::paper_default().with_per_core_utilization(0.5);
+    let generator = TaskSetGenerator::new(gen.clone()).expect("generator");
+    let platform = cpa_experiments_platform(&gen);
+    let tasks = generator
+        .generate(&mut ChaCha8Rng::seed_from_u64(0x0DA7_E202))
+        .expect("task set");
+    let ctx = AnalysisContext::new(&platform, &tasks).expect("context");
+    let resp: Vec<Time> = tasks
+        .iter()
+        .map(|t| t.processing_demand() + ctx.d_mem() * t.memory_demand())
+        .collect();
+    let level = tasks.lowest_priority_id();
+    let core = CoreId::new(1);
+    let mode = PersistenceMode::Aware;
+    let band = cpa_analysis::bao::PriorityBand::HigherOrEqual;
+    let t = Time::from_cycles(100_000);
+
+    const N: u32 = 2_000_000;
+
+    let start = Instant::now();
+    for _ in 0..N {
+        black_box(bao(
+            &ctx,
+            black_box(level),
+            core,
+            black_box(t),
+            &resp,
+            mode,
+            band,
+            CarryOut::Exact,
+        ));
+    }
+    let walk_ns = start.elapsed().as_nanos() as f64 / N as f64;
+
+    let members = bao_members(&ctx, level, core);
+    let mut seg = bao_segment(&ctx, level, core, t, &resp, mode);
+    let start = Instant::now();
+    for _ in 0..N {
+        seg.rebuild(black_box(&members), black_box(t), &resp, ctx.d_mem(), mode);
+        black_box(&seg);
+    }
+    let rebuild_ns = start.elapsed().as_nanos() as f64 / N as f64;
+
+    let start = Instant::now();
+    for _ in 0..N {
+        seg.refresh(black_box(&members), black_box(t), &resp, ctx.d_mem(), mode);
+        black_box(&seg);
+    }
+    let refresh_ns = start.elapsed().as_nanos() as f64 / N as f64;
+
+    let start = Instant::now();
+    for _ in 0..N {
+        black_box(seg.eval(black_box(t), ctx.d_mem(), CarryOut::Exact));
+    }
+    let eval_ns = start.elapsed().as_nanos() as f64 / N as f64;
+
+    let start = Instant::now();
+    for _ in 0..N {
+        black_box(seg.eval(black_box(t), ctx.d_mem(), CarryOut::Capped));
+    }
+    let eval_capped_ns = start.elapsed().as_nanos() as f64 / N as f64;
+
+    let start = Instant::now();
+    for _ in 0..N {
+        black_box(bao_members(&ctx, black_box(level), core));
+    }
+    let members_ns = start.elapsed().as_nanos() as f64 / N as f64;
+
+    eprintln!("members       : {} entries", members.len());
+    eprintln!("bao() walk    : {walk_ns:8.1} ns");
+    eprintln!("bao_members   : {members_ns:8.1} ns");
+    eprintln!("rebuild       : {rebuild_ns:8.1} ns");
+    eprintln!("refresh noop  : {refresh_ns:8.1} ns");
+    eprintln!("eval exact    : {eval_ns:8.1} ns");
+    eprintln!("eval capped   : {eval_capped_ns:8.1} ns");
+
+    // Counter split over one full engine analysis of the same task set.
+    let config = cpa_analysis::AnalysisConfig::new(
+        cpa_analysis::BusPolicy::FixedPriority,
+        PersistenceMode::Aware,
+    );
+    let counters = [
+        "engine.same_core_hit",
+        "engine.same_core_miss",
+        "engine.bao_hit",
+        "engine.bao_miss",
+    ];
+    let before: Vec<u64> = counters.iter().map(|c| cpa_obs::counter(c).get()).collect();
+    black_box(cpa_analysis::analyze(&ctx, &config));
+    for (name, b) in counters.iter().zip(before) {
+        eprintln!("{name:24}: {}", cpa_obs::counter(name).get() - b);
+    }
+}
+
+/// Local copy of `cpa_experiments::runner::platform_for` (no dev-dep on
+/// the experiments crate from here).
+fn cpa_experiments_platform(gen: &GeneratorConfig) -> cpa_model::Platform {
+    cpa_model::Platform::builder()
+        .cores(gen.cores)
+        .cache(cpa_model::CacheGeometry::direct_mapped(gen.cache_sets, 32))
+        .memory_latency(gen.d_mem)
+        .build()
+        .expect("platform")
+}

@@ -1,0 +1,132 @@
+//! Engine-vs-reference benchmark: the memoized, worklist-driven
+//! [`analyze`] against the pre-refactor sweep [`analyze_reference`], per
+//! bus policy, on the Fig. 2 sweep workload (paper-default task sets over
+//! a utilization grid).
+//!
+//! Hand-rolled harness (like `obs_overhead`) rather than criterion's,
+//! because this bench is also a CI gate: it writes the measured numbers to
+//! `BENCH_analysis.json` and exits non-zero unless the engine is at least
+//! [`SPEEDUP_GATE`]× faster than the reference on the FP-bus sweep — the
+//! PR's headline acceptance criterion. Results are cross-checked for
+//! equality while benchmarking, so a speedup obtained by diverging from
+//! the reference semantics fails loudly here too.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use cpa_analysis::{
+    analyze, analyze_reference, AnalysisConfig, AnalysisContext, AnalysisResult, BusPolicy,
+    PersistenceMode,
+};
+use cpa_experiments::runner::platform_for;
+use cpa_workload::{GeneratorConfig, TaskSetGenerator};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The Fig. 2 sweep's utilization grid, reduced to the span where the
+/// analysis does real work (low = trivially schedulable, high = mostly
+/// deadline misses; both paths are exercised).
+const UTILS: &[f64] = &[0.3, 0.5, 0.7];
+/// Task sets per utilization point.
+const SETS_PER_UTIL: u64 = 12;
+/// Required engine speedup on the FP-bus sweep (the acceptance gate).
+const SPEEDUP_GATE: f64 = 2.0;
+
+fn main() {
+    // `cargo bench` passes flags like `--bench`; this harness ignores them.
+    let gen_base = GeneratorConfig::paper_default();
+    let platform = platform_for(&gen_base);
+    let mut task_sets = Vec::new();
+    for &util in UTILS {
+        let gen = gen_base.clone().with_per_core_utilization(util);
+        let generator = TaskSetGenerator::new(gen).expect("generator");
+        for seed in 0..SETS_PER_UTIL {
+            let mut rng = ChaCha8Rng::seed_from_u64(0x0DA7_E202 ^ seed);
+            task_sets.push(generator.generate(&mut rng).expect("task set"));
+        }
+    }
+    let contexts: Vec<AnalysisContext<'_>> = task_sets
+        .iter()
+        .map(|tasks| AnalysisContext::new(&platform, tasks).expect("context"))
+        .collect();
+
+    let [fp, rr, tdma] = BusPolicy::paper_buses(2);
+    let policies = [fp, rr, tdma, BusPolicy::Perfect];
+    let mut rows = Vec::new();
+    let mut fp_speedup = 0.0f64;
+    for bus in policies {
+        let config = AnalysisConfig::new(bus, PersistenceMode::Aware);
+
+        // Semantics first: the differential pin, re-checked in situ.
+        for ctx in &contexts {
+            let engine = analyze(ctx, &config);
+            let reference = analyze_reference(ctx, &config);
+            assert_eq!(
+                (engine.response_times(), engine.is_schedulable()),
+                (reference.response_times(), reference.is_schedulable()),
+                "{bus:?}: engine diverged from reference"
+            );
+        }
+
+        let old_ns = time_sweep(&contexts, &config, analyze_reference);
+        let engine_ns = time_sweep(&contexts, &config, analyze);
+        let speedup = old_ns / engine_ns;
+        if bus == fp {
+            fp_speedup = speedup;
+        }
+        eprintln!(
+            "{:<8} reference {:>12.0} ns/sweep   engine {:>12.0} ns/sweep   speedup {:.2}x",
+            bus.label(),
+            old_ns,
+            engine_ns,
+            speedup
+        );
+        rows.push(format!(
+            "{{\"policy\":\"{}\",\"old_ns\":{old_ns:.0},\"engine_ns\":{engine_ns:.0},\
+             \"speedup\":{speedup:.3}}}",
+            bus.label()
+        ));
+    }
+
+    let pass = fp_speedup >= SPEEDUP_GATE;
+    let json = format!(
+        "{{\"bench\":\"analysis_engine\",\"workload\":\"fig2_sweep\",\
+         \"utils\":{UTILS:?},\"sets_per_util\":{SETS_PER_UTIL},\
+         \"policies\":[{}],\
+         \"fig2_fp_sweep\":{{\"speedup\":{fp_speedup:.3},\"gate\":{SPEEDUP_GATE},\
+         \"pass\":{pass}}}}}\n",
+        rows.join(",")
+    );
+    // Anchor to the workspace root: `cargo bench` sets the CWD to the
+    // crate directory, but the gate artifact belongs next to ci.sh.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_analysis.json");
+    std::fs::write(out, &json).expect("write BENCH_analysis.json");
+    eprintln!("wrote {out}");
+    if !pass {
+        eprintln!("FAIL: FP sweep speedup {fp_speedup:.2}x below the {SPEEDUP_GATE}x gate");
+        std::process::exit(1);
+    }
+}
+
+/// Median-of-three wall time of one full sweep (all task sets once), in
+/// nanoseconds, with one untimed warm-up sweep.
+fn time_sweep(
+    contexts: &[AnalysisContext<'_>],
+    config: &AnalysisConfig,
+    f: fn(&AnalysisContext<'_>, &AnalysisConfig) -> AnalysisResult,
+) -> f64 {
+    let sweep = || {
+        for ctx in contexts {
+            black_box(f(black_box(ctx), black_box(config)));
+        }
+    };
+    sweep();
+    let mut runs = [0.0f64; 3];
+    for run in &mut runs {
+        let start = Instant::now();
+        sweep();
+        *run = start.elapsed().as_nanos() as f64;
+    }
+    runs.sort_by(f64::total_cmp);
+    runs[1]
+}

@@ -67,11 +67,10 @@ pub fn crpd_ablation(opts: &SweepOptions) -> ExperimentResult {
 /// utilization point. The curve's maximum is the paper's headline number.
 #[must_use]
 pub fn persistence_gain(opts: &SweepOptions) -> ExperimentResult {
-    let buses = [
-        ("FP", BusPolicy::FixedPriority),
-        ("RR", BusPolicy::RoundRobin { slots: opts.slots }),
-        ("TDMA", BusPolicy::Tdma { slots: opts.slots }),
-    ];
+    let buses: Vec<(&str, BusPolicy)> = ["FP", "RR", "TDMA"]
+        .into_iter()
+        .zip(BusPolicy::paper_buses(opts.slots))
+        .collect();
     let mut series: Vec<Series> = buses
         .iter()
         .map(|(name, _)| Series {

@@ -101,13 +101,16 @@ pub fn fig3d(opts: &SweepOptions) -> ExperimentResult {
 /// The six policy × persistence configurations of the paper at slot
 /// count `s`.
 fn paper_configs(slots: u64) -> ([AnalysisConfig; 6], [String; 6]) {
+    let [fp, rr, tdma] = BusPolicy::paper_buses(slots);
+    // Aware-first per bus (the plotting order of the figure), unlike
+    // `AnalysisConfig::paper_matrix`'s oblivious-first order.
     let configs = [
-        AnalysisConfig::new(BusPolicy::FixedPriority, PersistenceMode::Aware),
-        AnalysisConfig::new(BusPolicy::FixedPriority, PersistenceMode::Oblivious),
-        AnalysisConfig::new(BusPolicy::RoundRobin { slots }, PersistenceMode::Aware),
-        AnalysisConfig::new(BusPolicy::RoundRobin { slots }, PersistenceMode::Oblivious),
-        AnalysisConfig::new(BusPolicy::Tdma { slots }, PersistenceMode::Aware),
-        AnalysisConfig::new(BusPolicy::Tdma { slots }, PersistenceMode::Oblivious),
+        AnalysisConfig::new(fp, PersistenceMode::Aware),
+        AnalysisConfig::new(fp, PersistenceMode::Oblivious),
+        AnalysisConfig::new(rr, PersistenceMode::Aware),
+        AnalysisConfig::new(rr, PersistenceMode::Oblivious),
+        AnalysisConfig::new(tdma, PersistenceMode::Aware),
+        AnalysisConfig::new(tdma, PersistenceMode::Oblivious),
     ];
     let labels = [
         "FP aware".to_string(),

@@ -58,6 +58,69 @@ struct AnalyzeTaskRow {
     blocking: u64,
 }
 
+/// Engine-internals section of the `analyze` report: demand-curve cache
+/// effectiveness and outer-worklist statistics, from the `engine.*`
+/// counter deltas of this run.
+#[derive(Serialize)]
+struct EngineStats {
+    curve_hits: u64,
+    curve_misses: u64,
+    curve_hit_rate: f64,
+    same_core_hits: u64,
+    same_core_misses: u64,
+    bao_hits: u64,
+    bao_misses: u64,
+    tasks_solved: u64,
+    tasks_skipped: u64,
+    worklist_rounds: u32,
+    mean_worklist_depth: f64,
+}
+
+impl EngineStats {
+    /// Snapshot of the always-on engine counters, for delta-ing around one
+    /// `analyze` call.
+    fn snapshot() -> [u64; 8] {
+        [
+            cpa_obs::counter("engine.curve_hit").get(),
+            cpa_obs::counter("engine.curve_miss").get(),
+            cpa_obs::counter("engine.tasks_solved").get(),
+            cpa_obs::counter("engine.tasks_skipped").get(),
+            cpa_obs::counter("engine.same_core_hit").get(),
+            cpa_obs::counter("engine.same_core_miss").get(),
+            cpa_obs::counter("engine.bao_hit").get(),
+            cpa_obs::counter("engine.bao_miss").get(),
+        ]
+    }
+
+    fn from_delta(before: [u64; 8], rounds: u32) -> EngineStats {
+        let after = EngineStats::snapshot();
+        let d = |i: usize| after[i].saturating_sub(before[i]);
+        let (hits, misses, solved, skipped) = (d(0), d(1), d(2), d(3));
+        let probes = hits + misses;
+        EngineStats {
+            curve_hits: hits,
+            curve_misses: misses,
+            curve_hit_rate: if probes == 0 {
+                0.0
+            } else {
+                hits as f64 / probes as f64
+            },
+            same_core_hits: d(4),
+            same_core_misses: d(5),
+            bao_hits: d(6),
+            bao_misses: d(7),
+            tasks_solved: solved,
+            tasks_skipped: skipped,
+            worklist_rounds: rounds,
+            mean_worklist_depth: if rounds == 0 {
+                0.0
+            } else {
+                solved as f64 / f64::from(rounds)
+            },
+        }
+    }
+}
+
 /// The `analyze --json` report (profile spliced in separately).
 #[derive(Serialize)]
 struct AnalyzeDoc {
@@ -68,6 +131,7 @@ struct AnalyzeDoc {
     schedulable: bool,
     outer_iterations: u32,
     hit_outer_cap: bool,
+    engine: EngineStats,
     tasks: Vec<AnalyzeTaskRow>,
 }
 
@@ -169,15 +233,12 @@ impl TraceOptions {
     }
 
     fn bus_policy(&self) -> Result<BusPolicy, String> {
-        match self.bus.as_str() {
-            "fp" => Ok(BusPolicy::FixedPriority),
-            "rr" => Ok(BusPolicy::RoundRobin { slots: self.slots }),
-            "tdma" => Ok(BusPolicy::Tdma { slots: self.slots }),
-            "perfect" => Ok(BusPolicy::Perfect),
-            other => Err(format!(
-                "unknown bus `{other}` (expected fp, rr, tdma, or perfect)"
-            )),
-        }
+        BusPolicy::parse(&self.bus, self.slots).ok_or_else(|| {
+            format!(
+                "unknown bus `{}` (expected fp, rr, tdma, or perfect)",
+                self.bus
+            )
+        })
     }
 
     fn persistence(&self) -> Result<PersistenceMode, String> {
@@ -261,7 +322,9 @@ fn analyze_cmd(opts: &TraceOptions) -> Result<(), String> {
     let (gen_config, platform, tasks) = opts.workload()?;
     let ctx = AnalysisContext::new(&platform, &tasks).map_err(|e| e.to_string())?;
     let config = AnalysisConfig::new(bus, mode);
+    let counters_before = EngineStats::snapshot();
     let result = analyze(&ctx, &config);
+    let engine = EngineStats::from_delta(counters_before, result.outer_iterations());
 
     // Decomposition windows: the fixed point where one exists, the
     // deadline (the last window the sufficiency test probed) otherwise.
@@ -312,6 +375,7 @@ fn analyze_cmd(opts: &TraceOptions) -> Result<(), String> {
             schedulable: result.is_schedulable(),
             outer_iterations: result.outer_iterations(),
             hit_outer_cap: result.hit_outer_iteration_cap(),
+            engine,
             tasks: task_rows,
         };
         println!("{}", with_profile(&doc, &profile)?);
@@ -330,10 +394,25 @@ fn analyze_cmd(opts: &TraceOptions) -> Result<(), String> {
             ""
         }
     );
+    println!(
+        "engine: curve cache {:.1}% hit ({} hits / {} misses; same-core {}/{}, \
+         bao {}/{}); worklist solved {}, skipped {} over {} rounds (mean depth {:.1})",
+        engine.curve_hit_rate * 100.0,
+        engine.curve_hits,
+        engine.curve_misses,
+        engine.same_core_hits,
+        engine.same_core_misses,
+        engine.bao_hits,
+        engine.bao_misses,
+        engine.tasks_solved,
+        engine.tasks_skipped,
+        engine.worklist_rounds,
+        engine.mean_worklist_depth,
+    );
     println!();
     println!(
-        "{:<14} {:>4} {:>4} {:>10} {:>10} {:>5} {:>7}  {:<8} {}",
-        "task", "core", "prio", "wcrt", "deadline", "conv", "inner", "dominant", "shares"
+        "{:<14} {:>4} {:>4} {:>10} {:>10} {:>5} {:>7}  {:<8} shares",
+        "task", "core", "prio", "wcrt", "deadline", "conv", "inner", "dominant"
     );
     for i in tasks.ids() {
         let task = &tasks[i];

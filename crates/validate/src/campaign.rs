@@ -314,7 +314,7 @@ fn validate_one_set(
 
     let mut check = base_check.clone();
     check.sporadic_seed = set_seed;
-    check.determinism = set % DETERMINISM_STRIDE == 0;
+    check.determinism = set.is_multiple_of(DETERMINISM_STRIDE);
 
     // Generation determinism: the same derived seed must reproduce the
     // task set exactly (folded into the determinism oracle).

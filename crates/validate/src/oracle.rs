@@ -142,7 +142,7 @@ impl Default for CheckOptions {
             slots: 2,
             horizon_cap: 1_500_000,
             sporadic: true,
-            sporadic_seed: 0xC0FF_EE,
+            sporadic_seed: 0x00C0_FFEE,
             approaches: vec![
                 CrpdApproach::EcbUnion,
                 CrpdApproach::UcbUnion,
@@ -265,11 +265,7 @@ pub fn check_task_set(
     opts: &CheckOptions,
 ) -> Result<SetOutcome, ModelError> {
     let _span = cpa_obs::span!("oracle.check_set");
-    let buses = [
-        BusPolicy::FixedPriority,
-        BusPolicy::RoundRobin { slots: opts.slots },
-        BusPolicy::Tdma { slots: opts.slots },
-    ];
+    let buses = BusPolicy::paper_buses(opts.slots);
     let mut out = SetOutcome::default();
 
     // Analysis matrix + dominance oracle (pure computation, cheap).
