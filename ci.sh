@@ -11,6 +11,9 @@ cargo fmt --check
 echo "==> cargo clippy -p cpa-analysis --all-targets -- -D warnings (engine gate)"
 cargo clippy -p cpa-analysis --all-targets -- -D warnings
 
+echo "==> cargo clippy -p cpa-sim --all-targets -- -D warnings (sim fast-path gate)"
+cargo clippy -p cpa-sim --all-targets -- -D warnings
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
@@ -19,6 +22,9 @@ cargo test -q
 
 echo "==> engine_equivalence smoke (engine vs reference, all policy x mode combos)"
 cargo test -q -p cpa-analysis --release --test engine_equivalence
+
+echo "==> skip_equivalence smoke (event-skipping sim vs cycle-stepped reference)"
+cargo test -q -p cpa-sim --release --test skip_equivalence
 
 echo "==> cpa-validate smoke campaign (100 sets, quick profile)"
 cargo run --release -p cpa-validate -- run --sets 100 --quick --no-progress \
@@ -33,5 +39,8 @@ cargo run --release -p cpa-experiments --bin obs_overhead
 
 echo "==> analysis engine bench (>=2x on fig2 FP sweep, emits BENCH_analysis.json)"
 cargo bench -p cpa-bench --bench analysis_engine
+
+echo "==> sim engine bench (>=5x on campaign mix, emits BENCH_sim.json)"
+cargo bench -p cpa-bench --bench sim_engine
 
 echo "==> ci.sh: all green"

@@ -1,0 +1,183 @@
+//! Fast-path-vs-reference simulator benchmark: the event-skipping
+//! [`Simulator::run`] against the cycle-stepped
+//! [`Simulator::run_reference`], on the validation campaign's workload
+//! mix (the simulator's hot caller: `cpa-validate` spends most of its
+//! time here).
+//!
+//! Hand-rolled harness (like `analysis_engine`) rather than criterion's,
+//! because this bench is also a CI gate: it writes the measured numbers to
+//! `BENCH_sim.json` and exits non-zero unless the fast path is at least
+//! [`SPEEDUP_GATE`]× faster than the reference on the campaign mix — the
+//! PR's headline acceptance criterion. Every benchmarked run is also
+//! cross-checked for full-report equality, so a speedup obtained by
+//! diverging from the stepped semantics fails loudly here too.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use cpa_model::{Platform, TaskSet};
+use cpa_sim::{BusArbitration, ReleaseModel, SimConfig, SimReport, Simulator};
+use cpa_validate::oracle::{horizon_for, platform_for_tasks};
+use cpa_workload::{GeneratorConfig, TaskSetGenerator};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Task sets in the campaign mix. Each draws its utilization, task count
+/// and cache pressure from the same bands `cpa-validate` samples.
+const SETS: u64 = 8;
+/// Horizon cap, matching the full campaign profile.
+const HORIZON_CAP: u64 = 1_500_000;
+/// Required fast-path speedup on the campaign mix (the acceptance gate).
+const SPEEDUP_GATE: f64 = 5.0;
+
+struct Case {
+    platform: Platform,
+    tasks: TaskSet,
+    config: SimConfig,
+}
+
+fn main() {
+    // `cargo bench` passes flags like `--bench`; this harness ignores them.
+    let base = GeneratorConfig::paper_default();
+    let mut systems = Vec::new();
+    for seed in 0..SETS {
+        // The campaign's per-set profile: small two-core sets across a
+        // band of utilizations (see cpa_validate::campaign::profile_for).
+        let mut rng = ChaCha8Rng::seed_from_u64(0x51B3_11C5 ^ seed);
+        let utilization = rng.gen_range(0.10..0.55);
+        let tasks_per_core = rng.gen_range(3usize..6);
+        let config = GeneratorConfig {
+            cores: 2,
+            tasks_per_core,
+            ..base.clone()
+        }
+        .with_per_core_utilization(utilization);
+        let generator = TaskSetGenerator::new(config).expect("generator");
+        let tasks = generator.generate(&mut rng).expect("task set");
+        let platform = platform_for_tasks(&tasks, base.d_mem).expect("platform");
+        systems.push((platform, tasks));
+    }
+
+    // The campaign simulates each set per (bus, release model); mirror
+    // that matrix here so every arbiter's skip logic is on the clock.
+    let matrix: [(&str, BusArbitration, ReleaseModel); 4] = [
+        (
+            "fp_sync",
+            BusArbitration::FixedPriority,
+            ReleaseModel::Synchronous,
+        ),
+        (
+            "rr_sync",
+            BusArbitration::RoundRobin { slots: 2 },
+            ReleaseModel::Synchronous,
+        ),
+        (
+            "tdma_sync",
+            BusArbitration::Tdma { slots: 2 },
+            ReleaseModel::Synchronous,
+        ),
+        (
+            "fp_sporadic",
+            BusArbitration::FixedPriority,
+            ReleaseModel::Sporadic {
+                seed: 0x5EED,
+                max_extra_percent: 40,
+            },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut mix_reference_ns = 0.0f64;
+    let mut mix_engine_ns = 0.0f64;
+    for (label, bus, releases) in matrix {
+        let cases: Vec<Case> = systems
+            .iter()
+            .map(|(platform, tasks)| Case {
+                platform: platform.clone(),
+                tasks: tasks.clone(),
+                config: SimConfig::new(bus)
+                    .with_horizon(horizon_for(tasks, HORIZON_CAP))
+                    .with_releases(releases),
+            })
+            .collect();
+
+        // Semantics first: the differential pin, re-checked in situ.
+        for case in &cases {
+            assert_eq!(
+                run(case, false),
+                run(case, true),
+                "{label}: fast path diverged from the reference"
+            );
+        }
+
+        let reference_ns = time_sweep(&cases, true);
+        let engine_ns = time_sweep(&cases, false);
+        mix_reference_ns += reference_ns;
+        mix_engine_ns += engine_ns;
+        let speedup = reference_ns / engine_ns;
+        eprintln!(
+            "{label:<12} reference {:>12.0} ns/sweep   fast {:>12.0} ns/sweep   speedup {speedup:.2}x",
+            reference_ns, engine_ns
+        );
+        rows.push(format!(
+            "{{\"config\":\"{label}\",\"reference_ns\":{reference_ns:.0},\
+             \"engine_ns\":{engine_ns:.0},\"speedup\":{speedup:.3}}}"
+        ));
+    }
+
+    let speedup = mix_reference_ns / mix_engine_ns;
+    let sims = (SETS * matrix.len() as u64) as f64;
+    let reference_sims_per_sec = sims / (mix_reference_ns * 1e-9);
+    let engine_sims_per_sec = sims / (mix_engine_ns * 1e-9);
+    let pass = speedup >= SPEEDUP_GATE;
+    eprintln!(
+        "campaign mix: reference {reference_sims_per_sec:.1} sims/s -> fast \
+         {engine_sims_per_sec:.1} sims/s ({speedup:.2}x)"
+    );
+    let json = format!(
+        "{{\"bench\":\"sim_engine\",\"workload\":\"campaign_mix\",\
+         \"sets\":{SETS},\"horizon_cap\":{HORIZON_CAP},\
+         \"configs\":[{}],\
+         \"campaign_mix\":{{\"reference_sims_per_sec\":{reference_sims_per_sec:.1},\
+         \"engine_sims_per_sec\":{engine_sims_per_sec:.1},\
+         \"speedup\":{speedup:.3},\"gate\":{SPEEDUP_GATE},\"pass\":{pass}}}}}\n",
+        rows.join(",")
+    );
+    // Anchor to the workspace root: `cargo bench` sets the CWD to the
+    // crate directory, but the gate artifact belongs next to ci.sh.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    std::fs::write(out, &json).expect("write BENCH_sim.json");
+    eprintln!("wrote {out}");
+    if !pass {
+        eprintln!("FAIL: campaign-mix speedup {speedup:.2}x below the {SPEEDUP_GATE}x gate");
+        std::process::exit(1);
+    }
+}
+
+fn run(case: &Case, reference: bool) -> SimReport {
+    let sim = Simulator::new(&case.platform, &case.tasks, case.config).expect("fits");
+    if reference {
+        sim.run_reference()
+    } else {
+        sim.run()
+    }
+}
+
+/// Median-of-three wall time of one full sweep (all task sets once), in
+/// nanoseconds, with one untimed warm-up sweep.
+fn time_sweep(cases: &[Case], reference: bool) -> f64 {
+    let sweep = || {
+        for case in cases {
+            black_box(run(black_box(case), reference));
+        }
+    };
+    sweep();
+    let mut runs = [0.0f64; 3];
+    for run in &mut runs {
+        let start = Instant::now();
+        sweep();
+        *run = start.elapsed().as_nanos() as f64;
+    }
+    runs.sort_by(f64::total_cmp);
+    runs[1]
+}

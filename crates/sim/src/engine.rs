@@ -1,4 +1,16 @@
-//! The cycle-granular simulation engine.
+//! The simulation engine: a cycle-granular stepper and two drivers.
+//!
+//! The engine is split into two layers:
+//!
+//! * **the stepper** ([`Simulator::step`]): executes exactly one cycle —
+//!   releases, bus completion, per-core scheduling/execution, bus grant —
+//!   and is the single source of truth for the simulated semantics;
+//! * **the drivers**: [`Simulator::run`] (the default) interleaves stepped
+//!   *event* cycles with bulk-executed dead spans computed by the
+//!   event-horizon module ([`skip`]), while [`Simulator::run_reference`]
+//!   steps every cycle. Both produce byte-identical [`SimReport`]s —
+//!   pinned by `tests/skip_equivalence.rs` and re-checked in situ by the
+//!   `sim_engine` CI bench.
 
 use std::collections::VecDeque;
 
@@ -10,6 +22,8 @@ use rand_chacha::ChaCha8Rng;
 use crate::config::{BusArbitration, ReleaseModel, SimConfig};
 use crate::report::SimReport;
 use crate::trace::TraceRecorder;
+
+mod skip;
 
 /// What a single bus transaction loads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +80,11 @@ pub struct Simulator<'a> {
     now: u64,
     report: SimReport,
     recorder: TraceRecorder,
+    /// Cycles the event-skipping driver jumped over (0 under
+    /// [`Simulator::run_reference`]).
+    cycles_skipped: u64,
+    /// Dead spans the event-skipping driver executed in bulk.
+    skip_spans: u64,
 }
 
 impl<'a> Simulator<'a> {
@@ -108,23 +127,56 @@ impl<'a> Simulator<'a> {
             now: 0,
             report: SimReport::new(n, config.horizon),
             recorder: TraceRecorder::new(platform.cores(), config.record_trace),
+            cycles_skipped: 0,
+            skip_spans: 0,
         })
     }
 
     /// Runs the simulation to the configured horizon and returns the
     /// report. Jobs still incomplete at the horizon whose deadline has
     /// passed are counted as deadline misses.
+    ///
+    /// This is the event-skipping fast path: it steps every *interesting*
+    /// cycle exactly and jumps the dead spans in between (see the
+    /// [`skip`] module for the event-horizon computation). The result is
+    /// byte-identical to [`Simulator::run_reference`].
     #[must_use]
     pub fn run(mut self) -> SimReport {
         let _span = cpa_obs::span!("sim.run");
         let horizon = self.config.horizon.cycles();
         while self.now < horizon {
-            self.release_jobs();
-            self.complete_bus_transaction();
-            self.schedule_and_execute();
-            self.grant_bus();
-            self.now += 1;
+            self.step();
+            self.skip_ahead(horizon);
         }
+        self.finish(horizon)
+    }
+
+    /// Runs the simulation stepping every single cycle — the pre-fast-path
+    /// loop, retained as the differential reference for
+    /// `tests/skip_equivalence.rs`, the `sim_engine` bench gate, and
+    /// `cpa-validate --reference-sim`.
+    #[must_use]
+    pub fn run_reference(mut self) -> SimReport {
+        let _span = cpa_obs::span!("sim.run");
+        let horizon = self.config.horizon.cycles();
+        while self.now < horizon {
+            self.step();
+        }
+        self.finish(horizon)
+    }
+
+    /// Executes exactly one cycle: the four phases, then the clock tick.
+    /// Both drivers funnel through this, so the semantics cannot drift.
+    fn step(&mut self) {
+        self.release_jobs();
+        self.complete_bus_transaction();
+        self.schedule_and_execute();
+        self.grant_bus();
+        self.now += 1;
+    }
+
+    /// Horizon-end accounting shared by both drivers.
+    fn finish(mut self, horizon: u64) -> SimReport {
         // Account incomplete-but-late jobs.
         for job in &self.jobs {
             if !job.done && job.abs_deadline < horizon {
@@ -156,7 +208,14 @@ impl<'a> Simulator<'a> {
             .map(|i| self.report.task(i).deadline_misses)
             .sum();
         cpa_obs::counter("sim.runs").incr();
+        // `sim.cycles` is the *simulated* horizon; the event-skipping
+        // driver only steps `sim.cycles_stepped` of them and jumps the
+        // rest, so the stepped/skipped split makes the skip ratio visible
+        // (`cpa-trace sim` reports it per run).
         cpa_obs::counter("sim.cycles").add(horizon);
+        cpa_obs::counter("sim.cycles_stepped").add(horizon - self.cycles_skipped);
+        cpa_obs::counter("sim.cycles_skipped").add(self.cycles_skipped);
+        cpa_obs::counter("sim.skip_spans").add(self.skip_spans);
         cpa_obs::counter("sim.jobs_released").add(released);
         cpa_obs::counter("sim.jobs_completed").add(completed);
         cpa_obs::counter("sim.deadline_misses").add(misses);
@@ -170,6 +229,9 @@ impl<'a> Simulator<'a> {
         cpa_obs::event!(
             "sim.report",
             horizon = horizon,
+            cycles_stepped = horizon - self.cycles_skipped,
+            cycles_skipped = self.cycles_skipped,
+            skip_spans = self.skip_spans,
             released = released,
             completed = completed,
             deadline_misses = misses,
@@ -216,6 +278,9 @@ impl<'a> Simulator<'a> {
                     if max_extra == 0 {
                         0
                     } else {
+                        // Draw counts are part of the report so the
+                        // event-skipping pin also covers RNG consumption.
+                        self.report.task_mut(i).rng_draws += 1;
                         self.rngs[i.index()].gen_range(0..=max_extra)
                     }
                 }

@@ -20,6 +20,13 @@
 //! refute, the analytic WCRT (`observed ≤ analyzed` for every task of a
 //! schedulable set — see the workspace integration tests).
 //!
+//! [`Simulator::run`] is an **event-skipping** executor: it steps only the
+//! cycles at which state can change (releases, bus completions,
+//! compute-burst ends, TDMA slot boundaries) and jumps the dead spans in
+//! between, byte-identically to the retained cycle-stepped
+//! [`Simulator::run_reference`] loop (see DESIGN.md §11 and
+//! `tests/skip_equivalence.rs`).
+//!
 //! # Example
 //!
 //! ```

@@ -26,6 +26,10 @@ pub struct TaskStats {
     pub pcb_loads: u64,
     /// Bus accesses caused by post-preemption UCB reloads (CRPD traffic).
     pub crpd_reloads: u64,
+    /// Sporadic inter-arrival jitter draws consumed by this task's release
+    /// process. Part of the report so the event-skipping fast path is
+    /// pinned to consume exactly the reference's RNG stream.
+    pub rng_draws: u64,
 }
 
 impl TaskStats {

@@ -64,15 +64,29 @@ impl TraceRecorder {
 
     /// Records what `core` did during cycle `now`.
     pub(crate) fn record(&mut self, core: usize, now: u64, running: Option<(TaskId, bool)>) {
-        if !self.enabled {
+        self.record_span(core, now, 1, running);
+    }
+
+    /// Records `len` consecutive cycles `[start, start + len)` of one core
+    /// state in one call — exactly equivalent to `len` [`Self::record`]
+    /// calls, which is what makes the event-skipping simulator's traces
+    /// byte-identical to the cycle-stepped ones.
+    pub(crate) fn record_span(
+        &mut self,
+        core: usize,
+        start: u64,
+        len: u64,
+        running: Option<(TaskId, bool)>,
+    ) {
+        if !self.enabled || len == 0 {
             return;
         }
         match (self.open[core], running) {
             (Some(seg), Some((task, stalled)))
-                if seg.task == task && seg.stalled == stalled && seg.end == now =>
+                if seg.task == task && seg.stalled == stalled && seg.end == start =>
             {
                 self.open[core] = Some(ExecSegment {
-                    end: now + 1,
+                    end: start + len,
                     ..seg
                 });
             }
@@ -83,8 +97,8 @@ impl TraceRecorder {
                 self.open[core] = running.map(|(task, stalled)| ExecSegment {
                     core,
                     task,
-                    start: now,
-                    end: now + 1,
+                    start,
+                    end: start + len,
                     stalled,
                 });
             }

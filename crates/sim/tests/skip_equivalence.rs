@@ -1,0 +1,199 @@
+//! Differential pin: the event-skipping fast path behind
+//! [`Simulator::run`] must be *byte-identical* to the retained
+//! cycle-stepped loop [`Simulator::run_reference`] — the full
+//! [`SimReport`] (per-task released/completed/deadline-miss/response-time
+//! statistics, bus transaction and busy-cycle totals, per-task RNG draw
+//! counts) plus the complete RLE execution trace — across every bus
+//! arbitration × release model, on seeded campaign-style task sets and on
+//! proptest-randomized ones.
+//!
+//! The utilization grid deliberately spans idle-heavy, saturated and
+//! overloaded sets so long dead spans, back-to-back bus traffic, deep
+//! preemption nesting and the incomplete-at-horizon tail are all hit.
+
+use cpa_model::{CacheGeometry, Platform, TaskSet, Time};
+use cpa_sim::{BusArbitration, ReleaseModel, SimConfig, Simulator};
+use cpa_workload::{GeneratorConfig, TaskSetGenerator};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn generated_system(
+    seed: u64,
+    util: f64,
+    cores: usize,
+    tasks_per_core: usize,
+) -> (Platform, TaskSet) {
+    let config = GeneratorConfig {
+        cores,
+        tasks_per_core,
+        ..GeneratorConfig::paper_default()
+    }
+    .with_per_core_utilization(util);
+    let platform = Platform::builder()
+        .cores(config.cores)
+        .cache(CacheGeometry::direct_mapped(config.cache_sets, 32))
+        .memory_latency(config.d_mem)
+        .build()
+        .expect("valid platform");
+    let generator = TaskSetGenerator::new(config).expect("valid config");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let tasks = generator.generate(&mut rng).expect("generation succeeds");
+    (platform, tasks)
+}
+
+fn arbitrations() -> [BusArbitration; 5] {
+    [
+        BusArbitration::FixedPriority,
+        BusArbitration::RoundRobin { slots: 1 },
+        BusArbitration::RoundRobin { slots: 2 },
+        BusArbitration::Tdma { slots: 1 },
+        BusArbitration::Tdma { slots: 2 },
+    ]
+}
+
+fn release_models(seed: u64) -> [ReleaseModel; 2] {
+    [
+        ReleaseModel::Synchronous,
+        ReleaseModel::Sporadic {
+            seed,
+            max_extra_percent: 40,
+        },
+    ]
+}
+
+/// Runs both executors on the same system and asserts full report
+/// equality, with targeted per-field diffs first for readable failures.
+fn assert_equivalent(platform: &Platform, tasks: &TaskSet, config: SimConfig, tag: &str) {
+    let fast = Simulator::new(platform, tasks, config)
+        .expect("task set fits platform")
+        .run();
+    let reference = Simulator::new(platform, tasks, config)
+        .expect("task set fits platform")
+        .run_reference();
+    for id in tasks.ids() {
+        assert_eq!(
+            fast.task(id),
+            reference.task(id),
+            "{tag}: per-task stats diverged for {id} (incl. rng_draws)"
+        );
+    }
+    assert_eq!(
+        fast.bus_transactions, reference.bus_transactions,
+        "{tag}: bus transaction totals diverged"
+    );
+    assert_eq!(
+        fast.bus_busy_cycles, reference.bus_busy_cycles,
+        "{tag}: bus busy-cycle totals diverged"
+    );
+    assert_eq!(
+        fast.trace(),
+        reference.trace(),
+        "{tag}: RLE execution traces diverged"
+    );
+    assert_eq!(fast, reference, "{tag}: full report diverged");
+}
+
+fn campaign(utils: &[f64], seeds: std::ops::Range<u64>, horizon: u64) {
+    for &util in utils {
+        for seed in seeds.clone() {
+            let (platform, tasks) = generated_system(seed, util, 2, 4);
+            for bus in arbitrations() {
+                for releases in release_models(0xC0FFEE ^ seed) {
+                    let config = SimConfig::new(bus)
+                        .with_horizon(Time::from_cycles(horizon))
+                        .with_releases(releases)
+                        .with_trace();
+                    let tag = format!("util={util} seed={seed} {bus:?} {releases:?}");
+                    assert_equivalent(&platform, &tasks, config, &tag);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fast_path_matches_reference_on_idle_heavy_sets() {
+    campaign(&[0.15, 0.35], 0..4, 120_000);
+}
+
+#[test]
+fn fast_path_matches_reference_on_saturated_sets() {
+    campaign(&[0.55], 0..4, 120_000);
+}
+
+#[test]
+fn fast_path_matches_reference_on_overloaded_sets() {
+    // Deadline misses and the incomplete-at-horizon tail accounting.
+    campaign(&[0.85], 0..3, 120_000);
+}
+
+#[test]
+fn fast_path_matches_reference_on_four_cores() {
+    for seed in 0..3 {
+        let (platform, tasks) = generated_system(seed, 0.4, 4, 3);
+        for bus in arbitrations() {
+            let config = SimConfig::new(bus)
+                .with_horizon(Time::from_cycles(100_000))
+                .with_trace();
+            assert_equivalent(
+                &platform,
+                &tasks,
+                config,
+                &format!("4core seed={seed} {bus:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn fast_path_matches_reference_at_degenerate_horizons() {
+    // Horizon boundaries: 0 (no work), 1 (one stepped cycle), a prime
+    // that lands mid-transaction and mid-burst.
+    let (platform, tasks) = generated_system(7, 0.45, 2, 4);
+    for horizon in [0u64, 1, 7, 97, 1_003] {
+        for bus in arbitrations() {
+            let config = SimConfig::new(bus)
+                .with_horizon(Time::from_cycles(horizon))
+                .with_trace();
+            assert_equivalent(
+                &platform,
+                &tasks,
+                config,
+                &format!("horizon={horizon} {bus:?}"),
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized campaign-profile systems: any utilization in the
+    /// campaign band, any small task count, any seed, any arbitration and
+    /// release model — fast path and reference stay byte-identical.
+    #[test]
+    fn fast_path_matches_reference_on_random_systems(
+        seed in 0u64..1_000,
+        util_permille in 100u64..900,
+        tasks_per_core in 2usize..6,
+        bus_index in 0usize..5,
+        sporadic in 0usize..2,
+        horizon in 1u64..60_000,
+    ) {
+        let util = util_permille as f64 / 1000.0;
+        let (platform, tasks) = generated_system(seed, util, 2, tasks_per_core);
+        let releases = if sporadic == 1 {
+            ReleaseModel::Sporadic { seed: seed ^ 0x5EED, max_extra_percent: 40 }
+        } else {
+            ReleaseModel::Synchronous
+        };
+        let config = SimConfig::new(arbitrations()[bus_index])
+            .with_horizon(Time::from_cycles(horizon))
+            .with_releases(releases)
+            .with_trace();
+        let fast = Simulator::new(&platform, &tasks, config).expect("fits").run();
+        let reference = Simulator::new(&platform, &tasks, config).expect("fits").run_reference();
+        prop_assert_eq!(fast, reference);
+    }
+}

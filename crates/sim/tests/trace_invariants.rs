@@ -1,0 +1,193 @@
+//! Structural invariants of recorded RLE execution traces, for both
+//! execution modes:
+//!
+//! * per core, exec segments are sorted, non-empty, pairwise disjoint,
+//!   and confined to `[0, horizon)`;
+//! * segments are *maximal* runs: two adjacent segments of one core never
+//!   touch with identical `(task, stalled)` state (the RLE merge is
+//!   exact, whether cycles were recorded one at a time or span-at-once);
+//! * together with their idle gaps the segments tile `[0, horizon)` —
+//!   checked exactly on an always-backlogged workload, where the tiling
+//!   has no gaps at all;
+//! * bus segments are serialized: sorted, exactly `d_mem` long, pairwise
+//!   disjoint, granted within the horizon.
+
+use cpa_model::{CacheBlockSet, CacheGeometry, CoreId, Platform, Priority, Task, TaskSet, Time};
+use cpa_sim::trace::ExecutionTrace;
+use cpa_sim::{BusArbitration, ReleaseModel, SimConfig, SimReport, Simulator};
+use cpa_workload::{GeneratorConfig, TaskSetGenerator};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn generated_system(seed: u64, util: f64) -> (Platform, TaskSet) {
+    let config = GeneratorConfig {
+        cores: 2,
+        tasks_per_core: 4,
+        ..GeneratorConfig::paper_default()
+    }
+    .with_per_core_utilization(util);
+    let platform = Platform::builder()
+        .cores(config.cores)
+        .cache(CacheGeometry::direct_mapped(config.cache_sets, 32))
+        .memory_latency(config.d_mem)
+        .build()
+        .expect("valid platform");
+    let generator = TaskSetGenerator::new(config).expect("valid config");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let tasks = generator.generate(&mut rng).expect("generation succeeds");
+    (platform, tasks)
+}
+
+/// Checks every structural invariant; returns the per-core covered cycle
+/// counts so callers can assert coverage expectations.
+fn check_trace(
+    trace: &ExecutionTrace,
+    cores: usize,
+    horizon: u64,
+    d_mem: u64,
+    tag: &str,
+) -> Vec<u64> {
+    let mut covered = vec![0u64; cores];
+    for (core, cover) in covered.iter_mut().enumerate() {
+        let segs: Vec<_> = trace.exec.iter().filter(|s| s.core == core).collect();
+        for pair in segs.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            assert!(
+                a.end <= b.start,
+                "{tag} core {core}: segments overlap or are unsorted: {a:?} then {b:?}"
+            );
+            assert!(
+                a.end < b.start || a.task != b.task || a.stalled != b.stalled,
+                "{tag} core {core}: touching segments with identical state \
+                 were not RLE-merged: {a:?} then {b:?}"
+            );
+        }
+        for seg in &segs {
+            assert!(
+                seg.start < seg.end,
+                "{tag} core {core}: empty segment {seg:?}"
+            );
+            assert!(
+                seg.end <= horizon,
+                "{tag} core {core}: segment past the horizon: {seg:?}"
+            );
+            *cover += seg.end - seg.start;
+        }
+    }
+    for pair in trace.bus.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        assert!(
+            a.end <= b.start,
+            "{tag}: bus transactions overlap or are unsorted: {a:?} then {b:?}"
+        );
+    }
+    for seg in &trace.bus {
+        assert_eq!(
+            seg.end - seg.start,
+            d_mem,
+            "{tag}: bus transaction is not d_mem long: {seg:?}"
+        );
+        assert!(
+            seg.start < horizon,
+            "{tag}: bus transaction granted past the horizon: {seg:?}"
+        );
+    }
+    covered
+}
+
+fn traced_report(
+    platform: &Platform,
+    tasks: &TaskSet,
+    config: SimConfig,
+    reference: bool,
+) -> SimReport {
+    let sim = Simulator::new(platform, tasks, config).expect("task set fits platform");
+    if reference {
+        sim.run_reference()
+    } else {
+        sim.run()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random campaign-band systems under every arbitration: the trace of
+    /// BOTH execution modes is well-formed, and both cover exactly the
+    /// same number of cycles per core.
+    #[test]
+    fn traces_are_wellformed_in_both_modes(
+        seed in 0u64..500,
+        util_permille in 100u64..800,
+        bus_index in 0usize..3,
+        horizon in 1u64..50_000,
+    ) {
+        let (platform, tasks) = generated_system(seed, util_permille as f64 / 1000.0);
+        let bus = [
+            BusArbitration::FixedPriority,
+            BusArbitration::RoundRobin { slots: 2 },
+            BusArbitration::Tdma { slots: 2 },
+        ][bus_index];
+        let config = SimConfig::new(bus)
+            .with_horizon(Time::from_cycles(horizon))
+            .with_trace();
+        let d_mem = platform.memory_latency().cycles();
+        let cores = platform.cores();
+
+        let fast = traced_report(&platform, &tasks, config, false);
+        let reference = traced_report(&platform, &tasks, config, true);
+        let fast_cover =
+            check_trace(fast.trace().expect("trace on"), cores, horizon, d_mem, "fast");
+        let ref_cover =
+            check_trace(reference.trace().expect("trace on"), cores, horizon, d_mem, "reference");
+        prop_assert_eq!(fast_cover, ref_cover);
+    }
+}
+
+/// On an always-backlogged core the tiling has no idle gaps: segments are
+/// back-to-back from 0 to the horizon in both modes.
+#[test]
+fn backlogged_core_trace_tiles_the_horizon_exactly() {
+    let platform = Platform::builder()
+        .cores(1)
+        .memory_latency(Time::from_cycles(5))
+        .build()
+        .expect("platform");
+    // Demand 40 + 10·5 = 90 per 50-cycle period: permanently overloaded,
+    // the core never idles once released.
+    let ecb = CacheBlockSet::contiguous(256, 0, 10);
+    let task = Task::builder("hog")
+        .processing_demand(Time::from_cycles(40))
+        .memory_demand(10)
+        .residual_memory_demand(10)
+        .period(Time::from_cycles(50))
+        .deadline(Time::from_cycles(50))
+        .core(CoreId::new(0))
+        .priority(Priority::new(1))
+        .ecb(ecb.clone())
+        .pcb(CacheBlockSet::contiguous(256, 0, 0))
+        .ucb(CacheBlockSet::contiguous(256, 0, 0))
+        .build()
+        .expect("task");
+    let tasks = TaskSet::new(vec![task]).expect("task set");
+    let horizon = 10_000u64;
+    let config = SimConfig::new(BusArbitration::FixedPriority)
+        .with_horizon(Time::from_cycles(horizon))
+        .with_releases(ReleaseModel::Synchronous)
+        .with_trace();
+    for reference in [false, true] {
+        let report = traced_report(&platform, &tasks, config, reference);
+        let trace = report.trace().expect("trace on");
+        let segs: Vec<_> = trace.exec.iter().filter(|s| s.core == 0).collect();
+        assert_eq!(segs.first().expect("nonempty").start, 0);
+        assert_eq!(segs.last().expect("nonempty").end, horizon);
+        for pair in segs.windows(2) {
+            assert_eq!(
+                pair[0].end, pair[1].start,
+                "mode reference={reference}: gap on a backlogged core: {:?} then {:?}",
+                pair[0], pair[1]
+            );
+        }
+    }
+}

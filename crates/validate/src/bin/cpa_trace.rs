@@ -7,7 +7,7 @@
 //!                   [--json]
 //! cpa-trace sim     [--seed S] [--cores N] [--tasks-per-core K] [--util U]
 //!                   [--bus fp|rr|tdma] [--slots K] [--horizon H]
-//!                   [--trace FILE] [--profile FILE] [--json]
+//!                   [--trace FILE] [--profile FILE] [--json] [--reference-sim]
 //! ```
 //!
 //! `analyze` generates one task set (paper-default profile with the given
@@ -16,7 +16,10 @@
 //! iteration counts, and the BAS/BAO/CPRO/CRPD decomposition of the bound
 //! at its fixed point, naming the dominant term. `sim` runs the
 //! cycle-accurate simulator on the same workload instead and reports the
-//! observed per-task statistics and bus occupancy.
+//! observed per-task statistics, bus occupancy, and an event-skip summary
+//! (spans executed, mean span length, fraction of the horizon jumped).
+//! `--reference-sim` drives the cycle-stepped reference loop instead of
+//! the event-skipping fast path (DESIGN.md §11).
 //!
 //! Both subcommands end with a self-profile: the span tree with wall-time
 //! aggregation, pretty-printed (or embedded in the `--json` document).
@@ -146,6 +149,50 @@ struct SimTaskRow {
     deadline_misses: u64,
 }
 
+/// Event-skip section of the `sim` report, from the `sim.*` counter
+/// deltas of this run (see `cpa_sim::Simulator::run`).
+#[derive(Serialize)]
+struct SkipStats {
+    spans: u64,
+    cycles_skipped: u64,
+    cycles_stepped: u64,
+    mean_span: f64,
+    skip_ratio: f64,
+}
+
+impl SkipStats {
+    /// Snapshot of the always-on simulator counters, for delta-ing around
+    /// one simulation run.
+    fn snapshot() -> [u64; 3] {
+        [
+            cpa_obs::counter("sim.skip_spans").get(),
+            cpa_obs::counter("sim.cycles_skipped").get(),
+            cpa_obs::counter("sim.cycles_stepped").get(),
+        ]
+    }
+
+    fn from_delta(before: [u64; 3], horizon: u64) -> SkipStats {
+        let after = SkipStats::snapshot();
+        let d = |i: usize| after[i].saturating_sub(before[i]);
+        let (spans, skipped, stepped) = (d(0), d(1), d(2));
+        SkipStats {
+            spans,
+            cycles_skipped: skipped,
+            cycles_stepped: stepped,
+            mean_span: if spans == 0 {
+                0.0
+            } else {
+                skipped as f64 / spans as f64
+            },
+            skip_ratio: if horizon == 0 {
+                0.0
+            } else {
+                skipped as f64 / horizon as f64
+            },
+        }
+    }
+}
+
 /// The `sim --json` report (profile spliced in separately).
 #[derive(Serialize)]
 struct SimDoc {
@@ -157,13 +204,15 @@ struct SimDoc {
     bus_transactions: u64,
     bus_busy_cycles: u64,
     bus_utilization: f64,
+    skip: SkipStats,
     tasks: Vec<SimTaskRow>,
 }
 
 const USAGE: &str = "usage: cpa-trace analyze [--seed S] [--cores N] [--tasks-per-core K] \
 [--util U] [--bus fp|rr|tdma|perfect] [--slots K] [--mode aware|oblivious] [--trace FILE] \
 [--profile FILE] [--json]\n       cpa-trace sim [--seed S] [--cores N] [--tasks-per-core K] \
-[--util U] [--bus fp|rr|tdma] [--slots K] [--horizon H] [--trace FILE] [--profile FILE] [--json]";
+[--util U] [--bus fp|rr|tdma] [--slots K] [--horizon H] [--trace FILE] [--profile FILE] [--json] \
+[--reference-sim]";
 
 /// Everything both subcommands share.
 struct TraceOptions {
@@ -178,6 +227,7 @@ struct TraceOptions {
     trace_path: Option<PathBuf>,
     profile_path: Option<PathBuf>,
     json: bool,
+    reference_sim: bool,
 }
 
 impl Default for TraceOptions {
@@ -194,6 +244,7 @@ impl Default for TraceOptions {
             trace_path: None,
             profile_path: None,
             json: false,
+            reference_sim: false,
         }
     }
 }
@@ -225,6 +276,7 @@ impl TraceOptions {
                         Some(args.value_for("--profile").map_err(|e| e.to_string())?);
                 }
                 "--json" => opts.json = true,
+                "--reference-sim" => opts.reference_sim = true,
                 "--help" | "-h" => return Err(args.help().to_string()),
                 other => return Err(args.unknown_flag(other).to_string()),
             }
@@ -455,9 +507,14 @@ fn sim_cmd(opts: &TraceOptions) -> Result<(), String> {
     let (gen_config, platform, tasks) = opts.workload()?;
     let horizon = horizon_for(&tasks, opts.horizon);
     let config = SimConfig::new(arbitration_of(bus)).with_horizon(horizon);
-    let report = Simulator::new(&platform, &tasks, config)
-        .map_err(|e| e.to_string())?
-        .run();
+    let sim = Simulator::new(&platform, &tasks, config).map_err(|e| e.to_string())?;
+    let counters_before = SkipStats::snapshot();
+    let report = if opts.reference_sim {
+        sim.run_reference()
+    } else {
+        sim.run()
+    };
+    let skip = SkipStats::from_delta(counters_before, report.horizon.cycles());
 
     write_sinks(opts)?;
     let profile = cpa_obs::profile_snapshot();
@@ -472,6 +529,7 @@ fn sim_cmd(opts: &TraceOptions) -> Result<(), String> {
             bus_transactions: report.bus_transactions,
             bus_busy_cycles: report.bus_busy_cycles,
             bus_utilization: report.bus_utilization(),
+            skip,
             tasks: task_sim_rows(&tasks, &report),
         };
         println!("{}", with_profile(&doc, &profile)?);
@@ -480,9 +538,22 @@ fn sim_cmd(opts: &TraceOptions) -> Result<(), String> {
 
     println!("{}", opts.describe(&gen_config));
     println!(
-        "simulation: bus {}, horizon {} cycles",
+        "simulation: bus {}, horizon {} cycles{}",
         bus.label(),
-        report.horizon.cycles()
+        report.horizon.cycles(),
+        if opts.reference_sim {
+            " (cycle-stepped reference)"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "event-skip: {} spans jumped {} cycles (mean span {:.1}), {} stepped ({:.1}% of the horizon skipped)",
+        skip.spans,
+        skip.cycles_skipped,
+        skip.mean_span,
+        skip.cycles_stepped,
+        skip.skip_ratio * 100.0,
     );
     println!();
     println!(

@@ -4,7 +4,7 @@
 //! cpa-validate run [--sets N] [--seed S] [--threads T] [--slots K] [--quick]
 //!                  [--inject none|soundness|dominance] [--report FILE]
 //!                  [--repro-dir DIR] [--max-shrinks M] [--no-progress]
-//!                  [--trace FILE] [--metrics FILE]
+//!                  [--trace FILE] [--metrics FILE] [--reference-sim]
 //! cpa-validate replay FILE...
 //! ```
 //!
@@ -19,6 +19,11 @@
 //! `--threads`). `--metrics FILE` enables timing collection only and
 //! writes a JSON document with counters, histograms, and the span-tree
 //! self-profile.
+//!
+//! `--reference-sim` drives the cycle-stepped reference simulator loop
+//! instead of the default event-skipping fast path. The two are pinned
+//! byte-identical (DESIGN.md §11), so the campaign verdict is unchanged —
+//! the flag exists as a cross-check and for timing comparisons.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -29,7 +34,7 @@ use cpa_validate::{run_campaign, shrink_case, CampaignOptions, OracleKind, Repro
 
 const USAGE: &str = "usage: cpa-validate run [--sets N] [--seed S] [--threads T] [--slots K] \
 [--quick] [--inject none|soundness|dominance] [--report FILE] [--repro-dir DIR] \
-[--max-shrinks M] [--no-progress] [--trace FILE] [--metrics FILE]\n       \
+[--max-shrinks M] [--no-progress] [--trace FILE] [--metrics FILE] [--reference-sim]\n       \
 cpa-validate replay FILE...";
 
 fn main() -> ExitCode {
@@ -88,6 +93,7 @@ fn run_cmd(mut args: Args) -> ExitCode {
                 "--metrics" => {
                     metrics_path = Some(args.value_for("--metrics").map_err(|e| e.to_string())?);
                 }
+                "--reference-sim" => opts.reference_sim = true,
                 "--no-progress" => opts.progress = false,
                 "--help" | "-h" => return Err(args.help().to_string()),
                 other => return Err(args.unknown_flag(other).to_string()),

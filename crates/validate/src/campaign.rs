@@ -52,6 +52,9 @@ pub struct CampaignOptions {
     pub inject: Inject,
     /// Stream progress to stderr.
     pub progress: bool,
+    /// Drive the cycle-stepped reference simulator instead of the default
+    /// event-skipping fast path (`--reference-sim`).
+    pub reference_sim: bool,
 }
 
 impl Default for CampaignOptions {
@@ -64,6 +67,7 @@ impl Default for CampaignOptions {
             quick: false,
             inject: Inject::None,
             progress: false,
+            reference_sim: false,
         }
     }
 }
@@ -110,6 +114,13 @@ impl CampaignOptions {
         self
     }
 
+    /// Toggles the cycle-stepped reference simulator escape hatch.
+    #[must_use]
+    pub fn with_reference_sim(mut self, reference_sim: bool) -> Self {
+        self.reference_sim = reference_sim;
+        self
+    }
+
     /// Worker threads to use, resolving `0` to the available parallelism
     /// (capped at 8, matching the experiment runner).
     #[must_use]
@@ -131,6 +142,7 @@ impl CampaignOptions {
         };
         check.slots = self.slots;
         check.inject = self.inject;
+        check.reference_sim = self.reference_sim;
         check
     }
 }
@@ -282,6 +294,7 @@ pub fn run_campaign(opts: &CampaignOptions) -> CampaignOutcome {
             slots: opts.slots,
             quick: opts.quick,
             inject: opts.inject.label().to_string(),
+            reference_sim: opts.reference_sim,
         },
         stats,
         wall_clock_secs,
