@@ -14,6 +14,9 @@ cargo clippy -p cpa-analysis --all-targets -- -D warnings
 echo "==> cargo clippy -p cpa-sim --all-targets -- -D warnings (sim fast-path gate)"
 cargo clippy -p cpa-sim --all-targets -- -D warnings
 
+echo "==> cargo clippy -p cpa-pool --all-targets -- -D warnings (worker pool gate)"
+cargo clippy -p cpa-pool --all-targets -- -D warnings
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
@@ -30,9 +33,19 @@ echo "==> cpa-validate smoke campaign (100 sets, quick profile)"
 cargo run --release -p cpa-validate -- run --sets 100 --quick --no-progress \
   --metrics validate-metrics.json
 
-echo "==> cpa-trace smoke (analyze + sim)"
+echo "==> cpa-trace smoke (analyze + sim + sweep)"
 cargo run --release -p cpa-validate --bin cpa-trace -- analyze --seed 7 --json > /dev/null
 cargo run --release -p cpa-validate --bin cpa-trace -- sim --seed 7 --horizon 200000 > /dev/null
+cargo run --release -p cpa-validate --bin cpa-trace -- sweep --seed 7 --sets 16 --json > /dev/null
+
+echo "==> 1-vs-N worker determinism smoke (run_experiments fig2, byte-compared CSVs)"
+rm -rf ci-threads-1 ci-threads-4
+cargo run --release -p cpa-experiments --bin run_experiments -- \
+  --quick --threads 1 --out ci-threads-1 fig2 > /dev/null
+cargo run --release -p cpa-experiments --bin run_experiments -- \
+  --quick --threads 4 --out ci-threads-4 fig2 > /dev/null
+diff -r ci-threads-1 ci-threads-4
+rm -rf ci-threads-1 ci-threads-4
 
 echo "==> obs overhead guard (<2% on analysis_micro, emits BENCH_obs.json)"
 cargo run --release -p cpa-experiments --bin obs_overhead
@@ -42,5 +55,8 @@ cargo bench -p cpa-bench --bench analysis_engine
 
 echo "==> sim engine bench (>=5x on campaign mix, emits BENCH_sim.json)"
 cargo bench -p cpa-bench --bench sim_engine
+
+echo "==> sweep e2e bench (>=1.5x on fig2 FP panel, emits BENCH_e2e.json)"
+cargo bench -p cpa-bench --bench sweep_e2e
 
 echo "==> ci.sh: all green"

@@ -331,6 +331,20 @@ impl BaoMembers {
     pub fn is_empty(&self) -> bool {
         self.members.is_empty()
     }
+
+    /// Refills the records in place for a new `(context, level)` pair —
+    /// [`bao_members_on`] without the allocation, for member storage
+    /// recycled across analyses (see [`crate::AnalysisScratch`]).
+    pub fn refill_on(&mut self, ctx: &AnalysisContext<'_>, k: TaskId, on_core: &[TaskId]) {
+        self.members.clear();
+        self.split = 0;
+        for &l in on_core {
+            self.members.push(member_record(ctx, k, l));
+            if l.index() <= k.index() {
+                self.split = self.members.len();
+            }
+        }
+    }
 }
 
 /// One member's static record (see [`BaoMember`]).
@@ -521,6 +535,21 @@ impl BaoSegment {
             split: 0,
             capped: (0, 0),
         }
+    }
+
+    /// Returns the segment to its freshly-constructed state — empty span,
+    /// no terms — while keeping the term storage. Every subsequent lookup
+    /// misses until the first [`BaoSegment::refresh`], which is exactly
+    /// what a segment recycled onto a *different* task set needs: stale
+    /// terms must never be served, but their allocation is still good.
+    pub fn reset(&mut self) {
+        self.span = crate::curve::Span {
+            lo: Time::from_cycles(1),
+            hi: Time::ZERO,
+        };
+        self.terms.clear();
+        self.split = 0;
+        self.capped = (0, 0);
     }
 
     /// Rebuilds every term in place around window length `t`: one walk

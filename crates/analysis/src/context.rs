@@ -1,6 +1,6 @@
 //! Shared analysis context with precomputed CRPD/CPRO tables.
 
-use cpa_model::{ModelError, Platform, TaskId, TaskSet, Time};
+use cpa_model::{CacheBlockSet, ModelError, Platform, TaskId, TaskSet, Time};
 
 use crate::crpd::CrpdApproach;
 use crate::{cpro, crpd};
@@ -10,7 +10,14 @@ use crate::{cpro, crpd};
 ///
 /// Every bound in this crate is evaluated many times per WCRT fixed point,
 /// so the block-set intersections behind Eq. (2) and Eq. (14) are computed
-/// once here and then served as table lookups.
+/// once here and then served as table lookups. The tables are flat
+/// row-major `n × n` arrays filled by an incremental sweep (see
+/// [`fill_tables`]): evictor unions grow monotonically along the priority
+/// order, so each entry costs one word-parallel set operation instead of
+/// re-folding a union per pair — `O(n²)` set operations and a handful of
+/// allocations for the whole context, where the definitional per-pair
+/// evaluation (retained as [`AnalysisContext::with_crpd_approach_reference`]
+/// and differentially pinned in this module's tests) costs `O(n³)`.
 ///
 /// Construct with [`AnalysisContext::new`]; the context borrows the platform
 /// and task set, making it cheap to build one per (platform, task set) pair
@@ -19,13 +26,106 @@ use crate::{cpro, crpd};
 pub struct AnalysisContext<'a> {
     platform: &'a Platform,
     tasks: &'a TaskSet,
-    /// `gamma[i][j]` = `γ_{i,j}` (Eq. (2)), core taken from `τj`.
-    gamma: Vec<Vec<u64>>,
-    /// `cpro_overlap[p][w]` = per-job CPRO overlap of persistent task `p`
-    /// within the response window of task `w` (Eq. (14) without the
+    /// `gamma[i * n + j]` = `γ_{i,j}` (Eq. (2)), core taken from `τj`.
+    gamma: Vec<u64>,
+    /// `cpro_overlap[p * n + w]` = per-job CPRO overlap of persistent task
+    /// `p` within the response window of task `w` (Eq. (14) without the
     /// `(n−1)` factor).
-    cpro_overlap: Vec<Vec<u64>>,
+    cpro_overlap: Vec<u64>,
     crpd_approach: CrpdApproach,
+}
+
+/// Fills the flattened `γ` and CPRO-overlap tables with one incremental
+/// sweep per table (the fast path behind [`AnalysisContext::new`]).
+///
+/// Correctness rests on the priority-order monotonicity of the index
+/// algebra (task ids are priority order):
+///
+/// * For a fixed preemptor `j`, the ECB-union evictor set
+///   `∪_{h ∈ Γx ∩ hep(j)} ECB_h` depends only on `j` — and over ascending
+///   `j` it grows monotonically per core, so one running per-core union
+///   serves every `j`. The victim set `aff(i, j)` gains exactly index `i`
+///   as `i` ascends, so the `max` (ECB-union), the UCB union (UCB-union)
+///   and the "any victim" flag (ECB-only) all update incrementally.
+/// * For a fixed persistent task `p`, the CPRO evictor set
+///   `∪_{s ∈ Γx ∩ hep(w) \ {p}} ECB_s` gains exactly index `w` as the
+///   window task `w` ascends (skipping `s = p`), so one running union per
+///   `p` serves its whole row.
+fn fill_tables(tasks: &TaskSet, approach: CrpdApproach, gamma: &mut [u64], overlap: &mut [u64]) {
+    let n = tasks.len();
+    let cache_sets = tasks.cache_sets();
+    let num_cores = tasks
+        .iter()
+        .map(|t| t.core().index())
+        .max()
+        .map_or(0, |c| c + 1);
+
+    // γ table, one column (fixed preemptor j) at a time.
+    match approach {
+        CrpdApproach::EcbUnion => {
+            let mut ecb_acc: Vec<CacheBlockSet> = (0..num_cores)
+                .map(|_| CacheBlockSet::new(cache_sets))
+                .collect();
+            for j in tasks.ids() {
+                let core = tasks[j].core();
+                let acc = &mut ecb_acc[core.index()];
+                acc.union_in_place(tasks[j].ecb());
+                let mut max = 0u64;
+                for i in tasks.lp(j) {
+                    if tasks[i].core() == core {
+                        max = max.max(tasks[i].ucb().intersection_len(acc) as u64);
+                    }
+                    gamma[i.index() * n + j.index()] = max;
+                }
+            }
+        }
+        CrpdApproach::UcbUnion => {
+            let mut ucb_acc = CacheBlockSet::new(cache_sets);
+            for j in tasks.ids() {
+                let core = tasks[j].core();
+                let ecb_j = tasks[j].ecb();
+                ucb_acc.clear();
+                let mut last = 0u64;
+                for i in tasks.lp(j) {
+                    if tasks[i].core() == core {
+                        ucb_acc.union_in_place(tasks[i].ucb());
+                        last = ucb_acc.intersection_len(ecb_j) as u64;
+                    }
+                    gamma[i.index() * n + j.index()] = last;
+                }
+            }
+        }
+        CrpdApproach::EcbOnly => {
+            for j in tasks.ids() {
+                let core = tasks[j].core();
+                let len = tasks[j].ecb().len() as u64;
+                let mut any_victim = false;
+                for i in tasks.lp(j) {
+                    any_victim |= tasks[i].core() == core;
+                    gamma[i.index() * n + j.index()] = if any_victim { len } else { 0 };
+                }
+            }
+        }
+    }
+
+    // CPRO-overlap table, one row (fixed persistent task p) at a time.
+    let mut evictors = CacheBlockSet::new(cache_sets);
+    for p in tasks.ids() {
+        let pcb = tasks[p].pcb();
+        if pcb.is_empty() {
+            continue; // row stays all-zero: nothing persistent to evict
+        }
+        let core = tasks[p].core();
+        evictors.clear();
+        let mut last = 0u64;
+        for w in tasks.ids() {
+            if w != p && tasks[w].core() == core {
+                evictors.union_in_place(tasks[w].ecb());
+                last = pcb.intersection_len(&evictors) as u64;
+            }
+            overlap[p.index() * n + w.index()] = last;
+        }
+    }
 }
 
 impl<'a> AnalysisContext<'a> {
@@ -53,12 +153,40 @@ impl<'a> AnalysisContext<'a> {
     ) -> Result<Self, ModelError> {
         tasks.validate_against(platform)?;
         let n = tasks.len();
-        let mut gamma = vec![vec![0u64; n]; n];
-        let mut cpro_overlap = vec![vec![0u64; n]; n];
+        let mut gamma = vec![0u64; n * n];
+        let mut cpro_overlap = vec![0u64; n * n];
+        fill_tables(tasks, approach, &mut gamma, &mut cpro_overlap);
+        Ok(AnalysisContext {
+            platform,
+            tasks,
+            gamma,
+            cpro_overlap,
+            crpd_approach: approach,
+        })
+    }
+
+    /// [`AnalysisContext::with_crpd_approach`] with the tables evaluated
+    /// entry by entry from the definitional [`crpd::gamma_with`] /
+    /// [`cpro::cpro_overlap`] — the `O(n³)` baseline the incremental
+    /// [`fill_tables`] sweep is differentially pinned against (and the
+    /// "current main" leg of the `sweep_e2e` bench).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TaskSet::validate_against`] errors.
+    pub fn with_crpd_approach_reference(
+        platform: &'a Platform,
+        tasks: &'a TaskSet,
+        approach: CrpdApproach,
+    ) -> Result<Self, ModelError> {
+        tasks.validate_against(platform)?;
+        let n = tasks.len();
+        let mut gamma = vec![0u64; n * n];
+        let mut cpro_overlap = vec![0u64; n * n];
         for i in tasks.ids() {
             for j in tasks.ids() {
-                gamma[i.index()][j.index()] = crpd::gamma_with(tasks, i, j, approach);
-                cpro_overlap[i.index()][j.index()] = cpro::cpro_overlap(tasks, i, j);
+                gamma[i.index() * n + j.index()] = crpd::gamma_with(tasks, i, j, approach);
+                cpro_overlap[i.index() * n + j.index()] = cpro::cpro_overlap(tasks, i, j);
             }
         }
         Ok(AnalysisContext {
@@ -98,14 +226,14 @@ impl<'a> AnalysisContext<'a> {
     /// response time (Eq. (2)); zero unless `τj` has higher priority.
     #[must_use]
     pub fn gamma(&self, i: TaskId, j: TaskId) -> u64 {
-        self.gamma[i.index()][j.index()]
+        self.gamma[i.index() * self.tasks.len() + j.index()]
     }
 
     /// Per-job CPRO overlap of `persistent` within the response window of
     /// `window` (the set-intersection factor of Eq. (14)).
     #[must_use]
     pub fn cpro_overlap(&self, persistent: TaskId, window: TaskId) -> u64 {
-        self.cpro_overlap[persistent.index()][window.index()]
+        self.cpro_overlap[persistent.index() * self.tasks.len() + window.index()]
     }
 
     /// `ρ̂(n)` for `persistent` within `window`'s response time (Eq. (14)).
@@ -201,5 +329,57 @@ mod tests {
             .build()
             .unwrap();
         assert!(AnalysisContext::new(&too_small, &tasks).is_err());
+    }
+
+    #[test]
+    fn incremental_fill_matches_reference_on_fig1() {
+        let (platform, tasks) = fig1();
+        for approach in [
+            CrpdApproach::EcbUnion,
+            CrpdApproach::UcbUnion,
+            CrpdApproach::EcbOnly,
+        ] {
+            let fast = AnalysisContext::with_crpd_approach(&platform, &tasks, approach).unwrap();
+            let reference =
+                AnalysisContext::with_crpd_approach_reference(&platform, &tasks, approach).unwrap();
+            assert_eq!(fast.gamma, reference.gamma, "{approach:?}");
+            assert_eq!(fast.cpro_overlap, reference.cpro_overlap, "{approach:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_fill_matches_reference_on_generated_sets() {
+        use cpa_workload::{GeneratorConfig, TaskSetGenerator};
+        use rand::SeedableRng;
+        use rand_chacha::ChaCha8Rng;
+
+        for (seed, util) in [(11u64, 0.3), (12, 0.6), (13, 0.9)] {
+            let gen = GeneratorConfig::paper_default().with_per_core_utilization(util);
+            let generator = TaskSetGenerator::new(gen.clone()).unwrap();
+            let platform = Platform::builder()
+                .cores(gen.cores)
+                .cache(cpa_model::CacheGeometry::direct_mapped(gen.cache_sets, 32))
+                .memory_latency(gen.d_mem)
+                .build()
+                .unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let tasks = generator.generate(&mut rng).unwrap();
+            for approach in [
+                CrpdApproach::EcbUnion,
+                CrpdApproach::UcbUnion,
+                CrpdApproach::EcbOnly,
+            ] {
+                let fast =
+                    AnalysisContext::with_crpd_approach(&platform, &tasks, approach).unwrap();
+                let reference =
+                    AnalysisContext::with_crpd_approach_reference(&platform, &tasks, approach)
+                        .unwrap();
+                assert_eq!(fast.gamma, reference.gamma, "seed {seed} {approach:?}");
+                assert_eq!(
+                    fast.cpro_overlap, reference.cpro_overlap,
+                    "seed {seed} {approach:?}"
+                );
+            }
+        }
     }
 }

@@ -37,18 +37,24 @@
 //!    nothing at all. Skipped tasks are provably no-ops: their inputs are
 //!    unchanged, so the reference sweep would return the same bound.
 //!
+//! All of the engine's working storage lives in an [`AnalysisScratch`]
+//! that survives across runs: a sweep worker allocates one scratch and
+//! pays for its vectors once, then every further [`crate::analyze_with`]
+//! call merely *resets* them (curve caches emptied, buffers refilled in
+//! place). [`crate::analyze`] is the one-shot form with a fresh scratch.
+//!
 //! Cache effectiveness is observable through the always-on counters
 //! `engine.curve_hit` / `engine.curve_miss` / `engine.tasks_solved` /
-//! `engine.tasks_skipped`, the per-round `engine.worklist` event and the
-//! `engine.worklist_depth` histogram (`cpa-trace analyze` reports all of
-//! them).
+//! `engine.tasks_skipped` / `engine.scratch_reuses`, the per-round
+//! `engine.worklist` event and the `engine.worklist_depth` histogram
+//! (`cpa-trace analyze` reports all of them).
 
 use core::fmt;
 
 use cpa_model::{CoreId, TaskId, Time};
 
 use crate::arbiter::{arbiter_for, BaoSource, BusArbiter};
-use crate::bao::{self, BaoMembers, BaoSegment, CarryOut, PriorityBand};
+use crate::bao::{BaoMembers, BaoSegment, CarryOut, PriorityBand};
 use crate::curve::StepCurve;
 use crate::wcrt::{self, AnalysisResult};
 use crate::{bas, AnalysisConfig, AnalysisContext, PersistenceMode};
@@ -63,12 +69,27 @@ use crate::{bas, AnalysisConfig, AnalysisContext, PersistenceMode};
 #[derive(Debug, Clone, Default)]
 struct BaoSlot {
     /// Window- and response-independent member records, filled on first
-    /// touch and kept for the whole run.
-    members: Option<BaoMembers>,
+    /// touch and kept for the whole run. Context-dependent, hence
+    /// refilled (in place) on the first touch of every run.
+    members: BaoMembers,
+    /// Whether `members` holds the current run's records.
+    filled: bool,
     /// The most recently built segment for this key.
     seg: BaoSegment,
     /// Core version [`BaoSlot::seg`] was last refreshed against.
     stamp: u64,
+}
+
+impl BaoSlot {
+    /// Prepares the slot for a run on a (potentially) different task set:
+    /// members marked stale, segment emptied — storage kept. A reset
+    /// slot can never serve stale data: the emptied segment span contains
+    /// no window, so the first lookup always misses and refills.
+    fn reset(&mut self) {
+        self.filled = false;
+        self.seg.reset();
+        self.stamp = 0;
+    }
 }
 
 /// [`BaoSource`] backed by the engine's segment cache; falls back to one
@@ -79,7 +100,7 @@ struct CachedBao<'e, 'ctx, 'a> {
     core_version: &'e [u64],
     slots: &'e mut [BaoSlot],
     /// Per-core task ids in id order (the fast path of
-    /// [`bao::bao_members_on`]).
+    /// [`crate::bao::bao_members_on`]).
     on_core: &'e [Vec<TaskId>],
     hits: &'e mut u64,
     misses: &'e mut u64,
@@ -104,10 +125,13 @@ impl CachedBao<'_, '_, '_> {
             return slot.seg.eval(t, d_mem, carry);
         }
         *self.misses += 1;
-        let members = slot
-            .members
-            .get_or_insert_with(|| bao::bao_members_on(ctx, level, &self.on_core[core.index()]));
-        slot.seg.refresh(members, t, self.resp, d_mem, self.mode);
+        if !slot.filled {
+            slot.members
+                .refill_on(ctx, level, &self.on_core[core.index()]);
+            slot.filled = true;
+        }
+        slot.seg
+            .refresh(&slot.members, t, self.resp, d_mem, self.mode);
         slot.stamp = version;
         slot.seg.eval(t, d_mem, carry)
     }
@@ -134,25 +158,37 @@ impl BaoSource for CachedBao<'_, '_, '_> {
     }
 }
 
-/// The memoized, worklist-driven WCRT analysis (see the module docs).
+/// Reusable working storage for [`AnalysisEngine`] runs: response-time
+/// estimates, curve caches, worklist state, per-core index structures.
 ///
-/// Build one per `(task set, configuration)` evaluation with
-/// [`AnalysisEngine::new`] and consume it with [`AnalysisEngine::run`];
-/// [`crate::analyze`] does exactly that.
-pub struct AnalysisEngine<'e, 'a> {
-    ctx: &'e AnalysisContext<'a>,
-    config: &'e AnalysisConfig,
-    arbiter: Box<dyn BusArbiter>,
+/// Allocate one per worker ([`AnalysisScratch::new`]) and pass it to
+/// every [`crate::analyze_with`] call: each run resets the buffers in
+/// place — curve caches emptied, index lists refilled — so steady-state
+/// analysis performs no per-run heap allocation for its working state
+/// (the returned [`AnalysisResult`] still owns its two output vectors).
+/// Buffers only ever grow, to the largest `(tasks × cores)` seen.
+///
+/// A scratch carries no semantic state between runs: results are
+/// byte-identical to a fresh scratch (the `engine_equivalence` suite and
+/// the scratch-reuse test below pin this), so sharing one scratch across
+/// heterogeneous task sets and configurations is always safe — just not
+/// across threads (`&mut` per run).
+#[derive(Debug, Default)]
+pub struct AnalysisScratch {
     /// Current response-time estimates, updated in task-id order within a
     /// round (Gauss–Seidel, exactly like the reference sweep).
     resp: Vec<Time>,
+    /// The initial estimates `R_i = PD_i + MD_i · d_mem`, the floor every
+    /// inner solve restarts from.
+    init: Vec<Time>,
     /// Per-core version counters; bumped whenever a response time on the
     /// core changes, lazily invalidating that core's `BAO` curves.
     core_version: Vec<u64>,
     /// Per-task same-core curves caching the
     /// `(interference cycles, BAS_i(t))` pair — both constant between the
-    /// task's own higher-priority releases, so they share one segment grid.
-    /// Never invalidated: independent of the response-time estimates.
+    /// task's own higher-priority releases, so they share one segment
+    /// grid. Never invalidated within a run: independent of the
+    /// response-time estimates.
     same_core: Vec<StepCurve<(u64, u64)>>,
     /// `BAO` curves, flat-indexed by `(level, core)` — one segment serves
     /// both priority bands and both carry-out modes.
@@ -165,6 +201,88 @@ pub struct AnalysisEngine<'e, 'a> {
     /// `τi`'s position in its core's `on_core` list — the id list of its
     /// same-core higher-priority tasks is the prefix of that length.
     hp_prefix: Vec<usize>,
+    /// Outer-worklist dirty flags.
+    dirty: Vec<bool>,
+    /// Runs this scratch has served (drives `engine.scratch_reuses`).
+    uses: u64,
+}
+
+impl AnalysisScratch {
+    /// An empty scratch; buffers are sized on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        AnalysisScratch::default()
+    }
+
+    /// Resets every buffer for a run on `ctx` under an arbiter that does
+    /// (or does not) charge blocking — clears and refills in place,
+    /// growing only beyond the largest problem seen so far.
+    fn reset(&mut self, ctx: &AnalysisContext<'_>, charges_blocking: bool) {
+        if self.uses > 0 {
+            cpa_obs::counter("engine.scratch_reuses").incr();
+        }
+        self.uses += 1;
+
+        let tasks = ctx.tasks();
+        let n = tasks.len();
+        let cores = ctx.platform().cores();
+
+        wcrt::fill_initial_estimates(ctx, &mut self.resp);
+        self.init.clear();
+        self.init.extend_from_slice(&self.resp);
+
+        self.core_version.clear();
+        self.core_version.resize(cores, 0);
+
+        if self.same_core.len() < n {
+            self.same_core.resize_with(n, StepCurve::new);
+        }
+        for curve in &mut self.same_core[..n] {
+            curve.clear();
+        }
+
+        let slots = n * cores;
+        if self.bao_slots.len() < slots {
+            self.bao_slots.resize_with(slots, BaoSlot::default);
+        }
+        for slot in &mut self.bao_slots[..slots] {
+            slot.reset();
+        }
+
+        self.blocking.clear();
+        self.blocking.extend(tasks.ids().map(|i| {
+            u64::from(charges_blocking && tasks.lp_on(i, tasks[i].core()).next().is_some())
+        }));
+
+        if self.on_core.len() < cores {
+            self.on_core.resize_with(cores, Vec::new);
+        }
+        for list in &mut self.on_core[..cores] {
+            list.clear();
+        }
+        self.hp_prefix.clear();
+        for i in tasks.ids() {
+            let list = &mut self.on_core[tasks[i].core().index()];
+            self.hp_prefix.push(list.len());
+            list.push(i);
+        }
+
+        self.dirty.clear();
+        self.dirty.resize(n, true);
+    }
+}
+
+/// The memoized, worklist-driven WCRT analysis (see the module docs).
+///
+/// Build one per `(task set, configuration)` evaluation with
+/// [`AnalysisEngine::new`] — borrowing a (possibly recycled)
+/// [`AnalysisScratch`] — and consume it with [`AnalysisEngine::run`];
+/// [`crate::analyze`] and [`crate::analyze_with`] do exactly that.
+pub struct AnalysisEngine<'e, 'a> {
+    ctx: &'e AnalysisContext<'a>,
+    config: &'e AnalysisConfig,
+    arbiter: Box<dyn BusArbiter>,
+    scratch: &'e mut AnalysisScratch,
     cores: usize,
     same_core_hits: u64,
     same_core_misses: u64,
@@ -179,44 +297,29 @@ impl fmt::Debug for AnalysisEngine<'_, '_> {
         f.debug_struct("AnalysisEngine")
             .field("bus", &self.arbiter.policy())
             .field("persistence", &self.config.persistence)
-            .field("tasks", &self.resp.len())
+            .field("tasks", &self.ctx.tasks().len())
             .field("cores", &self.cores)
             .finish_non_exhaustive()
     }
 }
 
 impl<'e, 'a> AnalysisEngine<'e, 'a> {
-    /// Prepares an engine run: builds the arbiter, the initial estimates
-    /// `R_i = PD_i + MD_i · d_mem` and the (empty) curve caches.
+    /// Prepares an engine run: builds the arbiter, resets `scratch` and
+    /// fills the initial estimates `R_i = PD_i + MD_i · d_mem`.
     #[must_use]
-    pub fn new(ctx: &'e AnalysisContext<'a>, config: &'e AnalysisConfig) -> Self {
-        let tasks = ctx.tasks();
-        let n = tasks.len();
+    pub fn new(
+        ctx: &'e AnalysisContext<'a>,
+        config: &'e AnalysisConfig,
+        scratch: &'e mut AnalysisScratch,
+    ) -> Self {
         let cores = ctx.platform().cores();
         let arbiter = arbiter_for(config.bus);
-        let charges = arbiter.charges_blocking();
-        let blocking = tasks
-            .ids()
-            .map(|i| u64::from(charges && tasks.lp_on(i, tasks[i].core()).next().is_some()))
-            .collect();
-        let mut on_core: Vec<Vec<TaskId>> = vec![Vec::new(); cores];
-        let mut hp_prefix = Vec::with_capacity(n);
-        for i in tasks.ids() {
-            let list = &mut on_core[tasks[i].core().index()];
-            hp_prefix.push(list.len());
-            list.push(i);
-        }
+        scratch.reset(ctx, arbiter.charges_blocking());
         AnalysisEngine {
             ctx,
             config,
             arbiter,
-            resp: wcrt::initial_estimates(ctx),
-            core_version: vec![0; cores],
-            same_core: vec![StepCurve::new(); n],
-            bao_slots: vec![BaoSlot::default(); n * cores],
-            blocking,
-            on_core,
-            hp_prefix,
+            scratch,
             cores,
             same_core_hits: 0,
             same_core_misses: 0,
@@ -236,21 +339,22 @@ impl<'e, 'a> AnalysisEngine<'e, 'a> {
         let task = &tasks[i];
         let mode = self.config.persistence;
         let idx = i.index();
+        let scratch = &mut *self.scratch;
 
         // Same-core terms: interference (cycles) and BAS share one
         // constancy span — every release count E_j is constant on it — so
         // the pair lives in a single curve: one lookup, one span, one
         // insert.
-        let (interference, own) = match self.same_core[idx].lookup(r) {
+        let (interference, own) = match scratch.same_core[idx].lookup(r) {
             Some((intf, own)) => {
                 self.same_core_hits += 1;
                 (Time::from_cycles(intf), own)
             }
             None => {
                 self.same_core_misses += 1;
-                let hp = &self.on_core[task.core().index()][..self.hp_prefix[idx]];
+                let hp = &scratch.on_core[task.core().index()][..scratch.hp_prefix[idx]];
                 let (s, intf, own) = bas::same_core_terms(ctx, i, r, mode, hp);
-                self.same_core[idx].insert(r, s, (intf.cycles(), own));
+                scratch.same_core[idx].insert(r, s, (intf.cycles(), own));
                 (intf, own)
             }
         };
@@ -259,10 +363,10 @@ impl<'e, 'a> AnalysisEngine<'e, 'a> {
         let arb = &*self.arbiter;
         let mut src = CachedBao {
             ctx,
-            resp: &self.resp,
-            core_version: &self.core_version,
-            slots: &mut self.bao_slots,
-            on_core: &self.on_core,
+            resp: &scratch.resp,
+            core_version: &scratch.core_version,
+            slots: &mut scratch.bao_slots,
+            on_core: &scratch.on_core,
             hits: &mut self.bao_hits,
             misses: &mut self.bao_misses,
             mode,
@@ -270,7 +374,9 @@ impl<'e, 'a> AnalysisEngine<'e, 'a> {
         };
         let cross = arb.cross_core(ctx, &mut src, i, r, own, carry);
 
-        let bus_accesses = own.saturating_add(cross).saturating_add(self.blocking[idx]);
+        let bus_accesses = own
+            .saturating_add(cross)
+            .saturating_add(scratch.blocking[idx]);
         task.processing_demand()
             .saturating_add(interference)
             .saturating_add(ctx.d_mem().saturating_mul(bus_accesses))
@@ -291,7 +397,8 @@ impl<'e, 'a> AnalysisEngine<'e, 'a> {
     }
 
     /// Runs the analysis to its fixed point (or deadline miss / outer
-    /// cap). Consumes the engine: curves are only valid for one run.
+    /// cap). Consumes the engine: the borrowed scratch's curves are only
+    /// valid for one run (the next [`AnalysisEngine::new`] resets them).
     #[must_use]
     pub fn run(mut self) -> AnalysisResult {
         let _span = cpa_obs::span!("wcrt.analyze");
@@ -302,22 +409,21 @@ impl<'e, 'a> AnalysisEngine<'e, 'a> {
         let tasks = ctx.tasks();
         let n = tasks.len();
         let consumes_remote = self.arbiter.consumes_remote_response_times();
-        let init = self.resp.clone();
+        // Owned by the eventual AnalysisResult, so allocated per run.
         let mut inner_iterations = vec![0u64; n];
-        let mut dirty = vec![true; n];
 
         for round in 1..=self.config.max_outer_iterations {
             let mut processed = 0usize;
             let mut changed_tasks = 0usize;
             for i in tasks.ids() {
-                if !dirty[i.index()] {
+                if !self.scratch.dirty[i.index()] {
                     self.tasks_skipped += 1;
                     continue;
                 }
-                dirty[i.index()] = false;
+                self.scratch.dirty[i.index()] = false;
                 processed += 1;
                 self.tasks_solved += 1;
-                let start = self.resp[i.index()].max(init[i.index()]);
+                let start = self.scratch.resp[i.index()].max(self.scratch.init[i.index()]);
                 let max_inner = self.config.max_inner_iterations;
                 let solve = wcrt::solve_inner(tasks[i].deadline(), start, max_inner, |r, carry| {
                     self.rhs(i, r, carry)
@@ -336,6 +442,7 @@ impl<'e, 'a> AnalysisEngine<'e, 'a> {
                         // failing task explicitly marked unbounded —
                         // the same partial snapshot the reference takes.
                         let response_times = self
+                            .scratch
                             .resp
                             .iter()
                             .zip(tasks.iter())
@@ -353,7 +460,7 @@ impl<'e, 'a> AnalysisEngine<'e, 'a> {
                         });
                     }
                 };
-                if r > self.resp[i.index()] {
+                if r > self.scratch.resp[i.index()] {
                     cpa_obs::event!(
                         "wcrt.estimate",
                         task = i.index(),
@@ -361,17 +468,17 @@ impl<'e, 'a> AnalysisEngine<'e, 'a> {
                         inner = solve.iterations,
                         estimate = r.cycles(),
                     );
-                    self.resp[i.index()] = r;
+                    self.scratch.resp[i.index()] = r;
                     changed_tasks += 1;
                     // τi's estimate is read (through BAO) only by tasks on
                     // other cores — and only under arbiters that consume
                     // remote response times at all.
                     let core = tasks[i].core();
-                    self.core_version[core.index()] += 1;
+                    self.scratch.core_version[core.index()] += 1;
                     if consumes_remote {
                         for j in tasks.ids() {
                             if tasks[j].core() != core {
-                                dirty[j.index()] = true;
+                                self.scratch.dirty[j.index()] = true;
                             }
                         }
                     }
@@ -389,8 +496,13 @@ impl<'e, 'a> AnalysisEngine<'e, 'a> {
                 // Converged. An empty round (depth 0) corresponds to the
                 // reference's final zero-change sweep, so round numbers —
                 // and therefore `outer_iterations` — line up exactly.
-                wcrt::emit_converged_events(ctx, self.config, &self.resp, &inner_iterations);
-                let response_times = self.resp.iter().map(|&r| Some(r)).collect();
+                wcrt::emit_converged_events(
+                    ctx,
+                    self.config,
+                    &self.scratch.resp,
+                    &inner_iterations,
+                );
+                let response_times = self.scratch.resp.iter().map(|&r| Some(r)).collect();
                 return self.finish(AnalysisResult {
                     response_times,
                     schedulable: true,
@@ -423,7 +535,7 @@ impl<'e, 'a> AnalysisEngine<'e, 'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{analyze, analyze_reference, BusPolicy};
+    use crate::{analyze, analyze_reference, analyze_with, BusPolicy};
     use cpa_model::{CacheBlockSet, Platform, Priority, Task, TaskSet};
 
     fn task(name: &str, prio: u32, core: usize, pd: u64, md: u64, md_r: u64, period: u64) -> Task {
@@ -480,6 +592,64 @@ mod tests {
                 assert_eq!(engine.outer_iterations(), reference.outer_iterations());
             }
         }
+    }
+
+    #[test]
+    fn recycled_scratch_matches_fresh_scratch() {
+        // One scratch serving every (bus, mode) combination back to back —
+        // including across a *different* task set in between — must
+        // reproduce the fresh-scratch results exactly.
+        let (platform, tasks) = two_core_set();
+        let ctx = AnalysisContext::new(&platform, &tasks).unwrap();
+        let small_platform = Platform::builder()
+            .cores(1)
+            .memory_latency(Time::from_cycles(5))
+            .build()
+            .unwrap();
+        let small_tasks = TaskSet::new(vec![task("only", 1, 0, 50, 4, 1, 1_000)]).unwrap();
+        let small_ctx = AnalysisContext::new(&small_platform, &small_tasks).unwrap();
+
+        let mut scratch = AnalysisScratch::new();
+        for bus in [
+            BusPolicy::FixedPriority,
+            BusPolicy::RoundRobin { slots: 2 },
+            BusPolicy::Tdma { slots: 2 },
+            BusPolicy::Perfect,
+        ] {
+            for mode in [PersistenceMode::Oblivious, PersistenceMode::Aware] {
+                let config = AnalysisConfig::new(bus, mode);
+                // Poison the scratch with a run on an unrelated problem
+                // before every measured run: reuse must erase all of it.
+                let _ = analyze_with(&small_ctx, &config, &mut scratch);
+                let recycled = analyze_with(&ctx, &config, &mut scratch);
+                let fresh = analyze(&ctx, &config);
+                assert_eq!(
+                    recycled.response_times(),
+                    fresh.response_times(),
+                    "{bus:?} {mode:?}"
+                );
+                assert_eq!(recycled.is_schedulable(), fresh.is_schedulable());
+                assert_eq!(recycled.outer_iterations(), fresh.outer_iterations());
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_counted() {
+        let (platform, tasks) = two_core_set();
+        let ctx = AnalysisContext::new(&platform, &tasks).unwrap();
+        let config = AnalysisConfig::new(BusPolicy::FixedPriority, PersistenceMode::Aware);
+        let reuses = cpa_obs::counter("engine.scratch_reuses");
+        let before = reuses.get();
+        let mut scratch = AnalysisScratch::new();
+        let _ = analyze_with(&ctx, &config, &mut scratch);
+        let _ = analyze_with(&ctx, &config, &mut scratch);
+        let _ = analyze_with(&ctx, &config, &mut scratch);
+        assert_eq!(
+            reuses.get() - before,
+            2,
+            "first run is a fill, the next two are reuses"
+        );
     }
 
     #[test]

@@ -105,5 +105,6 @@ pub use config::{AnalysisConfig, BusPolicy, PersistenceMode};
 pub use context::AnalysisContext;
 pub use crpd::CrpdApproach;
 pub use diagnose::{decompose, DominantTerm, TermDecomposition};
+pub use engine::AnalysisScratch;
 pub use sched::{weighted_schedulability, WeightedAccumulator};
-pub use wcrt::{analyze, analyze_reference, explain, AnalysisResult, WcrtBreakdown};
+pub use wcrt::{analyze, analyze_reference, analyze_with, explain, AnalysisResult, WcrtBreakdown};

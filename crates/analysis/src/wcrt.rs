@@ -101,7 +101,20 @@ impl AnalysisResult {
 /// point.
 #[must_use]
 pub fn analyze(ctx: &AnalysisContext<'_>, config: &AnalysisConfig) -> AnalysisResult {
-    crate::engine::AnalysisEngine::new(ctx, config).run()
+    analyze_with(ctx, config, &mut crate::engine::AnalysisScratch::new())
+}
+
+/// [`analyze`] with caller-provided working storage: sweep workers keep
+/// one [`crate::engine::AnalysisScratch`] per thread and reuse it across
+/// thousands of calls, so the engine's vectors are reset in place instead
+/// of reallocated per task set. Results are byte-identical to [`analyze`].
+#[must_use]
+pub fn analyze_with(
+    ctx: &AnalysisContext<'_>,
+    config: &AnalysisConfig,
+    scratch: &mut crate::engine::AnalysisScratch,
+) -> AnalysisResult {
+    crate::engine::AnalysisEngine::new(ctx, config, scratch).run()
 }
 
 /// The perfect-bus residual bus-utilization gate shared by [`analyze`] and
@@ -148,14 +161,19 @@ pub(crate) fn perfect_bus_check(
 /// Initial estimates `R_i = PD_i + MD_i · d_mem` (§IV), the floor every
 /// monotone outer iteration starts from.
 pub(crate) fn initial_estimates(ctx: &AnalysisContext<'_>) -> Vec<Time> {
+    let mut out = Vec::new();
+    fill_initial_estimates(ctx, &mut out);
+    out
+}
+
+/// [`initial_estimates`] into a recycled buffer (the engine-scratch path).
+pub(crate) fn fill_initial_estimates(ctx: &AnalysisContext<'_>, out: &mut Vec<Time>) {
     let d_mem = ctx.d_mem();
-    ctx.tasks()
-        .iter()
-        .map(|t| {
-            t.processing_demand()
-                .saturating_add(d_mem.saturating_mul(t.memory_demand()))
-        })
-        .collect()
+    out.clear();
+    out.extend(ctx.tasks().iter().map(|t| {
+        t.processing_demand()
+            .saturating_add(d_mem.saturating_mul(t.memory_demand()))
+    }));
 }
 
 /// Emits the per-task `wcrt.converged` trace events (with the BAS/BAO/

@@ -1,0 +1,142 @@
+//! End-to-end sweep benchmark: the pooled, scratch-recycling evaluation
+//! path ([`evaluate_point`]) against the pre-refactor reference
+//! ([`evaluate_point_reference`]: static worker striping, per-pair
+//! O(n³) context fill, one fresh scratch per analysis) on the Fig. 2
+//! fixed-priority panel workload.
+//!
+//! Hand-rolled harness (like `analysis_engine`) rather than criterion's,
+//! because this bench is also a CI gate: it writes the measured numbers to
+//! `BENCH_e2e.json` and exits non-zero unless the pooled path is at least
+//! [`SPEEDUP_GATE`]× faster end to end — the PR's headline acceptance
+//! criterion. Both paths are cross-checked for agreement while
+//! benchmarking, so a speedup obtained by diverging from the reference
+//! semantics fails loudly here too.
+//!
+//! Both paths run on one worker thread: the gate measures the
+//! algorithmic wins (incremental context fill, scratch reuse), not
+//! parallel scaling, so it holds on single-core CI machines.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use cpa_analysis::{AnalysisConfig, BusPolicy, CrpdApproach, PersistenceMode};
+use cpa_experiments::runner::{evaluate_point, evaluate_point_reference, PointStats};
+use cpa_experiments::SweepOptions;
+use cpa_workload::GeneratorConfig;
+
+/// The Fig. 2 sweep's utilization grid, reduced to the span where the
+/// analysis does real work (low = trivially schedulable, high = mostly
+/// deadline misses; both paths are exercised).
+const UTILS: &[f64] = &[0.3, 0.5, 0.7];
+/// Task sets per utilization point.
+const SETS_PER_POINT: usize = 16;
+/// Required end-to-end speedup of the pooled path (the acceptance gate).
+const SPEEDUP_GATE: f64 = 1.5;
+
+/// The Fig. 2 fixed-priority panel's configuration triple.
+fn panel_configs() -> [AnalysisConfig; 3] {
+    [
+        AnalysisConfig::new(BusPolicy::FixedPriority, PersistenceMode::Aware),
+        AnalysisConfig::new(BusPolicy::FixedPriority, PersistenceMode::Oblivious),
+        AnalysisConfig::new(BusPolicy::Perfect, PersistenceMode::Aware),
+    ]
+}
+
+fn main() {
+    // `cargo bench` passes flags like `--bench`; this harness ignores them.
+    let configs = panel_configs();
+    let opts = SweepOptions::paper()
+        .with_sets_per_point(SETS_PER_POINT)
+        .with_threads(1);
+    let points: Vec<(u64, GeneratorConfig)> = UTILS
+        .iter()
+        .enumerate()
+        .map(|(id, &util)| {
+            let gen = GeneratorConfig::paper_default().with_per_core_utilization(util);
+            (id as u64, gen)
+        })
+        .collect();
+
+    // Semantics first: the pooled path must agree with the reference on
+    // every point (exact tallies, weighted sums to rounding).
+    for (point_id, gen) in &points {
+        let pooled = evaluate_point(gen, &configs, &opts, *point_id);
+        let reference =
+            evaluate_point_reference(gen, &configs, &opts, *point_id, CrpdApproach::EcbUnion);
+        for i in 0..configs.len() {
+            assert_eq!(
+                pooled.config(i).samples(),
+                reference.config(i).samples(),
+                "point {point_id} config {i}: sample counts diverged"
+            );
+            assert_eq!(
+                pooled.config(i).schedulable_count(),
+                reference.config(i).schedulable_count(),
+                "point {point_id} config {i}: pooled path diverged from reference"
+            );
+            assert!(
+                (pooled.config(i).value() - reference.config(i).value()).abs() < 1e-9,
+                "point {point_id} config {i}: weighted sums diverged"
+            );
+        }
+    }
+
+    let reference_ns = time_panel(&points, &configs, &opts, |gen, configs, opts, id| {
+        evaluate_point_reference(gen, configs, opts, id, CrpdApproach::EcbUnion)
+    });
+    let pooled_ns = time_panel(&points, &configs, &opts, |gen, configs, opts, id| {
+        evaluate_point(gen, configs, opts, id)
+    });
+    let speedup = reference_ns / pooled_ns;
+    eprintln!(
+        "fig2 FP panel   reference {reference_ns:>12.0} ns/panel   \
+         pooled {pooled_ns:>12.0} ns/panel   speedup {speedup:.2}x"
+    );
+
+    let pass = speedup >= SPEEDUP_GATE;
+    let json = format!(
+        "{{\"bench\":\"sweep_e2e\",\"workload\":\"fig2_fp_panel\",\
+         \"utils\":{UTILS:?},\"sets_per_point\":{SETS_PER_POINT},\"threads\":1,\
+         \"reference_ns\":{reference_ns:.0},\"pooled_ns\":{pooled_ns:.0},\
+         \"fig2_fp_panel\":{{\"speedup\":{speedup:.3},\"gate\":{SPEEDUP_GATE},\
+         \"pass\":{pass}}}}}\n"
+    );
+    // Anchor to the workspace root: `cargo bench` sets the CWD to the
+    // crate directory, but the gate artifact belongs next to ci.sh.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e2e.json");
+    std::fs::write(out, &json).expect("write BENCH_e2e.json");
+    eprintln!("wrote {out}");
+    if !pass {
+        eprintln!("FAIL: e2e panel speedup {speedup:.2}x below the {SPEEDUP_GATE}x gate");
+        std::process::exit(1);
+    }
+}
+
+/// Median-of-three wall time of one full panel (every utilization point
+/// once, generation included), in nanoseconds, with one untimed warm-up.
+fn time_panel(
+    points: &[(u64, GeneratorConfig)],
+    configs: &[AnalysisConfig],
+    opts: &SweepOptions,
+    f: fn(&GeneratorConfig, &[AnalysisConfig], &SweepOptions, u64) -> PointStats,
+) -> f64 {
+    let panel = || {
+        for (point_id, gen) in points {
+            black_box(f(
+                black_box(gen),
+                black_box(configs),
+                black_box(opts),
+                *point_id,
+            ));
+        }
+    };
+    panel();
+    let mut runs = [0.0f64; 3];
+    for run in &mut runs {
+        let start = Instant::now();
+        panel();
+        *run = start.elapsed().as_nanos() as f64;
+    }
+    runs.sort_by(f64::total_cmp);
+    runs[1]
+}

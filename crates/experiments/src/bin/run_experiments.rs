@@ -1,8 +1,8 @@
 //! CLI driver regenerating the paper's tables and figures.
 //!
 //! ```text
-//! run_experiments [--quick] [--sets N] [--seed S] [--out DIR]
-//!                 [--trace FILE] [--metrics FILE] [EXPERIMENT...]
+//! run_experiments [--quick] [--sets N] [--seed S] [--threads T] [--chunk C]
+//!                 [--out DIR] [--trace FILE] [--metrics FILE] [EXPERIMENT...]
 //! ```
 //!
 //! `EXPERIMENT` is any of `table1`, `fig2`, `fig3a`, `fig3b`, `fig3c`,
@@ -19,7 +19,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use cpa_experiments::cli::Args;
+use cpa_experiments::cli::{self, Args};
 use cpa_experiments::{ablation, fig2, fig3, report, table1, ExperimentResult, SweepOptions};
 
 struct Cli {
@@ -38,13 +38,10 @@ fn parse_args() -> Result<Cli, String> {
     let mut metrics_path: Option<PathBuf> = None;
     let mut args = Args::from_env(USAGE);
     while let Some(arg) = args.next_arg() {
+        if cli::apply_sweep_flag(&mut args, arg.as_str(), &mut opts).map_err(|e| e.to_string())? {
+            continue;
+        }
         match arg.as_str() {
-            "--quick" => opts = SweepOptions::quick(),
-            "--sets" => {
-                opts.sets_per_point = args.value_for("--sets").map_err(|e| e.to_string())?
-            }
-            "--seed" => opts.seed = args.value_for("--seed").map_err(|e| e.to_string())?,
-            "--threads" => opts.threads = args.value_for("--threads").map_err(|e| e.to_string())?,
             "--out" => out_dir = args.value_for("--out").map_err(|e| e.to_string())?,
             "--trace" => {
                 trace_path = Some(args.value_for("--trace").map_err(|e| e.to_string())?);
@@ -70,7 +67,7 @@ fn parse_args() -> Result<Cli, String> {
 }
 
 const USAGE: &str = "usage: run_experiments [--quick] [--sets N] [--seed S] [--threads T] \
-[--out DIR] [--trace FILE] [--metrics FILE] \
+[--chunk C] [--out DIR] [--trace FILE] [--metrics FILE] \
 [table1|fig2|fig3a|fig3b|fig3c|fig3d|ablation|gain|all]...";
 
 fn main() -> ExitCode {

@@ -112,6 +112,34 @@ impl Args {
     }
 }
 
+/// Applies one sweep-related flag to `opts`, consuming its value from
+/// `args`. Returns `Ok(true)` when `flag` was one of the shared sweep
+/// flags (`--quick`, `--sets`, `--seed`, `--threads`, `--chunk`) and
+/// `Ok(false)` when the caller should handle it itself.
+///
+/// Binaries that run sweeps share this so `--threads`/`--chunk` reach
+/// [`SweepOptions`](crate::SweepOptions) — and therefore
+/// [`cpa_pool`](cpa_pool::PoolOptions) — identically everywhere.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] when the flag's value is missing or malformed.
+pub fn apply_sweep_flag(
+    args: &mut Args,
+    flag: &str,
+    opts: &mut crate::SweepOptions,
+) -> Result<bool, CliError> {
+    match flag {
+        "--quick" => *opts = crate::SweepOptions::quick(),
+        "--sets" => opts.sets_per_point = args.value_for("--sets")?,
+        "--seed" => opts.seed = args.value_for("--seed")?,
+        "--threads" => opts.threads = args.value_for("--threads")?,
+        "--chunk" => opts.chunk = args.value_for("--chunk")?,
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +181,38 @@ mod tests {
         let a = args(&[]);
         assert!(a.unknown_flag("--bogus").to_string().contains("`--bogus`"));
         assert!(a.help().to_string().contains("usage: test"));
+    }
+
+    #[test]
+    fn sweep_flags_reach_the_options() {
+        let mut a = args(&["3", "2", "9", "77"]);
+        let mut opts = crate::SweepOptions::paper();
+        for flag in ["--threads", "--chunk", "--sets", "--seed"] {
+            assert_eq!(apply_sweep_flag(&mut a, flag, &mut opts), Ok(true));
+        }
+        assert_eq!(opts.threads, 3);
+        assert_eq!(opts.chunk, 2);
+        assert_eq!(opts.sets_per_point, 9);
+        assert_eq!(opts.seed, 77);
+    }
+
+    #[test]
+    fn quick_resets_and_unshared_flags_fall_through() {
+        let mut a = args(&[]);
+        let mut opts = crate::SweepOptions::paper().with_sets_per_point(500);
+        assert_eq!(apply_sweep_flag(&mut a, "--quick", &mut opts), Ok(true));
+        assert_eq!(
+            opts.sets_per_point,
+            crate::SweepOptions::quick().sets_per_point
+        );
+        assert_eq!(apply_sweep_flag(&mut a, "--out", &mut opts), Ok(false));
+    }
+
+    #[test]
+    fn sweep_flag_errors_name_the_flag() {
+        let mut a = args(&["lots"]);
+        let mut opts = crate::SweepOptions::paper();
+        let err = apply_sweep_flag(&mut a, "--threads", &mut opts).unwrap_err();
+        assert!(err.to_string().contains("--threads"), "{err}");
     }
 }

@@ -1,7 +1,10 @@
 //! Shared sweep machinery: deterministic seeding, parallel evaluation,
 //! result containers.
 
-use cpa_analysis::{analyze, AnalysisConfig, AnalysisContext, CrpdApproach, WeightedAccumulator};
+use cpa_analysis::{
+    analyze_with, AnalysisConfig, AnalysisContext, AnalysisScratch, CrpdApproach,
+    WeightedAccumulator,
+};
 use cpa_model::{CacheGeometry, Platform};
 use cpa_workload::{GeneratorConfig, TaskSetGenerator};
 use rand::SeedableRng;
@@ -17,8 +20,13 @@ pub struct SweepOptions {
     pub seed: u64,
     /// RR/TDMA memory access slots per core (`s`, paper default 2).
     pub slots: u64,
-    /// Worker threads (0 = use all available cores).
+    /// Worker threads (0 = auto-detect, capped at
+    /// [`cpa_pool::MAX_AUTO_THREADS`]; the one shared policy of
+    /// [`cpa_pool::resolve_threads`]).
     pub threads: usize,
+    /// Pool chunk size (0 = pool default). Results are byte-identical at
+    /// any chunk size; the knob exists for benchmarks and tests.
+    pub chunk: usize,
     /// Core-utilization grid (paper: 0.05 to 1.0 in steps of 0.05).
     pub utilization_grid: Vec<f64>,
 }
@@ -32,6 +40,7 @@ impl SweepOptions {
             seed: 0x0DA7_E202_0000,
             slots: 2,
             threads: 0,
+            chunk: 0,
             utilization_grid: default_grid(),
         }
     }
@@ -67,11 +76,24 @@ impl SweepOptions {
         self
     }
 
-    fn worker_threads(&self) -> usize {
-        if self.threads > 0 {
-            return self.threads;
-        }
-        std::thread::available_parallelism().map_or(1, |n| n.get())
+    /// Returns a copy with a different worker thread count (0 = auto).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Returns a copy with a different pool chunk size (0 = default).
+    #[must_use]
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
+    fn pool_options(&self) -> cpa_pool::PoolOptions {
+        cpa_pool::PoolOptions::new()
+            .with_threads(self.threads)
+            .with_chunk(self.chunk)
     }
 }
 
@@ -195,11 +217,81 @@ pub fn evaluate_point(
 /// [`evaluate_point`] with a selectable CRPD approach (the CRPD ablation
 /// of [`crate::ablation`]).
 ///
+/// Work is scheduled on the deterministic [`cpa_pool`] chunk-claiming
+/// pool; each worker keeps one [`AnalysisScratch`] for all its sets (and
+/// all of each set's configurations), and the per-set outcomes are folded
+/// into the [`PointStats`] in set-index order — so every tally, including
+/// the non-associative `f64` utilization sums, is byte-identical at any
+/// thread count and chunk size.
+///
+/// # Panics
+///
+/// Panics if `gen_config` is invalid (the experiment definitions in this
+/// crate only produce valid ones) or if `configs` has more than 64
+/// entries (per-set outcomes travel as a schedulability bitmask).
+#[must_use]
+pub fn evaluate_point_with(
+    gen_config: &GeneratorConfig,
+    configs: &[AnalysisConfig],
+    opts: &SweepOptions,
+    point_id: u64,
+    crpd: CrpdApproach,
+) -> PointStats {
+    assert!(configs.len() <= 64, "schedulability mask is 64 bits");
+    let generator = TaskSetGenerator::new(gen_config.clone()).expect("valid generator config");
+    let platform = platform_for(gen_config);
+    let d_mem = gen_config.d_mem;
+
+    let _span = cpa_obs::span!("experiments.evaluate_point");
+    let evaluated = cpa_obs::counter("experiments.sets_evaluated");
+    // Evaluations run sequentially from the driver, so a process-wide epoch
+    // gives each call a scope block of its own even when point ids repeat
+    // across experiments (fig2 reuses one id per panel to share task sets).
+    let epoch = cpa_obs::next_scope_epoch();
+    let outcomes: Vec<(f64, u64)> = cpa_pool::map(
+        opts.sets_per_point,
+        opts.pool_options(),
+        epoch,
+        |_worker| AnalysisScratch::new(),
+        |scratch, set| {
+            let set_seed = derive_seed(opts.seed, point_id, set as u64);
+            let mut rng = ChaCha8Rng::seed_from_u64(set_seed);
+            let tasks = generator.generate(&mut rng).expect("generation succeeds");
+            let ctx = AnalysisContext::with_crpd_approach(&platform, &tasks, crpd)
+                .expect("task set fits platform");
+            let utilization = tasks.total_utilization(d_mem);
+            let mut schedulable_mask = 0u64;
+            for (i, cfg) in configs.iter().enumerate() {
+                if analyze_with(&ctx, cfg, scratch).is_schedulable() {
+                    schedulable_mask |= 1 << i;
+                }
+            }
+            evaluated.incr();
+            (utilization, schedulable_mask)
+        },
+    );
+
+    let mut total = PointStats::new(configs.len());
+    for (utilization, mask) in outcomes {
+        for (i, acc) in total.accumulators.iter_mut().enumerate() {
+            acc.record(utilization, mask & (1 << i) != 0);
+        }
+    }
+    total
+}
+
+/// The pre-pool evaluation path, kept verbatim as the performance and
+/// semantics baseline: statically striped workers (`set += threads`), a
+/// fresh [`AnalysisContext`] built with the per-pair reference table fill,
+/// and a fresh engine scratch for every `analyze` call. The `sweep_e2e`
+/// bench times [`evaluate_point`] against this, and the
+/// `pool_determinism` suite pins the two to identical tallies.
+///
 /// # Panics
 ///
 /// Panics if `gen_config` is invalid.
 #[must_use]
-pub fn evaluate_point_with(
+pub fn evaluate_point_reference(
     gen_config: &GeneratorConfig,
     configs: &[AnalysisConfig],
     opts: &SweepOptions,
@@ -209,16 +301,11 @@ pub fn evaluate_point_with(
     let generator = TaskSetGenerator::new(gen_config.clone()).expect("valid generator config");
     let platform = platform_for(gen_config);
     let d_mem = gen_config.d_mem;
-    let threads = opts.worker_threads().max(1);
+    let threads = cpa_pool::resolve_threads(opts.threads);
     let sets = opts.sets_per_point;
 
-    let _span = cpa_obs::span!("experiments.evaluate_point");
     let evaluated = cpa_obs::counter("experiments.sets_evaluated");
-    // Evaluations run sequentially from the driver, so a process-wide epoch
-    // gives each call a scope block of its own even when point ids repeat
-    // across experiments (fig2 reuses one id per panel to share task sets).
-    static EPOCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-    let epoch = EPOCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let epoch = cpa_obs::next_scope_epoch();
     let mut partials: Vec<PointStats> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
@@ -231,16 +318,14 @@ pub fn evaluate_point_with(
                 let mut set = worker;
                 while set < sets {
                     let set_seed = derive_seed(opts_seed, point_id, set as u64);
-                    // Scope events by (epoch, set) so traces sort into one
-                    // canonical order regardless of the thread count.
-                    cpa_obs::set_scope(epoch.wrapping_mul(1 << 32).wrapping_add(set as u64));
+                    cpa_obs::set_scope(cpa_pool::scope_key(epoch, set as u64));
                     let mut rng = ChaCha8Rng::seed_from_u64(set_seed);
                     let tasks = generator.generate(&mut rng).expect("generation succeeds");
-                    let ctx = AnalysisContext::with_crpd_approach(platform, &tasks, crpd)
+                    let ctx = AnalysisContext::with_crpd_approach_reference(platform, &tasks, crpd)
                         .expect("task set fits platform");
                     let utilization = tasks.total_utilization(d_mem);
                     for (i, cfg) in configs.iter().enumerate() {
-                        let result = analyze(&ctx, cfg);
+                        let result = cpa_analysis::analyze(&ctx, cfg);
                         stats.accumulators[i].record(utilization, result.is_schedulable());
                     }
                     evaluated.incr();
@@ -304,7 +389,35 @@ mod tests {
                 a.config(i).schedulable_count(),
                 b.config(i).schedulable_count()
             );
-            assert!((a.config(i).value() - b.config(i).value()).abs() < 1e-12);
+            // Outcomes fold in set-index order on every thread count, so
+            // even the f64 sums are bit-identical, not merely close.
+            assert_eq!(a.config(i).value().to_bits(), b.config(i).value().to_bits());
+        }
+    }
+
+    #[test]
+    fn pooled_evaluation_matches_reference_path() {
+        let gen = GeneratorConfig::paper_default().with_per_core_utilization(0.5);
+        let configs = [
+            AnalysisConfig::new(BusPolicy::FixedPriority, PersistenceMode::Aware),
+            AnalysisConfig::new(BusPolicy::FixedPriority, PersistenceMode::Oblivious),
+            AnalysisConfig::new(BusPolicy::Perfect, PersistenceMode::Aware),
+        ];
+        let mut opts = SweepOptions::quick().with_sets_per_point(8);
+        opts.threads = 2;
+        let pooled = evaluate_point(&gen, &configs, &opts, 3);
+        let reference = evaluate_point_reference(&gen, &configs, &opts, 3, CrpdApproach::EcbUnion);
+        for i in 0..configs.len() {
+            assert_eq!(pooled.config(i).samples(), reference.config(i).samples());
+            assert_eq!(
+                pooled.config(i).schedulable_count(),
+                reference.config(i).schedulable_count(),
+                "config {i}"
+            );
+            // The reference merges per-worker f64 partials, so only the
+            // schedulability tallies are exact; the weighted sums agree
+            // to rounding.
+            assert!((pooled.config(i).value() - reference.config(i).value()).abs() < 1e-9);
         }
     }
 

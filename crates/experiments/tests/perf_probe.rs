@@ -1,0 +1,68 @@
+//! Throwaway timing probe (not a correctness test): splits the
+//! end-to-end per-set cost of a Fig. 2 FP-panel sweep into generation,
+//! context construction, and the three per-config analyses. Run with
+//! `cargo test --release -p cpa-experiments --test perf_probe -- --ignored --nocapture`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use cpa_analysis::{analyze, AnalysisConfig, AnalysisContext, BusPolicy, PersistenceMode};
+use cpa_experiments::runner::{derive_seed, platform_for};
+use cpa_workload::{GeneratorConfig, TaskSetGenerator};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+#[ignore]
+fn probe() {
+    let configs = [
+        AnalysisConfig::new(BusPolicy::FixedPriority, PersistenceMode::Aware),
+        AnalysisConfig::new(BusPolicy::FixedPriority, PersistenceMode::Oblivious),
+        AnalysisConfig::new(BusPolicy::Perfect, PersistenceMode::Aware),
+    ];
+    let utils = [0.3, 0.5, 0.7, 0.9];
+    let sets_per_util = 50u64;
+    let (mut gen_ns, mut ctx_ns, mut analyze_ns) = (0u128, 0u128, 0u128);
+    let mut sets = 0u64;
+    for &util in &utils {
+        let gen = GeneratorConfig::paper_default().with_per_core_utilization(util);
+        let generator = TaskSetGenerator::new(gen.clone()).expect("generator");
+        let platform = platform_for(&gen);
+        for set in 0..sets_per_util {
+            let seed = derive_seed(1, 0, set);
+            let start = Instant::now();
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let tasks = generator.generate(&mut rng).expect("task set");
+            gen_ns += start.elapsed().as_nanos();
+
+            let start = Instant::now();
+            let ctx = AnalysisContext::new(&platform, &tasks).expect("context");
+            ctx_ns += start.elapsed().as_nanos();
+
+            let start = Instant::now();
+            for cfg in &configs {
+                black_box(analyze(&ctx, cfg));
+            }
+            analyze_ns += start.elapsed().as_nanos();
+            sets += 1;
+        }
+    }
+    let per = |ns: u128| ns as f64 / sets as f64 / 1000.0;
+    let total = gen_ns + ctx_ns + analyze_ns;
+    eprintln!("sets          : {sets}");
+    eprintln!(
+        "generation    : {:8.1} us/set ({:4.1}%)",
+        per(gen_ns),
+        gen_ns as f64 / total as f64 * 100.0
+    );
+    eprintln!(
+        "context build : {:8.1} us/set ({:4.1}%)",
+        per(ctx_ns),
+        ctx_ns as f64 / total as f64 * 100.0
+    );
+    eprintln!(
+        "3x analyze    : {:8.1} us/set ({:4.1}%)",
+        per(analyze_ns),
+        analyze_ns as f64 / total as f64 * 100.0
+    );
+}

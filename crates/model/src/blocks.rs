@@ -160,6 +160,13 @@ impl CacheBlockSet {
         self.words[block / WORD_BITS] |= 1 << (block % WORD_BITS);
     }
 
+    /// Empties the set in place, keeping its capacity and allocation.
+    /// The reset primitive for scratch sets reused across many union
+    /// folds (the per-`j` evictor unions of the analysis-context fill).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
     /// Iterates over the contained block indices in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &word)| {
@@ -527,6 +534,15 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: CacheBlockSet = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s = set([1, 200]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 256);
+        assert!(s.insert(255).unwrap());
     }
 
     proptest! {

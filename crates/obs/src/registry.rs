@@ -101,6 +101,23 @@ pub fn scope() -> u64 {
     SCOPE.with(Cell::get)
 }
 
+/// Process-wide scope-epoch allocator: drivers that run many scoped
+/// parallel regions in sequence (the experiment sweeps re-use point ids
+/// across panels) take one epoch per region and derive their per-unit
+/// scopes from `(epoch, unit)` so regions never share scope blocks.
+///
+/// Lives here — not in the drivers — because [`reset`] must rewind it
+/// along with the rest of the ordering state: a traced run after a reset
+/// re-allocates the same epochs and therefore reproduces byte-identical
+/// scope values.
+static SCOPE_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Takes the next scope epoch (starting from 0 after [`reset`]).
+#[must_use]
+pub fn next_scope_epoch() -> u64 {
+    SCOPE_EPOCH.fetch_add(1, Ordering::Relaxed)
+}
+
 /// Records an event under the current `(scope, seq)`; used by
 /// [`crate::event!`], which performs the [`events_enabled`] check first.
 pub fn emit(name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
@@ -209,6 +226,7 @@ pub fn reset() {
             cell.store(0, Ordering::Relaxed);
         }
     }
+    SCOPE_EPOCH.store(0, Ordering::Relaxed);
     SCOPE.with(|s| s.set(0));
     SEQ.with(|s| s.set(0));
 }

@@ -8,6 +8,10 @@
 //! cpa-trace sim     [--seed S] [--cores N] [--tasks-per-core K] [--util U]
 //!                   [--bus fp|rr|tdma] [--slots K] [--horizon H]
 //!                   [--trace FILE] [--profile FILE] [--json] [--reference-sim]
+//! cpa-trace sweep   [--seed S] [--cores N] [--tasks-per-core K] [--util U]
+//!                   [--bus fp|rr|tdma|perfect] [--slots K] [--sets N]
+//!                   [--threads T] [--chunk C] [--trace FILE] [--profile FILE]
+//!                   [--json]
 //! ```
 //!
 //! `analyze` generates one task set (paper-default profile with the given
@@ -19,7 +23,12 @@
 //! observed per-task statistics, bus occupancy, and an event-skip summary
 //! (spans executed, mean span length, fraction of the horizon jumped).
 //! `--reference-sim` drives the cycle-stepped reference loop instead of
-//! the event-skipping fast path (DESIGN.md §11).
+//! the event-skipping fast path (DESIGN.md §11). `sweep` evaluates one
+//! experiment grid point (`--sets` task sets, persistence-aware and
+//! -oblivious under the chosen bus) through the shared `cpa-pool` worker
+//! pool and reports the pool's dynamic-scheduling statistics — chunks
+//! claimed, chunks stolen beyond the fair share, steal ratio — together
+//! with the engine's scratch-reuse count (DESIGN.md §12).
 //!
 //! Both subcommands end with a self-profile: the span tree with wall-time
 //! aggregation, pretty-printed (or embedded in the `--json` document).
@@ -34,6 +43,8 @@ use cpa_analysis::{
     analyze, decompose, AnalysisConfig, AnalysisContext, BusPolicy, DominantTerm, PersistenceMode,
 };
 use cpa_experiments::cli::Args;
+use cpa_experiments::runner::evaluate_point;
+use cpa_experiments::SweepOptions;
 use cpa_model::{Platform, TaskSet, Time};
 use cpa_sim::{SimConfig, SimReport, Simulator};
 use cpa_validate::oracle::{arbitration_of, horizon_for};
@@ -77,12 +88,13 @@ struct EngineStats {
     tasks_skipped: u64,
     worklist_rounds: u32,
     mean_worklist_depth: f64,
+    scratch_reuses: u64,
 }
 
 impl EngineStats {
     /// Snapshot of the always-on engine counters, for delta-ing around one
     /// `analyze` call.
-    fn snapshot() -> [u64; 8] {
+    fn snapshot() -> [u64; 9] {
         [
             cpa_obs::counter("engine.curve_hit").get(),
             cpa_obs::counter("engine.curve_miss").get(),
@@ -92,10 +104,11 @@ impl EngineStats {
             cpa_obs::counter("engine.same_core_miss").get(),
             cpa_obs::counter("engine.bao_hit").get(),
             cpa_obs::counter("engine.bao_miss").get(),
+            cpa_obs::counter("engine.scratch_reuses").get(),
         ]
     }
 
-    fn from_delta(before: [u64; 8], rounds: u32) -> EngineStats {
+    fn from_delta(before: [u64; 9], rounds: u32) -> EngineStats {
         let after = EngineStats::snapshot();
         let d = |i: usize| after[i].saturating_sub(before[i]);
         let (hits, misses, solved, skipped) = (d(0), d(1), d(2), d(3));
@@ -120,8 +133,69 @@ impl EngineStats {
             } else {
                 solved as f64 / f64::from(rounds)
             },
+            scratch_reuses: d(8),
         }
     }
+}
+
+/// Pool section of the `sweep` report: dynamic-scheduling statistics from
+/// the `pool.*` counter deltas of one pooled evaluation, plus the engine's
+/// scratch-reuse count (DESIGN.md §12).
+#[derive(Serialize)]
+struct PoolStats {
+    threads: usize,
+    chunks_claimed: u64,
+    chunks_stolen: u64,
+    steal_ratio: f64,
+    scratch_reuses: u64,
+}
+
+impl PoolStats {
+    /// Snapshot of the always-on pool/scratch counters, for delta-ing
+    /// around one pooled evaluation.
+    fn snapshot() -> [u64; 3] {
+        [
+            cpa_obs::counter("pool.chunks_claimed").get(),
+            cpa_obs::counter("pool.chunks_stolen").get(),
+            cpa_obs::counter("engine.scratch_reuses").get(),
+        ]
+    }
+
+    fn from_delta(before: [u64; 3], threads: usize) -> PoolStats {
+        let after = PoolStats::snapshot();
+        let d = |i: usize| after[i].saturating_sub(before[i]);
+        let (claimed, stolen) = (d(0), d(1));
+        PoolStats {
+            threads,
+            chunks_claimed: claimed,
+            chunks_stolen: stolen,
+            steal_ratio: if claimed == 0 {
+                0.0
+            } else {
+                stolen as f64 / claimed as f64
+            },
+            scratch_reuses: d(2),
+        }
+    }
+}
+
+/// One per-configuration row of the `sweep --json` report.
+#[derive(Serialize)]
+struct SweepConfigRow {
+    bus: &'static str,
+    mode: &'static str,
+    schedulable: u64,
+    samples: u64,
+}
+
+/// The `sweep --json` report (profile spliced in separately).
+#[derive(Serialize)]
+struct SweepDoc {
+    command: &'static str,
+    seed: u64,
+    sets: usize,
+    pool: PoolStats,
+    configs: Vec<SweepConfigRow>,
 }
 
 /// The `analyze --json` report (profile spliced in separately).
@@ -212,7 +286,9 @@ const USAGE: &str = "usage: cpa-trace analyze [--seed S] [--cores N] [--tasks-pe
 [--util U] [--bus fp|rr|tdma|perfect] [--slots K] [--mode aware|oblivious] [--trace FILE] \
 [--profile FILE] [--json]\n       cpa-trace sim [--seed S] [--cores N] [--tasks-per-core K] \
 [--util U] [--bus fp|rr|tdma] [--slots K] [--horizon H] [--trace FILE] [--profile FILE] [--json] \
-[--reference-sim]";
+[--reference-sim]\n       cpa-trace sweep [--seed S] [--cores N] [--tasks-per-core K] [--util U] \
+[--bus fp|rr|tdma|perfect] [--slots K] [--sets N] [--threads T] [--chunk C] [--trace FILE] \
+[--profile FILE] [--json]";
 
 /// Everything both subcommands share.
 struct TraceOptions {
@@ -224,6 +300,9 @@ struct TraceOptions {
     slots: u64,
     mode: String,
     horizon: u64,
+    sets: usize,
+    threads: usize,
+    chunk: usize,
     trace_path: Option<PathBuf>,
     profile_path: Option<PathBuf>,
     json: bool,
@@ -241,6 +320,9 @@ impl Default for TraceOptions {
             slots: 2,
             mode: "aware".to_string(),
             horizon: 1_500_000,
+            sets: 32,
+            threads: 0,
+            chunk: 0,
             trace_path: None,
             profile_path: None,
             json: false,
@@ -268,6 +350,11 @@ impl TraceOptions {
                 "--horizon" => {
                     opts.horizon = args.value_for("--horizon").map_err(|e| e.to_string())?;
                 }
+                "--sets" => opts.sets = args.value_for("--sets").map_err(|e| e.to_string())?,
+                "--threads" => {
+                    opts.threads = args.value_for("--threads").map_err(|e| e.to_string())?;
+                }
+                "--chunk" => opts.chunk = args.value_for("--chunk").map_err(|e| e.to_string())?,
                 "--trace" => {
                     opts.trace_path = Some(args.value_for("--trace").map_err(|e| e.to_string())?);
                 }
@@ -334,6 +421,7 @@ fn main() -> ExitCode {
     match args.next_arg().as_deref() {
         Some("analyze") => dispatch(&mut args, analyze_cmd),
         Some("sim") => dispatch(&mut args, sim_cmd),
+        Some("sweep") => dispatch(&mut args, sweep_cmd),
         Some("--help" | "-h") => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -461,6 +549,9 @@ fn analyze_cmd(opts: &TraceOptions) -> Result<(), String> {
         engine.worklist_rounds,
         engine.mean_worklist_depth,
     );
+    if engine.scratch_reuses > 0 {
+        println!("engine: {} scratch reuses", engine.scratch_reuses);
+    }
     println!();
     println!(
         "{:<14} {:>4} {:>4} {:>10} {:>10} {:>5} {:>7}  {:<8} shares",
@@ -580,6 +671,81 @@ fn sim_cmd(opts: &TraceOptions) -> Result<(), String> {
         report.bus_busy_cycles,
         report.bus_utilization() * 100.0
     );
+    print_profile(&profile);
+    Ok(())
+}
+
+fn sweep_cmd(opts: &TraceOptions) -> Result<(), String> {
+    let bus = opts.bus_policy()?;
+    let gen_config = GeneratorConfig {
+        cores: opts.cores,
+        tasks_per_core: opts.tasks_per_core,
+        ..GeneratorConfig::paper_default()
+    }
+    .with_per_core_utilization(opts.util);
+    let configs = [
+        AnalysisConfig::new(bus, PersistenceMode::Aware),
+        AnalysisConfig::new(bus, PersistenceMode::Oblivious),
+    ];
+    let mut sweep = SweepOptions::quick()
+        .with_sets_per_point(opts.sets)
+        .with_chunk(opts.chunk);
+    sweep.seed = opts.seed;
+    sweep.threads = opts.threads;
+    let threads = cpa_pool::resolve_threads(opts.threads);
+
+    let counters_before = PoolStats::snapshot();
+    let point = evaluate_point(&gen_config, &configs, &sweep, 0);
+    let pool = PoolStats::from_delta(counters_before, threads);
+
+    write_sinks(opts)?;
+    let profile = cpa_obs::profile_snapshot();
+
+    let rows: Vec<SweepConfigRow> = configs
+        .iter()
+        .enumerate()
+        .map(|(i, cfg)| SweepConfigRow {
+            bus: cfg.bus.label(),
+            mode: cfg.persistence.label(),
+            schedulable: point.config(i).schedulable_count(),
+            samples: point.config(i).samples(),
+        })
+        .collect();
+
+    if opts.json {
+        let doc = SweepDoc {
+            command: "sweep",
+            seed: opts.seed,
+            sets: opts.sets,
+            pool,
+            configs: rows,
+        };
+        println!("{}", with_profile(&doc, &profile)?);
+        return Ok(());
+    }
+
+    println!("{}", opts.describe(&gen_config));
+    println!(
+        "sweep: {} task sets x {} configs on {} worker threads",
+        opts.sets,
+        configs.len(),
+        pool.threads,
+    );
+    println!(
+        "pool: {} chunks claimed, {} stolen beyond the fair share ({:.1}% steal ratio); \
+         {} scratch reuses",
+        pool.chunks_claimed,
+        pool.chunks_stolen,
+        pool.steal_ratio * 100.0,
+        pool.scratch_reuses,
+    );
+    println!();
+    for row in &rows {
+        println!(
+            "{:<10} {:<10} schedulable {}/{}",
+            row.bus, row.mode, row.schedulable, row.samples
+        );
+    }
     print_profile(&profile);
     Ok(())
 }

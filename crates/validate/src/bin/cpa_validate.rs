@@ -67,17 +67,13 @@ fn run_cmd(mut args: Args) -> ExitCode {
     let mut max_shrinks: usize = 3;
     while let Some(arg) = args.next_arg() {
         let parsed: Result<(), String> = (|| {
+            if opts
+                .apply_cli_flag(&mut args, arg.as_str())
+                .map_err(|e| e.to_string())?
+            {
+                return Ok(());
+            }
             match arg.as_str() {
-                "--sets" => opts.sets = args.value_for("--sets").map_err(|e| e.to_string())?,
-                "--seed" => opts.seed = args.value_for("--seed").map_err(|e| e.to_string())?,
-                "--threads" => {
-                    opts.threads = args.value_for("--threads").map_err(|e| e.to_string())?;
-                }
-                "--slots" => opts.slots = args.value_for("--slots").map_err(|e| e.to_string())?,
-                "--quick" => opts.quick = true,
-                "--inject" => {
-                    opts.inject = args.value_for("--inject").map_err(|e| e.to_string())?;
-                }
                 "--report" => {
                     report_path = Some(args.value_for("--report").map_err(|e| e.to_string())?);
                 }
@@ -93,8 +89,6 @@ fn run_cmd(mut args: Args) -> ExitCode {
                 "--metrics" => {
                     metrics_path = Some(args.value_for("--metrics").map_err(|e| e.to_string())?);
                 }
-                "--reference-sim" => opts.reference_sim = true,
-                "--no-progress" => opts.progress = false,
                 "--help" | "-h" => return Err(args.help().to_string()),
                 other => return Err(args.unknown_flag(other).to_string()),
             }

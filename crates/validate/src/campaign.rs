@@ -4,13 +4,16 @@
 //! bundle ([`crate::oracle::check_task_set`]) on each. Seeding follows the
 //! same discipline as `cpa_experiments::runner`: every task set's RNG
 //! stream is derived from `(base seed, campaign tag, set index)` via
-//! [`derive_seed`], so results are independent of the thread count and the
-//! interleaving of workers — campaigns with the same options produce equal
-//! [`CampaignStats`] whether they run on 1 thread or 16.
+//! [`derive_seed`], and the sets are dispatched through the shared
+//! [`cpa_pool`] worker pool, which returns per-set outcomes in set-index
+//! order regardless of how workers interleaved. Campaigns with the same
+//! options therefore produce byte-equal [`CampaignStats`] (and retained
+//! [`ViolationCase`]s) whether they run on 1 thread or 16.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
+use cpa_experiments::cli::{Args, CliError};
 use cpa_experiments::runner::{derive_seed, platform_for};
 use cpa_model::{TaskSet, Time};
 use cpa_workload::{GeneratorConfig, TaskSetGenerator};
@@ -30,9 +33,12 @@ pub const CAMPAIGN_POINT: u64 = 0x5AFE;
 /// set rather than all of them.
 const DETERMINISM_STRIDE: u64 = 8;
 
-/// At most this many full violation cases (task set included) are kept per
-/// worker for shrinking; every violation still lands in the report.
-const MAX_CASES_PER_WORKER: usize = 4;
+/// At most this many full violation cases (task set included) are kept for
+/// shrinking, lowest set indices first; every violation still lands in the
+/// report. The cap is applied during the index-ordered merge, so the
+/// retained cases are identical at any thread count (the old per-worker
+/// cap made them depend on how sets were striped across workers).
+const MAX_CASES: usize = 16;
 
 /// Options for [`run_campaign`].
 #[derive(Debug, Clone)]
@@ -121,15 +127,37 @@ impl CampaignOptions {
         self
     }
 
-    /// Worker threads to use, resolving `0` to the available parallelism
-    /// (capped at 8, matching the experiment runner).
+    /// Applies one campaign-related flag, consuming its value from `args`.
+    /// Returns `Ok(true)` when `flag` was one of the shared campaign flags
+    /// (`--sets`, `--seed`, `--threads`, `--slots`, `--quick`, `--inject`,
+    /// `--reference-sim`, `--no-progress`) and `Ok(false)` when the caller
+    /// should handle it itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] when the flag's value is missing or
+    /// malformed.
+    pub fn apply_cli_flag(&mut self, args: &mut Args, flag: &str) -> Result<bool, CliError> {
+        match flag {
+            "--sets" => self.sets = args.value_for("--sets")?,
+            "--seed" => self.seed = args.value_for("--seed")?,
+            "--threads" => self.threads = args.value_for("--threads")?,
+            "--slots" => self.slots = args.value_for("--slots")?,
+            "--quick" => self.quick = true,
+            "--inject" => self.inject = args.value_for("--inject")?,
+            "--reference-sim" => self.reference_sim = true,
+            "--no-progress" => self.progress = false,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Worker threads to use, resolving `0` via the workspace-wide policy
+    /// in [`cpa_pool::resolve_threads`] (auto-detection capped at
+    /// [`cpa_pool::MAX_AUTO_THREADS`], matching the experiment runner).
     #[must_use]
     pub fn worker_threads(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
-        }
+        cpa_pool::resolve_threads(self.threads)
     }
 
     /// The oracle bundle configuration these options imply.
@@ -192,14 +220,18 @@ fn profile_for(set_seed: u64) -> (GeneratorConfig, ChaCha8Rng) {
     (config, rng)
 }
 
+/// Everything one validated set contributes to the campaign. Produced by
+/// [`validate_one_set`] inside the pool and folded into [`CampaignStats`]
+/// in set-index order.
 #[derive(Default)]
-struct WorkerPartial {
-    checked: u64,
-    generation_failures: u64,
-    schedulable: u64,
+struct SetOutcome {
+    checked: bool,
+    generation_failure: bool,
+    schedulable: bool,
     oracles: OracleStats,
     records: Vec<ViolationRecord>,
-    cases: Vec<ViolationCase>,
+    /// The first violation of the set, retained for shrinking.
+    case: Option<ViolationCase>,
 }
 
 /// Runs a validation campaign.
@@ -213,8 +245,15 @@ pub fn run_campaign(opts: &CampaignOptions) -> CampaignOutcome {
     let _span = cpa_obs::span!("campaign.run");
     let started = Instant::now();
     let sets = opts.sets;
-    let threads = opts.worker_threads().max(1).min(sets.max(1) as usize);
+    let threads = opts.worker_threads();
     let base_check = opts.check_options();
+    let base_seed = opts.seed;
+    let pool_opts = cpa_pool::PoolOptions::new().with_threads(threads);
+    // One scope epoch per campaign. A fresh process (and every campaign
+    // after `cpa_obs::reset()`) gets epoch 0, and `scope_key(0, set)`
+    // equals `set`, so the trace bytes match the historical scheme of
+    // scoping events by raw set index.
+    let epoch = cpa_obs::next_scope_epoch();
 
     // Progress and `--metrics` share one code path: workers bump the
     // always-on `campaign.sets_validated` counter and the progress thread
@@ -223,7 +262,7 @@ pub fn run_campaign(opts: &CampaignOptions) -> CampaignOutcome {
     let validated = cpa_obs::counter("campaign.sets_validated");
     let validated_base = validated.get();
     let done = AtomicBool::new(false);
-    let mut partials: Vec<WorkerPartial> = Vec::with_capacity(threads);
+    let mut outcomes: Vec<SetOutcome> = Vec::new();
     std::thread::scope(|scope| {
         if opts.progress {
             let done = &done;
@@ -243,46 +282,41 @@ pub fn run_campaign(opts: &CampaignOptions) -> CampaignOutcome {
                 );
             });
         }
-        let mut handles = Vec::with_capacity(threads);
-        for worker in 0..threads {
-            let base_check = &base_check;
-            let base_seed = opts.seed;
-            let handle = scope.spawn(move || {
-                let mut partial = WorkerPartial::default();
-                let mut set = worker as u64;
-                while set < sets {
-                    validate_one_set(set, base_seed, base_check, &mut partial);
-                    validated.incr();
-                    set += threads as u64;
-                }
-                partial
-            });
-            handles.push(handle);
-        }
-        for handle in handles {
-            partials.push(handle.join().expect("validation worker panicked"));
-        }
+        let items = usize::try_from(sets).expect("set count fits in usize");
+        outcomes = cpa_pool::map(
+            items,
+            pool_opts,
+            epoch,
+            |_worker| (),
+            |(), set| {
+                let outcome = validate_one_set(set as u64, base_seed, &base_check);
+                validated.incr();
+                outcome
+            },
+        );
         done.store(true, Ordering::Relaxed);
     });
 
+    // `cpa_pool::map` returns outcomes in set-index order no matter how
+    // workers interleaved, so folding them sequentially yields the same
+    // stats — and the same first-`MAX_CASES` retained cases — at any
+    // thread count, with no post-hoc sorting.
     let mut stats = CampaignStats::default();
     let mut cases = Vec::new();
-    for partial in partials {
-        stats.checked_sets += partial.checked;
-        stats.generation_failures += partial.generation_failures;
-        stats.schedulable_sets += partial.schedulable;
-        stats.oracles.merge(&partial.oracles);
-        stats.violations.extend(partial.records);
-        cases.extend(partial.cases);
+    for outcome in outcomes {
+        stats.checked_sets += u64::from(outcome.checked);
+        stats.generation_failures += u64::from(outcome.generation_failure);
+        stats.schedulable_sets += u64::from(outcome.schedulable);
+        stats.oracles.merge(&outcome.oracles);
+        stats.violations.extend(outcome.records);
+        if cases.len() < MAX_CASES {
+            cases.extend(outcome.case);
+        }
     }
     cpa_obs::counter("campaign.checked_sets").add(stats.checked_sets);
     cpa_obs::counter("campaign.generation_failures").add(stats.generation_failures);
     cpa_obs::counter("campaign.schedulable_sets").add(stats.schedulable_sets);
     cpa_obs::counter("campaign.violations").add(stats.violations.len() as u64);
-    // Workers finish in arbitrary order; canonical order keeps the report
-    // (and therefore CampaignStats equality) thread-count invariant.
-    stats.violations.sort_by_key(|v| v.set_index);
-    cases.sort_by_key(|c| c.set_index);
 
     let wall_clock_secs = started.elapsed().as_secs_f64();
     let report = ValidationReport {
@@ -307,21 +341,16 @@ pub fn run_campaign(opts: &CampaignOptions) -> CampaignOutcome {
     CampaignOutcome { report, cases }
 }
 
-fn validate_one_set(
-    set: u64,
-    base_seed: u64,
-    base_check: &CheckOptions,
-    partial: &mut WorkerPartial,
-) {
+fn validate_one_set(set: u64, base_seed: u64, base_check: &CheckOptions) -> SetOutcome {
+    let mut outcome = SetOutcome::default();
     let set_seed = derive_seed(base_seed, CAMPAIGN_POINT, set);
-    cpa_obs::set_scope(set);
     let (config, mut rng) = profile_for(set_seed);
     let generator = TaskSetGenerator::new(config.clone())
         .expect("campaign profiles are always valid generator configs");
     let Ok(tasks) = generator.generate(&mut rng) else {
-        partial.generation_failures += 1;
+        outcome.generation_failure = true;
         cpa_obs::event!("campaign.generation_failure", set = set, seed = set_seed);
-        return;
+        return outcome;
     };
     let platform = platform_for(&config);
 
@@ -336,12 +365,12 @@ fn validate_one_set(
         let regenerated = TaskSetGenerator::new(config_again)
             .ok()
             .and_then(|g| g.generate(&mut rng_again).ok());
-        let stat = partial.oracles.stat_mut(OracleKind::Determinism);
+        let stat = outcome.oracles.stat_mut(OracleKind::Determinism);
         stat.checks += 1;
         if regenerated.as_ref() != Some(&tasks) {
             stat.violations += 1;
             record_violation(
-                partial,
+                &mut outcome,
                 set,
                 set_seed,
                 config.d_mem,
@@ -355,46 +384,43 @@ fn validate_one_set(
         }
     }
 
-    let outcome = check_task_set(&platform, &tasks, &check)
+    let checked = check_task_set(&platform, &tasks, &check)
         .expect("generated task sets always fit their platform");
-    partial.checked += 1;
-    if outcome.any_schedulable {
-        partial.schedulable += 1;
-    }
-    partial.oracles.merge(&outcome.stats);
+    outcome.checked = true;
+    outcome.schedulable = checked.any_schedulable;
+    outcome.oracles.merge(&checked.stats);
     cpa_obs::event!(
         "campaign.set_done",
         set = set,
         seed = set_seed,
         tasks = tasks.len(),
-        schedulable = outcome.any_schedulable,
-        violations = outcome.violations.len(),
+        schedulable = checked.any_schedulable,
+        violations = checked.violations.len(),
     );
-    for violation in outcome.violations {
-        record_violation(partial, set, set_seed, config.d_mem, &tasks, violation);
+    for violation in checked.violations {
+        record_violation(&mut outcome, set, set_seed, config.d_mem, &tasks, violation);
     }
+    outcome
 }
 
 fn record_violation(
-    partial: &mut WorkerPartial,
+    outcome: &mut SetOutcome,
     set: u64,
     set_seed: u64,
     d_mem: Time,
     tasks: &TaskSet,
     violation: Violation,
 ) {
-    partial.records.push(ViolationRecord {
+    outcome.records.push(ViolationRecord {
         set_index: set,
         set_seed,
         oracle: violation.oracle,
         message: violation.message.clone(),
         repro: None,
     });
-    // Keep one shrinkable case per set (the first violation), a few per
-    // worker.
-    let already_kept = partial.cases.last().is_some_and(|c| c.set_index == set);
-    if !already_kept && partial.cases.len() < MAX_CASES_PER_WORKER {
-        partial.cases.push(ViolationCase {
+    // Keep one shrinkable case per set: the first violation.
+    if outcome.case.is_none() {
+        outcome.case = Some(ViolationCase {
             set_index: set,
             set_seed,
             d_mem,
@@ -447,6 +473,30 @@ mod tests {
         let mut sorted = indices.clone();
         sorted.sort_unstable();
         assert_eq!(indices, sorted);
+    }
+
+    #[test]
+    fn cli_flags_reach_campaign_options() {
+        let mut args = Args::new(["12", "9", "3", "4"].map(String::from), "usage: test");
+        let mut opts = CampaignOptions::new();
+        for flag in ["--sets", "--seed", "--threads", "--slots"] {
+            assert_eq!(opts.apply_cli_flag(&mut args, flag), Ok(true));
+        }
+        for flag in ["--quick", "--reference-sim", "--no-progress"] {
+            assert_eq!(opts.apply_cli_flag(&mut args, flag), Ok(true));
+        }
+        assert_eq!(opts.sets, 12);
+        assert_eq!(opts.seed, 9);
+        assert_eq!(opts.threads, 3);
+        // Explicit thread requests resolve verbatim, above the auto cap.
+        assert_eq!(opts.worker_threads(), 3);
+        assert_eq!(opts.slots, 4);
+        assert!(opts.quick);
+        assert!(opts.reference_sim);
+        assert!(!opts.progress);
+        // Binary-specific flags fall through to the caller.
+        let mut args = Args::new(std::iter::empty::<String>(), "usage: test");
+        assert_eq!(opts.apply_cli_flag(&mut args, "--report"), Ok(false));
     }
 
     #[test]
