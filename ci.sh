@@ -17,6 +17,9 @@ cargo clippy -p cpa-sim --all-targets -- -D warnings
 echo "==> cargo clippy -p cpa-pool --all-targets -- -D warnings (worker pool gate)"
 cargo clippy -p cpa-pool --all-targets -- -D warnings
 
+echo "==> cargo clippy -p cpa-optimize --all-targets -- -D warnings (optimizer gate)"
+cargo clippy -p cpa-optimize --all-targets -- -D warnings
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
@@ -33,10 +36,32 @@ echo "==> cpa-validate smoke campaign (100 sets, quick profile)"
 cargo run --release -p cpa-validate -- run --sets 100 --quick --no-progress \
   --metrics validate-metrics.json
 
-echo "==> cpa-trace smoke (analyze + sim + sweep)"
+echo "==> cpa-trace smoke (analyze + sim + sweep + optimize)"
 cargo run --release -p cpa-validate --bin cpa-trace -- analyze --seed 7 --json > /dev/null
 cargo run --release -p cpa-validate --bin cpa-trace -- sim --seed 7 --horizon 200000 > /dev/null
 cargo run --release -p cpa-validate --bin cpa-trace -- sweep --seed 7 --sets 16 --json > /dev/null
+cargo run --release -p cpa-validate --bin cpa-trace -- optimize --seed 7 --sets 3 \
+  --tasks-per-core 3 --util 0.5 --json > /dev/null
+
+echo "==> optimizer determinism smoke (exhaustive-vs-local agreement, thread invariance)"
+cargo test -q -p cpa-optimize --release --test optimizer_determinism
+
+echo "==> cpa-optimize service smoke (1-vs-4 threads byte-compared, then 100% cache hits)"
+rm -rf ci-opt && mkdir ci-opt
+cargo run --release -p cpa-optimize -- gen --sets 3 --seed 42 --cores 2 \
+  --tasks-per-core 3 --cache-sets 32 --util 0.5 --toy --out ci-opt/batch.json
+cargo run --release -p cpa-optimize -- run --requests ci-opt/batch.json --threads 1 \
+  --cache ci-opt/cache1 --out ci-opt/t1.json --stats ci-opt/cold.json 2> /dev/null
+cargo run --release -p cpa-optimize -- run --requests ci-opt/batch.json --threads 4 \
+  --cache ci-opt/cache4 --out ci-opt/t4.json 2> /dev/null
+diff ci-opt/t1.json ci-opt/t4.json
+cargo run --release -p cpa-optimize -- run --requests ci-opt/batch.json --threads 4 \
+  --cache ci-opt/cache1 --out ci-opt/warm.json --stats ci-opt/warm-stats.json 2> /dev/null
+diff ci-opt/t1.json ci-opt/warm.json
+grep -q '"cache_hits":3' ci-opt/warm-stats.json
+grep -q '"cache_misses":0' ci-opt/warm-stats.json
+grep -q '"strictly_improved":[1-9]' ci-opt/cold.json
+rm -rf ci-opt
 
 echo "==> 1-vs-N worker determinism smoke (run_experiments fig2, byte-compared CSVs)"
 rm -rf ci-threads-1 ci-threads-4
@@ -58,5 +83,8 @@ cargo bench -p cpa-bench --bench sim_engine
 
 echo "==> sweep e2e bench (>=1.5x on fig2 FP panel, emits BENCH_e2e.json)"
 cargo bench -p cpa-bench --bench sweep_e2e
+
+echo "==> optimizer bench (weak dominance + strict improvement, emits BENCH_optimize.json)"
+cargo bench -p cpa-bench --bench optimize
 
 echo "==> ci.sh: all green"

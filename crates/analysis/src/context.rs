@@ -128,6 +128,31 @@ fn fill_tables(tasks: &TaskSet, approach: CrpdApproach, gamma: &mut [u64], overl
     }
 }
 
+/// Recyclable backing storage for [`AnalysisContext`] tables.
+///
+/// An optimizer evaluating thousands of candidate configurations builds a
+/// fresh context per candidate — the `γ`/CPRO tables genuinely change
+/// with every partitioning, priority or coloring move — but the two
+/// `n × n` allocations behind them do not have to be re-made each time.
+/// A worker keeps one `ContextBuffers`, builds each candidate's context
+/// with [`AnalysisContext::with_crpd_approach_buffers`], and hands the
+/// vectors back with [`AnalysisContext::recycle`]; in steady state a
+/// context rebuild is the incremental `O(n²)` table fill and zero heap
+/// allocations. Reuses are counted on `analysis.context_recycles`.
+#[derive(Debug, Default)]
+pub struct ContextBuffers {
+    gamma: Vec<u64>,
+    cpro_overlap: Vec<u64>,
+}
+
+impl ContextBuffers {
+    /// Empty buffers; capacity grows on first use and then sticks.
+    #[must_use]
+    pub fn new() -> Self {
+        ContextBuffers::default()
+    }
+}
+
 impl<'a> AnalysisContext<'a> {
     /// Builds the context with the paper's ECB-union CRPD bound,
     /// validating that the task set fits the platform.
@@ -163,6 +188,49 @@ impl<'a> AnalysisContext<'a> {
             cpro_overlap,
             crpd_approach: approach,
         })
+    }
+
+    /// [`AnalysisContext::with_crpd_approach`] backed by recycled table
+    /// storage — the coloring-aware context-rebuild hook of the optimizer
+    /// hot loop (see [`ContextBuffers`]). Semantically identical to a
+    /// fresh build: the tables are fully refilled for *this* task set;
+    /// only the allocations are reused.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TaskSet::validate_against`] errors.
+    pub fn with_crpd_approach_buffers(
+        platform: &'a Platform,
+        tasks: &'a TaskSet,
+        approach: CrpdApproach,
+        buffers: &mut ContextBuffers,
+    ) -> Result<Self, ModelError> {
+        tasks.validate_against(platform)?;
+        let n = tasks.len();
+        let mut gamma = std::mem::take(&mut buffers.gamma);
+        let mut cpro_overlap = std::mem::take(&mut buffers.cpro_overlap);
+        if gamma.capacity() >= n * n {
+            cpa_obs::counter("analysis.context_recycles").incr();
+        }
+        gamma.clear();
+        gamma.resize(n * n, 0);
+        cpro_overlap.clear();
+        cpro_overlap.resize(n * n, 0);
+        fill_tables(tasks, approach, &mut gamma, &mut cpro_overlap);
+        Ok(AnalysisContext {
+            platform,
+            tasks,
+            gamma,
+            cpro_overlap,
+            crpd_approach: approach,
+        })
+    }
+
+    /// Returns the context's table storage to `buffers` for the next
+    /// [`AnalysisContext::with_crpd_approach_buffers`] build.
+    pub fn recycle(self, buffers: &mut ContextBuffers) {
+        buffers.gamma = self.gamma;
+        buffers.cpro_overlap = self.cpro_overlap;
     }
 
     /// [`AnalysisContext::with_crpd_approach`] with the tables evaluated
@@ -345,6 +413,54 @@ mod tests {
             assert_eq!(fast.gamma, reference.gamma, "{approach:?}");
             assert_eq!(fast.cpro_overlap, reference.cpro_overlap, "{approach:?}");
         }
+    }
+
+    #[test]
+    fn recycled_buffers_match_fresh_builds() {
+        let (platform, tasks) = fig1();
+        let mut buffers = ContextBuffers::new();
+        for approach in [
+            CrpdApproach::EcbUnion,
+            CrpdApproach::UcbUnion,
+            CrpdApproach::EcbOnly,
+        ] {
+            let fresh = AnalysisContext::with_crpd_approach(&platform, &tasks, approach).unwrap();
+            let recycled = AnalysisContext::with_crpd_approach_buffers(
+                &platform,
+                &tasks,
+                approach,
+                &mut buffers,
+            )
+            .unwrap();
+            assert_eq!(recycled.gamma, fresh.gamma, "{approach:?}");
+            assert_eq!(recycled.cpro_overlap, fresh.cpro_overlap, "{approach:?}");
+            recycled.recycle(&mut buffers);
+        }
+        // A second build after recycling reuses the same allocation.
+        let before = cpa_obs::counter("analysis.context_recycles").get();
+        let ctx = AnalysisContext::with_crpd_approach_buffers(
+            &platform,
+            &tasks,
+            CrpdApproach::EcbUnion,
+            &mut buffers,
+        )
+        .unwrap();
+        assert!(cpa_obs::counter("analysis.context_recycles").get() > before);
+        ctx.recycle(&mut buffers);
+
+        // Recycling across *different* task sets (the optimizer pattern:
+        // same worker, new candidate) still matches a fresh build.
+        let tasks_small = TaskSet::new(vec![tasks[cpa_model::TaskId::new(0)].clone()]).unwrap();
+        let fresh = AnalysisContext::new(&platform, &tasks_small).unwrap();
+        let recycled = AnalysisContext::with_crpd_approach_buffers(
+            &platform,
+            &tasks_small,
+            CrpdApproach::EcbUnion,
+            &mut buffers,
+        )
+        .unwrap();
+        assert_eq!(recycled.gamma, fresh.gamma);
+        assert_eq!(recycled.cpro_overlap, fresh.cpro_overlap);
     }
 
     #[test]

@@ -102,7 +102,7 @@ pub mod sched;
 pub mod wcrt;
 
 pub use config::{AnalysisConfig, BusPolicy, PersistenceMode};
-pub use context::AnalysisContext;
+pub use context::{AnalysisContext, ContextBuffers};
 pub use crpd::CrpdApproach;
 pub use diagnose::{decompose, DominantTerm, TermDecomposition};
 pub use engine::AnalysisScratch;

@@ -1,0 +1,109 @@
+//! Optimizer gate: on a fig2-style utilization panel the optimized
+//! configurations must weakly dominate the defaults — no request may get
+//! *worse*, schedulability-wise — and at least one seeded set must be
+//! strictly improved. Also reports search throughput (candidates/sec).
+//!
+//! Hand-rolled harness (like `sweep_e2e`): this bench is a CI gate. It
+//! writes the measured numbers to `BENCH_optimize.json` and exits
+//! non-zero on a dominance or improvement failure. Weak dominance is
+//! structural — the search always evaluates the default configuration
+//! first and keeps it as the fallback best — so a failure here means that
+//! invariant broke.
+
+use std::time::Instant;
+
+use cpa_optimize::{gen_batch, process_batch, GenOptions, ResultCache, ServiceOptions};
+
+/// Per-core utilization points, straddling the schedulability cliff so
+/// the panel contains easy, marginal, and hopeless defaults.
+const UTILS: &[f64] = &[0.4, 0.5, 0.6];
+/// Requests per utilization point.
+const SETS_PER_UTIL: usize = 4;
+
+fn main() {
+    // `cargo bench` passes flags like `--bench`; this harness ignores them.
+    let service = ServiceOptions::default();
+    let mut requests = 0u64;
+    let mut schedulable_default = 0u64;
+    let mut schedulable_optimized = 0u64;
+    let mut strictly_improved = 0u64;
+    let mut candidates = 0u64;
+    let mut dominance_violations = 0u64;
+
+    let counters_before = cpa_obs::counter("optimize.candidates").get();
+    let start = Instant::now();
+    for &util in UTILS {
+        let gen = GenOptions {
+            sets: SETS_PER_UTIL,
+            seed: 42,
+            cores: 2,
+            tasks_per_core: 3,
+            cache_sets: 32,
+            util,
+            toy: true,
+            ..GenOptions::default()
+        };
+        let batch = gen_batch(&gen).expect("panel batch generates");
+        let mut cache = ResultCache::in_memory();
+        let (body, stats) = process_batch(&batch, &service, &mut cache).expect("panel processes");
+        requests += stats.requests;
+        schedulable_default += stats.schedulable_default;
+        schedulable_optimized += stats.schedulable_optimized;
+        strictly_improved += stats.strictly_improved;
+        candidates += stats.candidates;
+        // Weak dominance per request: a schedulable default must stay
+        // schedulable after optimization. One response document per line.
+        for line in body.lines().filter(|l| l.starts_with('{')) {
+            if line.contains("\"schedulable_default\":true")
+                && !line.contains("\"schedulable_optimized\":true")
+            {
+                dominance_violations += 1;
+                eprintln!("dominance violation: {line}");
+            }
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let counter_candidates = cpa_obs::counter("optimize.candidates").get() - counters_before;
+    assert_eq!(
+        candidates, counter_candidates,
+        "batch stats and optimize.candidates counter disagree"
+    );
+    let candidates_per_sec = if elapsed > 0.0 {
+        candidates as f64 / elapsed
+    } else {
+        0.0
+    };
+
+    eprintln!(
+        "optimize panel  {requests} requests   default {schedulable_default} schedulable   \
+         optimized {schedulable_optimized}   improved {strictly_improved}   \
+         {candidates} candidates in {elapsed:.2}s ({candidates_per_sec:.0}/s)"
+    );
+
+    let dominance_pass = dominance_violations == 0 && schedulable_optimized >= schedulable_default;
+    let improvement_pass = strictly_improved >= 1;
+    let pass = dominance_pass && improvement_pass;
+    let json = format!(
+        "{{\"bench\":\"optimize\",\"workload\":\"fig2_style_panel\",\
+         \"utils\":{UTILS:?},\"sets_per_util\":{SETS_PER_UTIL},\"requests\":{requests},\
+         \"schedulable_default\":{schedulable_default},\
+         \"schedulable_optimized\":{schedulable_optimized},\
+         \"strictly_improved\":{strictly_improved},\
+         \"candidates\":{candidates},\"candidates_per_sec\":{candidates_per_sec:.0},\
+         \"weak_dominance\":{{\"violations\":{dominance_violations},\"pass\":{dominance_pass}}},\
+         \"strict_improvement\":{{\"gate\":1,\"pass\":{improvement_pass}}},\
+         \"pass\":{pass}}}\n"
+    );
+    // Anchor to the workspace root: `cargo bench` sets the CWD to the
+    // crate directory, but the gate artifact belongs next to ci.sh.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_optimize.json");
+    std::fs::write(out, &json).expect("write BENCH_optimize.json");
+    eprintln!("wrote {out}");
+    if !pass {
+        eprintln!(
+            "FAIL: weak dominance {dominance_pass} (violations {dominance_violations}), \
+             strict improvement {improvement_pass} ({strictly_improved} improved)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -347,6 +347,48 @@ impl CacheBlockSet {
         out
     }
 
+    /// Rotates every block by `shift` cache sets, wrapping modulo the
+    /// capacity — the cache-coloring move of `cpa-optimize`. Shifting a
+    /// task's whole footprint (`ECB`, `UCB`, `PCB` by the same amount)
+    /// relocates it in the cache without changing its size or internal
+    /// subset structure, so recoloring never invalidates task invariants;
+    /// only the *inter-task* overlaps (`γ`, CPRO) change.
+    ///
+    /// ```
+    /// use cpa_model::CacheBlockSet;
+    /// let s = CacheBlockSet::contiguous(8, 6, 3);
+    /// assert_eq!(s.rotated(2).iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+    /// assert_eq!(s.rotated(0), s);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is non-empty with zero capacity (unreachable for
+    /// constructed sets).
+    #[must_use]
+    pub fn rotated(&self, shift: usize) -> CacheBlockSet {
+        let mut out = CacheBlockSet::new(self.capacity);
+        if self.capacity == 0 {
+            assert!(self.is_empty(), "non-empty set with zero capacity");
+            return out;
+        }
+        let shift = shift % self.capacity;
+        for block in self.iter() {
+            out.set_bit((block + shift) % self.capacity);
+        }
+        out
+    }
+
+    /// Feeds the set's canonical encoding (capacity, cardinality, sorted
+    /// block indices) into a [`crate::ContentHasher`].
+    pub fn hash_content(&self, hasher: &mut crate::ContentHasher) {
+        hasher.write_usize(self.capacity);
+        hasher.write_usize(self.len());
+        for block in self.iter() {
+            hasher.write_usize(block);
+        }
+    }
+
     fn assert_same_capacity(&self, other: &CacheBlockSet) {
         assert_eq!(
             self.capacity, other.capacity,
@@ -501,6 +543,24 @@ mod tests {
         let u = CacheBlockSet::union_of(256, &sets);
         assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
         assert!(CacheBlockSet::union_of(256, []).is_empty());
+    }
+
+    #[test]
+    fn rotation_wraps_and_preserves_structure() {
+        let s = CacheBlockSet::contiguous(8, 6, 3);
+        assert_eq!(s.rotated(2).iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(s.rotated(0), s);
+        assert_eq!(s.rotated(8), s, "full-capacity rotation is the identity");
+        assert_eq!(s.rotated(10), s.rotated(2), "shift wraps modulo capacity");
+        // Rotating a subset pair by the same shift preserves the relation.
+        let ecb = set([1, 2, 3, 200]);
+        let pcb = set([2, 200]);
+        assert!(pcb.rotated(77).is_subset(&ecb.rotated(77)));
+        assert_eq!(
+            pcb.rotated(77).intersection_len(&ecb.rotated(77)),
+            pcb.intersection_len(&ecb)
+        );
+        assert!(CacheBlockSet::new(0).rotated(3).is_empty());
     }
 
     #[test]

@@ -65,6 +65,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod blocks;
+mod canon;
 mod error;
 mod ids;
 mod platform;
@@ -73,6 +74,7 @@ mod taskset;
 mod time;
 
 pub use blocks::CacheBlockSet;
+pub use canon::ContentHasher;
 pub use error::ModelError;
 pub use ids::{CoreId, Priority, TaskId};
 pub use platform::{CacheGeometry, Platform, PlatformBuilder};

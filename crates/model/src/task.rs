@@ -231,6 +231,24 @@ impl Task {
     pub fn utilization(&self, d_mem: Time) -> f64 {
         self.total_demand(d_mem).cycles() as f64 / self.period.cycles() as f64
     }
+
+    /// Feeds the task's canonical encoding into a [`crate::ContentHasher`]
+    /// — every semantic field in declaration order, with the block sets in
+    /// their sorted-index encoding. Two tasks hash equally iff they are
+    /// equal, regardless of how either was constructed or serialized.
+    pub fn hash_content(&self, hasher: &mut crate::ContentHasher) {
+        hasher.write_str(&self.name);
+        hasher.write_u64(self.pd.cycles());
+        hasher.write_u64(self.md);
+        hasher.write_u64(self.md_r);
+        hasher.write_u64(self.deadline.cycles());
+        hasher.write_u64(self.period.cycles());
+        hasher.write_usize(self.core.index());
+        hasher.write_u64(u64::from(self.priority.level()));
+        self.ucb.hash_content(hasher);
+        self.ecb.hash_content(hasher);
+        self.pcb.hash_content(hasher);
+    }
 }
 
 impl fmt::Display for Task {

@@ -5,7 +5,7 @@ use std::ops::Index;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{CoreId, ModelError, Platform, Task, TaskId, Time};
+use crate::{ContentHasher, CoreId, ModelError, Platform, Task, TaskId, Time};
 
 /// An immutable set of tasks with a unique, global, fixed-priority order,
 /// statically partitioned onto cores.
@@ -281,6 +281,62 @@ impl TaskSet {
             });
         }
         Ok(())
+    }
+
+    /// Canonical 64-bit content hash of the task set — the cache-key
+    /// primitive of the `cpa-optimize` content-addressed result cache.
+    ///
+    /// The hash covers every semantic field of every task, visited in
+    /// priority order. Because [`TaskSet::new`] sorts tasks by priority
+    /// (and deserialization funnels through it), the hash is invariant
+    /// under the orderings a cache key must not depend on:
+    ///
+    /// * **task reordering** — shuffling the `Vec<Task>` handed to
+    ///   [`TaskSet::new`], or the array elements of the JSON encoding;
+    /// * **serialization round trips** — `to_json` → `from_json` re-builds
+    ///   field-identical tasks, so the hash is stable across any number of
+    ///   round trips (all fields are integers and strings; no
+    ///   floating-point drift is possible).
+    ///
+    /// Two semantically different sets hash differently up to 64-bit
+    /// collisions; field boundaries are length-prefixed so adjacent
+    /// variable-length fields cannot alias (see [`ContentHasher`]).
+    ///
+    /// ```
+    /// # use cpa_model::{CoreId, Priority, Task, TaskSet, Time};
+    /// # fn main() -> Result<(), cpa_model::ModelError> {
+    /// # let mk = |name: &str, prio: u32| Task::builder(name)
+    /// #     .processing_demand(Time::from_cycles(10))
+    /// #     .memory_demand(2)
+    /// #     .period(Time::from_cycles(100))
+    /// #     .deadline(Time::from_cycles(100))
+    /// #     .core(CoreId::new(0))
+    /// #     .priority(Priority::new(prio))
+    /// #     .cache_sets(16)
+    /// #     .build()
+    /// #     .unwrap();
+    /// let a = TaskSet::new(vec![mk("x", 1), mk("y", 2)])?;
+    /// let b = TaskSet::new(vec![mk("y", 2), mk("x", 1)])?;
+    /// assert_eq!(a.content_hash(), b.content_hash());
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        let mut hasher = ContentHasher::new();
+        self.hash_content(&mut hasher);
+        hasher.finish()
+    }
+
+    /// Feeds the set's canonical encoding into an existing
+    /// [`ContentHasher`], for callers that fold more context (bus policy,
+    /// search parameters) into one composite key.
+    pub fn hash_content(&self, hasher: &mut ContentHasher) {
+        hasher.write_usize(self.tasks.len());
+        hasher.write_usize(self.cache_sets());
+        for task in &self.tasks {
+            task.hash_content(hasher);
+        }
     }
 
     /// Serializes the task set as pretty-printed JSON (an array of task

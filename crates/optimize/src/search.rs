@@ -1,0 +1,554 @@
+//! The design-space search: exhaustive on small spaces, seeded local
+//! search otherwise, with candidate evaluations fanned over `cpa-pool`.
+//!
+//! # Search space
+//!
+//! For an `n`-task set the space is the product of the enabled dimensions:
+//! `cores^n` partitionings × `n!` priority orders × `colors^n` cache
+//! colorings. When the product fits under
+//! [`SearchKnobs::exhaustive_limit`] every point is enumerated in a fixed
+//! mixed-radix order (coloring digits, then partitioning digits, then a
+//! Lehmer-coded permutation) and evaluated in one pool batch — ties break
+//! to the earliest index, so the result is a pure function of the input.
+//!
+//! Otherwise a steepest-ascent hill climb runs `restarts` times: restart 0
+//! starts from the default configuration refined by an Audsley-style
+//! priority seeding pass, later restarts perturb the default with a
+//! ChaCha-seeded random walk. Each round samples `neighbors` single moves
+//! (core reassignment, core swap, rank swap, recolor) *on the driver
+//! thread* — the pool only ever evaluates fully formed candidates, so the
+//! outcome is invariant in the worker count.
+//!
+//! # Determinism
+//!
+//! All randomness flows from `ChaCha8Rng::seed_from_u64(derive_seed(seed,
+//! restart, 0))` and is consumed on the driver; `cpa_pool::map` returns
+//! results in item order regardless of threading; every fold over batch
+//! results is sequential with first-wins ties. Same seed + same request ⇒
+//! identical best candidate at any `--threads`.
+
+use cpa_analysis::{
+    analyze_with, AnalysisConfig, AnalysisContext, AnalysisScratch, ContextBuffers, CrpdApproach,
+};
+use cpa_experiments::runner::derive_seed;
+use cpa_model::{ContentHasher, Platform, TaskSet};
+use cpa_pool::PoolOptions;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::candidate::Candidate;
+use crate::score::{evaluate_result, Evaluation, Score};
+
+/// Tuning knobs of one optimization run. Part of the request format (all
+/// fields are required in JSON — the vendored serde has no `default`) and
+/// of the content-addressed cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchKnobs {
+    /// Local-search restarts (restart 0 is the Audsley-seeded one).
+    pub restarts: u32,
+    /// Maximum hill-climbing rounds per restart.
+    pub max_rounds: u32,
+    /// Neighbour candidates sampled and batch-evaluated per round.
+    pub neighbors: u32,
+    /// Rounds without strict improvement before a restart gives up.
+    pub patience: u32,
+    /// Cache colors: footprint rotations are multiples of
+    /// `cache_sets / colors` (clamped to at least one set).
+    pub colors: u32,
+    /// Largest design-space size still enumerated exhaustively.
+    pub exhaustive_limit: u64,
+    /// Search over task-to-core partitionings.
+    pub partitioning: bool,
+    /// Search over priority orders.
+    pub priorities: bool,
+    /// Search over cache colorings.
+    pub coloring: bool,
+}
+
+impl SearchKnobs {
+    /// Sensible service defaults: all three dimensions on, a few seeded
+    /// restarts, exhaustive only for genuinely tiny spaces.
+    #[must_use]
+    pub fn standard() -> SearchKnobs {
+        SearchKnobs {
+            restarts: 3,
+            max_rounds: 32,
+            neighbors: 16,
+            patience: 4,
+            colors: 8,
+            exhaustive_limit: 1_024,
+            partitioning: true,
+            priorities: true,
+            coloring: true,
+        }
+    }
+
+    /// Small knobs for smoke tests and toy sets.
+    #[must_use]
+    pub fn toy() -> SearchKnobs {
+        SearchKnobs {
+            restarts: 2,
+            max_rounds: 12,
+            neighbors: 8,
+            patience: 3,
+            colors: 4,
+            exhaustive_limit: 512,
+            partitioning: true,
+            priorities: true,
+            coloring: true,
+        }
+    }
+
+    /// Feeds every knob into the request fingerprint: two requests that
+    /// differ only in search effort must not share a cache entry.
+    pub fn hash_content(&self, hasher: &mut ContentHasher) {
+        hasher.write_u64(u64::from(self.restarts));
+        hasher.write_u64(u64::from(self.max_rounds));
+        hasher.write_u64(u64::from(self.neighbors));
+        hasher.write_u64(u64::from(self.patience));
+        hasher.write_u64(u64::from(self.colors));
+        hasher.write_u64(self.exhaustive_limit);
+        hasher.write_u64(u64::from(self.partitioning));
+        hasher.write_u64(u64::from(self.priorities));
+        hasher.write_u64(u64::from(self.coloring));
+    }
+}
+
+/// What one search run did, for the response document and the
+/// `optimize.*` counters.
+#[derive(Debug, Clone, Serialize)]
+pub struct SearchStats {
+    /// `"exhaustive"` or `"local-search"`.
+    pub strategy: String,
+    /// Candidates evaluated (including the default and Audsley probes).
+    pub candidates: u64,
+    /// Accepted strict-improvement moves across all restarts.
+    pub moves_accepted: u64,
+    /// Evaluated neighbours that did not become the current point.
+    pub moves_rejected: u64,
+    /// Restarts actually run (0 for exhaustive).
+    pub restarts: u32,
+    /// Hill-climbing rounds actually run (0 for exhaustive).
+    pub rounds: u32,
+}
+
+/// Result of one optimization run.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The best configuration found; never scores below the default.
+    pub best: Candidate,
+    /// Score of `best`.
+    pub best_score: Score,
+    /// Score of the unmodified (identity) configuration.
+    pub default_score: Score,
+    /// Search accounting.
+    pub stats: SearchStats,
+}
+
+/// Per-worker reusable state: one analysis scratch plus recycled context
+/// tables, so a worker allocates only on its first candidate.
+#[derive(Debug)]
+struct EvalScratch {
+    scratch: AnalysisScratch,
+    buffers: ContextBuffers,
+}
+
+impl EvalScratch {
+    fn new() -> EvalScratch {
+        EvalScratch {
+            scratch: AnalysisScratch::new(),
+            buffers: ContextBuffers::new(),
+        }
+    }
+}
+
+struct Searcher<'a> {
+    base: &'a TaskSet,
+    platform: &'a Platform,
+    config: &'a AnalysisConfig,
+    knobs: &'a SearchKnobs,
+    pool: PoolOptions,
+    /// Cores available for partitioning.
+    cores: usize,
+    /// The shift values the coloring dimension ranges over (always
+    /// contains 0, the identity coloring).
+    shifts: Vec<usize>,
+    /// Candidates evaluated so far.
+    evaluated: u64,
+}
+
+impl<'a> Searcher<'a> {
+    fn new(
+        base: &'a TaskSet,
+        platform: &'a Platform,
+        config: &'a AnalysisConfig,
+        knobs: &'a SearchKnobs,
+        pool: PoolOptions,
+    ) -> Searcher<'a> {
+        let cache_sets = base.cache_sets();
+        let colors = (knobs.colors.max(1) as usize).min(cache_sets.max(1));
+        let step = (cache_sets / colors).max(1);
+        Searcher {
+            base,
+            platform,
+            config,
+            knobs,
+            pool,
+            cores: platform.cores(),
+            shifts: (0..colors).map(|c| c * step).collect(),
+            evaluated: 0,
+        }
+    }
+
+    /// Evaluates a batch of candidates over the pool; results come back in
+    /// candidate order whatever the thread count.
+    fn evaluate_batch(&mut self, candidates: &[Candidate]) -> Vec<Evaluation> {
+        let _span = cpa_obs::span!("optimize.evaluate_batch");
+        self.evaluated += candidates.len() as u64;
+        cpa_obs::counter("optimize.candidates").add(candidates.len() as u64);
+        let epoch = cpa_obs::next_scope_epoch();
+        let (base, platform, config) = (self.base, self.platform, self.config);
+        cpa_pool::map(
+            candidates.len(),
+            self.pool,
+            epoch,
+            |_| EvalScratch::new(),
+            |state, k| {
+                let tasks = candidates[k].apply(base);
+                let ctx = AnalysisContext::with_crpd_approach_buffers(
+                    platform,
+                    &tasks,
+                    CrpdApproach::EcbUnion,
+                    &mut state.buffers,
+                )
+                .expect("candidates stay valid for the platform");
+                let result = analyze_with(&ctx, config, &mut state.scratch);
+                let eval = evaluate_result(&tasks, &result);
+                ctx.recycle(&mut state.buffers);
+                eval
+            },
+        )
+    }
+
+    /// Index of the best evaluation, ties to the earliest — the tiebreak
+    /// that makes enumeration order part of the determinism contract.
+    fn argmax(evals: &[Evaluation]) -> usize {
+        let mut best = 0;
+        for (k, e) in evals.iter().enumerate().skip(1) {
+            if e.score > evals[best].score {
+                best = k;
+            }
+        }
+        best
+    }
+
+    /// Total design-space size, `None` on overflow (treated as "too big").
+    fn space_size(&self) -> Option<u64> {
+        let n = u32::try_from(self.base.len()).ok()?;
+        let mut size = 1u64;
+        if self.knobs.partitioning {
+            size = (self.cores as u64).checked_pow(n)?;
+        }
+        if self.knobs.priorities {
+            size = size.checked_mul(factorial(n)?)?;
+        }
+        if self.knobs.coloring {
+            size = size.checked_mul((self.shifts.len() as u64).checked_pow(n)?)?;
+        }
+        Some(size)
+    }
+
+    /// Decodes point `index` of the mixed-radix enumeration. Digit order:
+    /// coloring (least significant), then partitioning, then the Lehmer
+    /// code of the priority permutation.
+    fn decode(&self, mut index: u64) -> Candidate {
+        let n = self.base.len();
+        let mut c = Candidate::identity(self.base);
+        if self.knobs.coloring {
+            let radix = self.shifts.len() as u64;
+            for shift in c.shifts.iter_mut() {
+                *shift = self.shifts[(index % radix) as usize];
+                index /= radix;
+            }
+        }
+        if self.knobs.partitioning {
+            let radix = self.cores as u64;
+            for core in c.cores.iter_mut() {
+                *core = (index % radix) as usize;
+                index /= radix;
+            }
+        }
+        if self.knobs.priorities {
+            c.ranks = ranks_from_lehmer(index, n);
+        }
+        c
+    }
+
+    /// Applies one random move to `c`. Move kinds are drawn uniformly from
+    /// the enabled, non-degenerate dimensions in a fixed order.
+    fn mutate(&self, c: &mut Candidate, rng: &mut ChaCha8Rng) {
+        #[derive(Clone, Copy)]
+        enum Move {
+            Reassign,
+            SwapCores,
+            SwapRanks,
+            Recolor,
+        }
+        let n = c.cores.len();
+        let mut moves = Vec::with_capacity(4);
+        if self.knobs.partitioning && self.cores > 1 {
+            moves.push(Move::Reassign);
+            if n > 1 {
+                moves.push(Move::SwapCores);
+            }
+        }
+        if self.knobs.priorities && n > 1 {
+            moves.push(Move::SwapRanks);
+        }
+        if self.knobs.coloring && self.shifts.len() > 1 {
+            moves.push(Move::Recolor);
+        }
+        if moves.is_empty() {
+            return;
+        }
+        match moves[rng.gen_range(0..moves.len())] {
+            Move::Reassign => {
+                let k = rng.gen_range(0..n);
+                let mut core = rng.gen_range(0..self.cores);
+                if core == c.cores[k] {
+                    core = (core + 1) % self.cores;
+                }
+                c.cores[k] = core;
+            }
+            Move::SwapCores => {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                c.cores.swap(a, b);
+            }
+            Move::SwapRanks => {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                c.ranks.swap(a, b);
+            }
+            Move::Recolor => {
+                let k = rng.gen_range(0..n);
+                c.shifts[k] = self.shifts[rng.gen_range(0..self.shifts.len())];
+            }
+        }
+    }
+
+    /// Audsley-style priority seeding on top of the default partitioning
+    /// and coloring: assign levels lowest-first, at each level batching one
+    /// probe per still-unassigned task and keeping the first whose task
+    /// converges there. Quadratic in task count, so only run for seeding.
+    fn audsley(&mut self, default: &Candidate) -> Candidate {
+        let _span = cpa_obs::span!("optimize.audsley");
+        let n = self.base.len();
+        let mut ranks = vec![u32::MAX; n];
+        let mut unassigned: Vec<usize> = (0..n).collect();
+        for level in (0..n).rev() {
+            let probes: Vec<Candidate> = unassigned
+                .iter()
+                .map(|&u| {
+                    let mut c = default.clone();
+                    let mut next = 0u32;
+                    for (k, slot) in c.ranks.iter_mut().enumerate() {
+                        *slot = if ranks[k] != u32::MAX {
+                            ranks[k]
+                        } else if k == u {
+                            level as u32
+                        } else {
+                            let r = next;
+                            next += 1;
+                            r
+                        };
+                    }
+                    c
+                })
+                .collect();
+            let evals = self.evaluate_batch(&probes);
+            let pick = evals
+                .iter()
+                .position(|e| (e.converged_mask >> level) & 1 == 1)
+                .unwrap_or(0);
+            let u = unassigned.remove(pick);
+            ranks[u] = level as u32;
+        }
+        Candidate {
+            cores: default.cores.clone(),
+            ranks,
+            shifts: default.shifts.clone(),
+        }
+    }
+}
+
+fn factorial(n: u32) -> Option<u64> {
+    (1..=u64::from(n)).try_fold(1u64, u64::checked_mul)
+}
+
+/// Decodes a Lehmer code into a rank vector: `ranks[k]` is the priority
+/// rank of base task `k`. Code 0 is the identity.
+fn ranks_from_lehmer(mut code: u64, n: usize) -> Vec<u32> {
+    let mut fact = vec![1u64; n.max(1)];
+    for i in 1..n {
+        fact[i] = fact[i - 1].saturating_mul(i as u64);
+    }
+    let mut available: Vec<u32> = (0..n as u32).collect();
+    let mut ranks = Vec::with_capacity(n);
+    for k in 0..n {
+        let f = fact[n - 1 - k];
+        let pos = ((code / f) as usize).min(available.len() - 1);
+        code %= f;
+        ranks.push(available.remove(pos));
+    }
+    ranks
+}
+
+/// Runs the full design-space search for `base` on `platform` under
+/// `config`, deterministically in `seed` and invariant in `pool`'s thread
+/// and chunk settings. The returned best never scores below the default
+/// configuration, which is always evaluated first and kept as fallback.
+#[must_use]
+pub fn optimize(
+    base: &TaskSet,
+    platform: &Platform,
+    config: &AnalysisConfig,
+    knobs: &SearchKnobs,
+    seed: u64,
+    pool: PoolOptions,
+) -> SearchOutcome {
+    let _span = cpa_obs::span!("optimize.search");
+    let mut s = Searcher::new(base, platform, config, knobs, pool);
+    let default = Candidate::identity(base);
+    let default_eval = s.evaluate_batch(std::slice::from_ref(&default))[0];
+    let mut best = default.clone();
+    let mut best_eval = default_eval;
+    let mut stats = SearchStats {
+        strategy: String::new(),
+        candidates: 0,
+        moves_accepted: 0,
+        moves_rejected: 0,
+        restarts: 0,
+        rounds: 0,
+    };
+
+    let space = s.space_size();
+    if let Some(size) = space.filter(|&size| size <= knobs.exhaustive_limit) {
+        stats.strategy = "exhaustive".to_string();
+        cpa_obs::counter("optimize.exhaustive_runs").incr();
+        // One batch over the whole space; ties break to the lowest index.
+        let candidates: Vec<Candidate> = (0..size).map(|ix| s.decode(ix)).collect();
+        let evals = s.evaluate_batch(&candidates);
+        if !evals.is_empty() {
+            let bi = Searcher::argmax(&evals);
+            if evals[bi].score > best_eval.score {
+                best = candidates[bi].clone();
+                best_eval = evals[bi];
+            }
+        }
+    } else {
+        stats.strategy = "local-search".to_string();
+        let n = base.len();
+        for restart in 0..knobs.restarts.max(1) {
+            stats.restarts += 1;
+            cpa_obs::counter("optimize.restarts").incr();
+            let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(seed, u64::from(restart), 0));
+            let mut current = if restart == 0 {
+                if knobs.priorities && (2..=128).contains(&n) {
+                    s.audsley(&default)
+                } else {
+                    default.clone()
+                }
+            } else {
+                // Later restarts walk away from the default at random.
+                let mut c = default.clone();
+                for _ in 0..n.max(2) {
+                    s.mutate(&mut c, &mut rng);
+                }
+                c
+            };
+            let mut current_eval = s.evaluate_batch(std::slice::from_ref(&current))[0];
+            if current_eval.score > best_eval.score {
+                best = current.clone();
+                best_eval = current_eval;
+            }
+            let mut stale = 0u32;
+            for _ in 0..knobs.max_rounds {
+                stats.rounds += 1;
+                let neighbors: Vec<Candidate> = (0..knobs.neighbors)
+                    .map(|_| {
+                        let mut c = current.clone();
+                        s.mutate(&mut c, &mut rng);
+                        c
+                    })
+                    .collect();
+                if neighbors.is_empty() {
+                    break;
+                }
+                let evals = s.evaluate_batch(&neighbors);
+                let bi = Searcher::argmax(&evals);
+                if evals[bi].score > current_eval.score {
+                    stats.moves_accepted += 1;
+                    stats.moves_rejected += (neighbors.len() - 1) as u64;
+                    current = neighbors[bi].clone();
+                    current_eval = evals[bi];
+                    stale = 0;
+                    if current_eval.score > best_eval.score {
+                        best = current.clone();
+                        best_eval = current_eval;
+                    }
+                } else {
+                    stats.moves_rejected += neighbors.len() as u64;
+                    stale += 1;
+                    // Sideways drift along score plateaus, seeded like
+                    // everything else, to escape flat regions.
+                    if evals[bi].score == current_eval.score && rng.gen_bool(0.5) {
+                        current = neighbors[bi].clone();
+                        current_eval = evals[bi];
+                    }
+                    if stale >= knobs.patience.max(1) {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    stats.candidates = s.evaluated;
+    cpa_obs::counter("optimize.moves_accepted").add(stats.moves_accepted);
+    cpa_obs::counter("optimize.moves_rejected").add(stats.moves_rejected);
+    SearchOutcome {
+        best,
+        best_score: best_eval.score,
+        default_score: default_eval.score,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lehmer_code_enumerates_all_permutations() {
+        let n = 4;
+        let mut seen = std::collections::HashSet::new();
+        for code in 0..24 {
+            let ranks = ranks_from_lehmer(code, n);
+            let mut sorted = ranks.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, [0, 1, 2, 3], "code {code} is a permutation");
+            seen.insert(ranks);
+        }
+        assert_eq!(seen.len(), 24, "codes are distinct");
+        assert_eq!(ranks_from_lehmer(0, n), [0, 1, 2, 3], "code 0 is identity");
+    }
+
+    #[test]
+    fn factorial_overflow_is_none() {
+        assert_eq!(factorial(0), Some(1));
+        assert_eq!(factorial(5), Some(120));
+        assert_eq!(factorial(30), None);
+    }
+}

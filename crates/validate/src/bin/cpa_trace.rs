@@ -198,6 +198,66 @@ struct SweepDoc {
     configs: Vec<SweepConfigRow>,
 }
 
+/// Search section of the `optimize` report: design-space search activity
+/// from the `optimize.*` counter deltas across both batch runs
+/// (DESIGN.md §13).
+#[derive(Serialize)]
+struct OptimizeStats {
+    candidates: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    moves_accepted: u64,
+    moves_rejected: u64,
+    restarts: u64,
+    exhaustive_runs: u64,
+    improved: u64,
+}
+
+impl OptimizeStats {
+    /// Snapshot of the always-on optimizer counters, for delta-ing around
+    /// the cold + warm batch runs.
+    fn snapshot() -> [u64; 8] {
+        [
+            cpa_obs::counter("optimize.candidates").get(),
+            cpa_obs::counter("optimize.cache_hits").get(),
+            cpa_obs::counter("optimize.cache_misses").get(),
+            cpa_obs::counter("optimize.moves_accepted").get(),
+            cpa_obs::counter("optimize.moves_rejected").get(),
+            cpa_obs::counter("optimize.restarts").get(),
+            cpa_obs::counter("optimize.exhaustive_runs").get(),
+            cpa_obs::counter("optimize.improved").get(),
+        ]
+    }
+
+    fn from_delta(before: [u64; 8]) -> OptimizeStats {
+        let after = OptimizeStats::snapshot();
+        let d = |i: usize| after[i].saturating_sub(before[i]);
+        OptimizeStats {
+            candidates: d(0),
+            cache_hits: d(1),
+            cache_misses: d(2),
+            moves_accepted: d(3),
+            moves_rejected: d(4),
+            restarts: d(5),
+            exhaustive_runs: d(6),
+            improved: d(7),
+        }
+    }
+}
+
+/// The `optimize --json` report (profile spliced in separately): one toy
+/// batch run cold, then again warm against the same in-memory cache.
+#[derive(Serialize)]
+struct OptimizeDoc {
+    command: &'static str,
+    seed: u64,
+    sets: usize,
+    replay_identical: bool,
+    counters: OptimizeStats,
+    cold: cpa_optimize::BatchStats,
+    warm: cpa_optimize::BatchStats,
+}
+
 /// The `analyze --json` report (profile spliced in separately).
 #[derive(Serialize)]
 struct AnalyzeDoc {
@@ -288,7 +348,9 @@ const USAGE: &str = "usage: cpa-trace analyze [--seed S] [--cores N] [--tasks-pe
 [--util U] [--bus fp|rr|tdma] [--slots K] [--horizon H] [--trace FILE] [--profile FILE] [--json] \
 [--reference-sim]\n       cpa-trace sweep [--seed S] [--cores N] [--tasks-per-core K] [--util U] \
 [--bus fp|rr|tdma|perfect] [--slots K] [--sets N] [--threads T] [--chunk C] [--trace FILE] \
-[--profile FILE] [--json]";
+[--profile FILE] [--json]\n       cpa-trace optimize [--seed S] [--cores N] [--tasks-per-core K] \
+[--util U] [--bus fp|rr|tdma|perfect] [--slots K] [--mode aware|oblivious] [--sets N] \
+[--threads T] [--chunk C] [--trace FILE] [--profile FILE] [--json]";
 
 /// Everything both subcommands share.
 struct TraceOptions {
@@ -422,6 +484,7 @@ fn main() -> ExitCode {
         Some("analyze") => dispatch(&mut args, analyze_cmd),
         Some("sim") => dispatch(&mut args, sim_cmd),
         Some("sweep") => dispatch(&mut args, sweep_cmd),
+        Some("optimize") => dispatch(&mut args, optimize_cmd),
         Some("--help" | "-h") => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -746,6 +809,83 @@ fn sweep_cmd(opts: &TraceOptions) -> Result<(), String> {
             row.bus, row.mode, row.schedulable, row.samples
         );
     }
+    print_profile(&profile);
+    Ok(())
+}
+
+fn optimize_cmd(opts: &TraceOptions) -> Result<(), String> {
+    // Validate the labels up front for consistent CLI errors.
+    opts.bus_policy()?;
+    opts.persistence()?;
+    let gen = cpa_optimize::GenOptions {
+        sets: opts.sets,
+        seed: opts.seed,
+        cores: opts.cores,
+        tasks_per_core: opts.tasks_per_core,
+        util: opts.util,
+        bus: opts.bus.clone(),
+        slots: opts.slots,
+        mode: opts.mode.clone(),
+        toy: true,
+        ..cpa_optimize::GenOptions::default()
+    };
+    let batch = cpa_optimize::gen_batch(&gen)?;
+    let service = cpa_optimize::ServiceOptions {
+        threads: opts.threads,
+        chunk: opts.chunk,
+    };
+
+    // Run the same batch twice against one cache: the cold run searches,
+    // the warm run must replay the exact bytes from the cache.
+    let counters_before = OptimizeStats::snapshot();
+    let mut cache = cpa_optimize::ResultCache::in_memory();
+    let (cold_doc, cold) = cpa_optimize::process_batch(&batch, &service, &mut cache)?;
+    let (warm_doc, warm) = cpa_optimize::process_batch(&batch, &service, &mut cache)?;
+    let counters = OptimizeStats::from_delta(counters_before);
+    let replay_identical = cold_doc == warm_doc;
+
+    write_sinks(opts)?;
+    let profile = cpa_obs::profile_snapshot();
+
+    if opts.json {
+        let doc = OptimizeDoc {
+            command: "optimize",
+            seed: opts.seed,
+            sets: opts.sets,
+            replay_identical,
+            counters,
+            cold,
+            warm,
+        };
+        println!("{}", with_profile(&doc, &profile)?);
+        return Ok(());
+    }
+
+    println!(
+        "optimize: {} requests, seed {:#x}, {} cores x {} tasks, util {:.2}/core, bus {}/{}",
+        opts.sets, opts.seed, opts.cores, opts.tasks_per_core, opts.util, opts.bus, opts.mode
+    );
+    println!(
+        "search: {} candidates evaluated, {} restarts, {} exhaustive run(s); \
+         {} moves accepted, {} rejected",
+        counters.candidates,
+        counters.restarts,
+        counters.exhaustive_runs,
+        counters.moves_accepted,
+        counters.moves_rejected,
+    );
+    println!(
+        "cache: {} hits, {} misses across cold+warm; warm replay byte-identical: {}",
+        counters.cache_hits, counters.cache_misses, replay_identical
+    );
+    println!(
+        "verdicts: default schedulable {}/{}, optimized {}/{}, strictly improved {}",
+        cold.schedulable_default,
+        cold.requests,
+        cold.schedulable_optimized,
+        cold.requests,
+        cold.strictly_improved,
+    );
     print_profile(&profile);
     Ok(())
 }

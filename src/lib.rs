@@ -15,6 +15,8 @@
 //!   ([`cpa_workload`]).
 //! * [`experiments`] — regeneration harness for every table and figure
 //!   ([`cpa_experiments`]).
+//! * [`optimize`] — design-space optimization service with a
+//!   content-addressed result cache ([`cpa_optimize`]).
 //!
 //! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
 //! paper-versus-measured record.
@@ -52,5 +54,6 @@ pub use cpa_cfg as cfg;
 pub use cpa_experiments as experiments;
 pub use cpa_model as model;
 pub use cpa_obs as obs;
+pub use cpa_optimize as optimize;
 pub use cpa_sim as sim;
 pub use cpa_workload as workload;
