@@ -87,4 +87,44 @@ cargo bench -p cpa-bench --bench sweep_e2e
 echo "==> optimizer bench (weak dominance + strict improvement, emits BENCH_optimize.json)"
 cargo bench -p cpa-bench --bench optimize
 
+echo "==> telemetry export smoke (chrome + openmetrics, 1-vs-4 threads byte-compared)"
+rm -rf ci-telemetry && mkdir ci-telemetry
+cargo run --release -p cpa-validate --bin cpa-trace -- sweep --seed 7 --sets 8 \
+  --threads 1 --export chrome > ci-telemetry/chrome-t1.json
+cargo run --release -p cpa-validate --bin cpa-trace -- sweep --seed 7 --sets 8 \
+  --threads 4 --export chrome > ci-telemetry/chrome-t4.json
+diff ci-telemetry/chrome-t1.json ci-telemetry/chrome-t4.json
+grep -q '"traceEvents"' ci-telemetry/chrome-t1.json
+cargo run --release -p cpa-validate --bin cpa-trace -- sweep --seed 7 --sets 8 \
+  --threads 1 --export openmetrics > ci-telemetry/om-t1.txt
+cargo run --release -p cpa-validate --bin cpa-trace -- sweep --seed 7 --sets 8 \
+  --threads 4 --export openmetrics > ci-telemetry/om-t4.txt
+diff ci-telemetry/om-t1.txt ci-telemetry/om-t4.txt
+grep -q '^# EOF$' ci-telemetry/om-t1.txt
+grep -q '^engine_tasks_solved_total ' ci-telemetry/om-t1.txt
+
+echo "==> bench trajectory gate (real suite vs checked-in baseline, exit 0 expected)"
+cargo run --release -p cpa-validate --bin cpa-trace -- bench diff \
+  --baseline results/bench_baseline.jsonl \
+  --current BENCH_obs.json --current BENCH_analysis.json --current BENCH_sim.json \
+  --current BENCH_e2e.json --current BENCH_optimize.json
+
+echo "==> bench trajectory gate negative test (injected regression must exit 1)"
+cat > ci-telemetry/regressed.jsonl << 'JSON'
+{"schema":1,"bench":"analysis_engine","workload":"fig2_sweep","git_rev":"injected","date":"2026-01-01","config":{},"metrics":{},"throughput":{"fp_speedup":1.0},"gates":[]}
+JSON
+set +e
+cargo run --release -p cpa-validate --bin cpa-trace -- bench diff \
+  --baseline ci-telemetry/regressed.jsonl --current BENCH_analysis.json > /dev/null
+improved_rc=$?
+cargo run --release -p cpa-validate --bin cpa-trace -- bench diff \
+  --baseline results/bench_baseline.jsonl --current ci-telemetry/regressed.jsonl \
+  > ci-telemetry/regressed-diff.txt
+regressed_rc=$?
+set -e
+[ "$improved_rc" -eq 0 ] || { echo "improvement should pass, got exit $improved_rc"; exit 1; }
+[ "$regressed_rc" -eq 1 ] || { echo "injected regression should exit 1, got $regressed_rc"; exit 1; }
+grep -q 'REGRESSED' ci-telemetry/regressed-diff.txt
+rm -rf ci-telemetry
+
 echo "==> ci.sh: all green"

@@ -19,6 +19,7 @@ use cpa_analysis::{
     PersistenceMode,
 };
 use cpa_experiments::runner::platform_for;
+use cpa_telemetry::{BenchRecord, JsonValue};
 use cpa_workload::{GeneratorConfig, TaskSetGenerator};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -52,7 +53,7 @@ fn main() {
 
     let [fp, rr, tdma] = BusPolicy::paper_buses(2);
     let policies = [fp, rr, tdma, BusPolicy::Perfect];
-    let mut rows = Vec::new();
+    let mut measured: Vec<(&str, f64, f64, f64)> = Vec::new();
     let mut fp_speedup = 0.0f64;
     for bus in policies {
         let config = AnalysisConfig::new(bus, PersistenceMode::Aware);
@@ -81,26 +82,34 @@ fn main() {
             engine_ns,
             speedup
         );
-        rows.push(format!(
-            "{{\"policy\":\"{}\",\"old_ns\":{old_ns:.0},\"engine_ns\":{engine_ns:.0},\
-             \"speedup\":{speedup:.3}}}",
-            bus.label()
-        ));
+        measured.push((bus.label(), old_ns, engine_ns, speedup));
     }
 
     let pass = fp_speedup >= SPEEDUP_GATE;
-    let json = format!(
-        "{{\"bench\":\"analysis_engine\",\"workload\":\"fig2_sweep\",\
-         \"utils\":{UTILS:?},\"sets_per_util\":{SETS_PER_UTIL},\
-         \"policies\":[{}],\
-         \"fig2_fp_sweep\":{{\"speedup\":{fp_speedup:.3},\"gate\":{SPEEDUP_GATE},\
-         \"pass\":{pass}}}}}\n",
-        rows.join(",")
+    let mut record = BenchRecord::new("analysis_engine", "fig2_sweep");
+    record.push_config(
+        "utils",
+        JsonValue::Array(UTILS.iter().map(|&u| JsonValue::F64(u)).collect()),
     );
+    record.push_config("sets_per_util", SETS_PER_UTIL);
+    for (label, old_ns, engine_ns, speedup) in &measured {
+        record.push_metric(&format!("{label}_reference_ns"), old_ns.round());
+        record.push_metric(&format!("{label}_engine_ns"), engine_ns.round());
+        record.push_throughput(&format!("{label}_speedup"), *speedup);
+    }
+    record.push_gate("fig2_fp_sweep_speedup", fp_speedup, SPEEDUP_GATE, pass);
     // Anchor to the workspace root: `cargo bench` sets the CWD to the
     // crate directory, but the gate artifact belongs next to ci.sh.
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_analysis.json");
-    std::fs::write(out, &json).expect("write BENCH_analysis.json");
+    record
+        .write_json_file(out)
+        .expect("write BENCH_analysis.json");
+    record
+        .append_history(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/bench_history.jsonl"
+        ))
+        .expect("append bench history");
     eprintln!("wrote {out}");
     if !pass {
         eprintln!("FAIL: FP sweep speedup {fp_speedup:.2}x below the {SPEEDUP_GATE}x gate");

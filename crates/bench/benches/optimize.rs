@@ -13,6 +13,7 @@
 use std::time::Instant;
 
 use cpa_optimize::{gen_batch, process_batch, GenOptions, ResultCache, ServiceOptions};
+use cpa_telemetry::{BenchRecord, JsonValue};
 
 /// Per-core utilization points, straddling the schedulability cliff so
 /// the panel contains easy, marginal, and hopeless defaults.
@@ -83,21 +84,42 @@ fn main() {
     let dominance_pass = dominance_violations == 0 && schedulable_optimized >= schedulable_default;
     let improvement_pass = strictly_improved >= 1;
     let pass = dominance_pass && improvement_pass;
-    let json = format!(
-        "{{\"bench\":\"optimize\",\"workload\":\"fig2_style_panel\",\
-         \"utils\":{UTILS:?},\"sets_per_util\":{SETS_PER_UTIL},\"requests\":{requests},\
-         \"schedulable_default\":{schedulable_default},\
-         \"schedulable_optimized\":{schedulable_optimized},\
-         \"strictly_improved\":{strictly_improved},\
-         \"candidates\":{candidates},\"candidates_per_sec\":{candidates_per_sec:.0},\
-         \"weak_dominance\":{{\"violations\":{dominance_violations},\"pass\":{dominance_pass}}},\
-         \"strict_improvement\":{{\"gate\":1,\"pass\":{improvement_pass}}},\
-         \"pass\":{pass}}}\n"
+    let mut record = BenchRecord::new("optimize", "fig2_style_panel");
+    record.push_config(
+        "utils",
+        JsonValue::Array(UTILS.iter().map(|&u| JsonValue::F64(u)).collect()),
+    );
+    record.push_config("sets_per_util", SETS_PER_UTIL as u64);
+    record.push_metric("requests", requests);
+    record.push_metric("schedulable_default", schedulable_default);
+    record.push_metric("schedulable_optimized", schedulable_optimized);
+    record.push_metric("strictly_improved", strictly_improved);
+    record.push_metric("candidates", candidates);
+    record.push_throughput("candidates_per_sec", candidates_per_sec);
+    record.push_gate(
+        "weak_dominance_violations",
+        dominance_violations as f64,
+        0.0,
+        dominance_pass,
+    );
+    record.push_gate(
+        "strict_improvement",
+        strictly_improved as f64,
+        1.0,
+        improvement_pass,
     );
     // Anchor to the workspace root: `cargo bench` sets the CWD to the
     // crate directory, but the gate artifact belongs next to ci.sh.
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_optimize.json");
-    std::fs::write(out, &json).expect("write BENCH_optimize.json");
+    record
+        .write_json_file(out)
+        .expect("write BENCH_optimize.json");
+    record
+        .append_history(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/bench_history.jsonl"
+        ))
+        .expect("append bench history");
     eprintln!("wrote {out}");
     if !pass {
         eprintln!(

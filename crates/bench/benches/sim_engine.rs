@@ -17,6 +17,7 @@ use std::time::Instant;
 
 use cpa_model::{Platform, TaskSet};
 use cpa_sim::{BusArbitration, ReleaseModel, SimConfig, SimReport, Simulator};
+use cpa_telemetry::BenchRecord;
 use cpa_validate::oracle::{horizon_for, platform_for_tasks};
 use cpa_workload::{GeneratorConfig, TaskSetGenerator};
 use rand::{Rng, SeedableRng};
@@ -86,7 +87,7 @@ fn main() {
         ),
     ];
 
-    let mut rows = Vec::new();
+    let mut measured: Vec<(&str, f64, f64, f64)> = Vec::new();
     let mut mix_reference_ns = 0.0f64;
     let mut mix_engine_ns = 0.0f64;
     for (label, bus, releases) in matrix {
@@ -119,10 +120,7 @@ fn main() {
             "{label:<12} reference {:>12.0} ns/sweep   fast {:>12.0} ns/sweep   speedup {speedup:.2}x",
             reference_ns, engine_ns
         );
-        rows.push(format!(
-            "{{\"config\":\"{label}\",\"reference_ns\":{reference_ns:.0},\
-             \"engine_ns\":{engine_ns:.0},\"speedup\":{speedup:.3}}}"
-        ));
+        measured.push((label, reference_ns, engine_ns, speedup));
     }
 
     let speedup = mix_reference_ns / mix_engine_ns;
@@ -134,19 +132,28 @@ fn main() {
         "campaign mix: reference {reference_sims_per_sec:.1} sims/s -> fast \
          {engine_sims_per_sec:.1} sims/s ({speedup:.2}x)"
     );
-    let json = format!(
-        "{{\"bench\":\"sim_engine\",\"workload\":\"campaign_mix\",\
-         \"sets\":{SETS},\"horizon_cap\":{HORIZON_CAP},\
-         \"configs\":[{}],\
-         \"campaign_mix\":{{\"reference_sims_per_sec\":{reference_sims_per_sec:.1},\
-         \"engine_sims_per_sec\":{engine_sims_per_sec:.1},\
-         \"speedup\":{speedup:.3},\"gate\":{SPEEDUP_GATE},\"pass\":{pass}}}}}\n",
-        rows.join(",")
-    );
+    let mut record = BenchRecord::new("sim_engine", "campaign_mix");
+    record.push_config("sets", SETS);
+    record.push_config("horizon_cap", HORIZON_CAP);
+    for (label, reference_ns, engine_ns, config_speedup) in &measured {
+        record.push_metric(&format!("{label}_reference_ns"), reference_ns.round());
+        record.push_metric(&format!("{label}_engine_ns"), engine_ns.round());
+        record.push_throughput(&format!("{label}_speedup"), *config_speedup);
+    }
+    record.push_metric("reference_sims_per_sec", reference_sims_per_sec);
+    record.push_throughput("engine_sims_per_sec", engine_sims_per_sec);
+    record.push_throughput("campaign_mix_speedup", speedup);
+    record.push_gate("campaign_mix_speedup", speedup, SPEEDUP_GATE, pass);
     // Anchor to the workspace root: `cargo bench` sets the CWD to the
     // crate directory, but the gate artifact belongs next to ci.sh.
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
-    std::fs::write(out, &json).expect("write BENCH_sim.json");
+    record.write_json_file(out).expect("write BENCH_sim.json");
+    record
+        .append_history(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/bench_history.jsonl"
+        ))
+        .expect("append bench history");
     eprintln!("wrote {out}");
     if !pass {
         eprintln!("FAIL: campaign-mix speedup {speedup:.2}x below the {SPEEDUP_GATE}x gate");

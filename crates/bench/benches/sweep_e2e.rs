@@ -22,6 +22,7 @@ use std::time::Instant;
 use cpa_analysis::{AnalysisConfig, BusPolicy, CrpdApproach, PersistenceMode};
 use cpa_experiments::runner::{evaluate_point, evaluate_point_reference, PointStats};
 use cpa_experiments::SweepOptions;
+use cpa_telemetry::{BenchRecord, JsonValue};
 use cpa_workload::GeneratorConfig;
 
 /// The Fig. 2 sweep's utilization grid, reduced to the span where the
@@ -94,17 +95,29 @@ fn main() {
     );
 
     let pass = speedup >= SPEEDUP_GATE;
-    let json = format!(
-        "{{\"bench\":\"sweep_e2e\",\"workload\":\"fig2_fp_panel\",\
-         \"utils\":{UTILS:?},\"sets_per_point\":{SETS_PER_POINT},\"threads\":1,\
-         \"reference_ns\":{reference_ns:.0},\"pooled_ns\":{pooled_ns:.0},\
-         \"fig2_fp_panel\":{{\"speedup\":{speedup:.3},\"gate\":{SPEEDUP_GATE},\
-         \"pass\":{pass}}}}}\n"
+    let panels_per_sec = 1e9 / pooled_ns;
+    let mut record = BenchRecord::new("sweep_e2e", "fig2_fp_panel");
+    record.push_config(
+        "utils",
+        JsonValue::Array(UTILS.iter().map(|&u| JsonValue::F64(u)).collect()),
     );
+    record.push_config("sets_per_point", SETS_PER_POINT as u64);
+    record.push_config("threads", 1u64);
+    record.push_metric("reference_ns", reference_ns.round());
+    record.push_metric("pooled_ns", pooled_ns.round());
+    record.push_throughput("panels_per_sec", panels_per_sec);
+    record.push_throughput("fig2_fp_panel_speedup", speedup);
+    record.push_gate("fig2_fp_panel_speedup", speedup, SPEEDUP_GATE, pass);
     // Anchor to the workspace root: `cargo bench` sets the CWD to the
     // crate directory, but the gate artifact belongs next to ci.sh.
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e2e.json");
-    std::fs::write(out, &json).expect("write BENCH_e2e.json");
+    record.write_json_file(out).expect("write BENCH_e2e.json");
+    record
+        .append_history(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/bench_history.jsonl"
+        ))
+        .expect("append bench history");
     eprintln!("wrote {out}");
     if !pass {
         eprintln!("FAIL: e2e panel speedup {speedup:.2}x below the {SPEEDUP_GATE}x gate");

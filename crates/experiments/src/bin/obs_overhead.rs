@@ -28,6 +28,7 @@ use std::time::Instant;
 use cpa_analysis::{analyze, AnalysisConfig, AnalysisContext, BusPolicy, PersistenceMode};
 use cpa_experiments::cli::Args;
 use cpa_experiments::runner::platform_for;
+use cpa_telemetry::BenchRecord;
 use cpa_workload::{GeneratorConfig, TaskSetGenerator};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -91,14 +92,22 @@ fn main() -> ExitCode {
     let fraction = overhead_ns / analyze_ns;
     let pass = fraction < budget;
 
-    let json = format!(
-        "{{\"bench\":\"obs_overhead\",\"workload\":\"analysis_micro/wcrt_full_fp_aware\",\
-         \"analyze_ns\":{analyze_ns:.1},\"gate_ns\":{gate_ns:.4},\"gates_per_analyze\":{gates},\
-         \"overhead_ns\":{overhead_ns:.1},\"overhead_fraction\":{fraction:.6},\
-         \"budget_fraction\":{budget},\"pass\":{pass}}}\n"
-    );
-    if let Err(e) = std::fs::write(&out, &json) {
+    let mut record = BenchRecord::new("obs_overhead", "analysis_micro/wcrt_full_fp_aware");
+    record.push_config("budget_fraction", budget);
+    record.push_metric("analyze_ns", analyze_ns);
+    record.push_metric("gate_ns", gate_ns);
+    record.push_metric("gates_per_analyze", gates);
+    record.push_metric("overhead_ns", overhead_ns);
+    record.push_metric("overhead_fraction", fraction);
+    record.push_throughput("analyzes_per_sec", 1e9 / analyze_ns);
+    // The gate bounds overhead from above, so "value below gate" passes.
+    record.push_gate("overhead_fraction", fraction, budget, pass);
+    if let Err(e) = record.write_json_file(&out.to_string_lossy()) {
         eprintln!("cannot write {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    if let Err(e) = record.append_history("results/bench_history.jsonl") {
+        eprintln!("cannot append results/bench_history.jsonl: {e}");
         return ExitCode::from(2);
     }
     eprintln!(

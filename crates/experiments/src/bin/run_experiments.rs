@@ -19,36 +19,34 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use cpa_experiments::cli::{self, Args};
+use cpa_experiments::cli::{self, Args, ObsSinks};
 use cpa_experiments::{ablation, fig2, fig3, report, table1, ExperimentResult, SweepOptions};
 
 struct Cli {
     opts: SweepOptions,
     out_dir: PathBuf,
     experiments: Vec<String>,
-    trace_path: Option<PathBuf>,
-    metrics_path: Option<PathBuf>,
+    sinks: ObsSinks,
 }
 
 fn parse_args() -> Result<Cli, String> {
     let mut opts = SweepOptions::paper();
     let mut out_dir = PathBuf::from("results");
     let mut experiments: Vec<String> = Vec::new();
-    let mut trace_path: Option<PathBuf> = None;
-    let mut metrics_path: Option<PathBuf> = None;
+    let mut sinks = ObsSinks::default();
     let mut args = Args::from_env(USAGE);
     while let Some(arg) = args.next_arg() {
         if cli::apply_sweep_flag(&mut args, arg.as_str(), &mut opts).map_err(|e| e.to_string())? {
             continue;
         }
+        if sinks
+            .apply_flag(&mut args, arg.as_str())
+            .map_err(|e| e.to_string())?
+        {
+            continue;
+        }
         match arg.as_str() {
             "--out" => out_dir = args.value_for("--out").map_err(|e| e.to_string())?,
-            "--trace" => {
-                trace_path = Some(args.value_for("--trace").map_err(|e| e.to_string())?);
-            }
-            "--metrics" => {
-                metrics_path = Some(args.value_for("--metrics").map_err(|e| e.to_string())?);
-            }
             "--help" | "-h" => return Err(args.help().to_string()),
             other if other.starts_with('-') => return Err(args.unknown_flag(other).to_string()),
             name => experiments.push(name.to_string()),
@@ -61,8 +59,7 @@ fn parse_args() -> Result<Cli, String> {
         opts,
         out_dir,
         experiments,
-        trace_path,
-        metrics_path,
+        sinks,
     })
 }
 
@@ -82,11 +79,7 @@ fn main() -> ExitCode {
         eprintln!("cannot create {}: {e}", cli.out_dir.display());
         return ExitCode::FAILURE;
     }
-    if cli.trace_path.is_some() {
-        cpa_obs::enable();
-    } else if cli.metrics_path.is_some() {
-        cpa_obs::enable_metrics();
-    }
+    cli.sinks.enable();
 
     let all = cli.experiments.iter().any(|e| e == "all");
     let wants = |name: &str| all || cli.experiments.iter().any(|e| e == name);
@@ -129,25 +122,9 @@ fn main() -> ExitCode {
         eprintln!("no experiment matched {:?}\n{USAGE}", cli.experiments);
         return ExitCode::FAILURE;
     }
-    if let Some(path) = &cli.trace_path {
-        let lines = cpa_obs::events_to_json_lines(&cpa_obs::take_events());
-        if let Err(e) = fs::write(path, lines) {
-            eprintln!("cannot write {}: {e}", path.display());
-            return ExitCode::FAILURE;
-        }
-        eprintln!("wrote {}", path.display());
-    }
-    if let Some(path) = &cli.metrics_path {
-        let doc = format!(
-            "{{\"metrics\":{},\"profile\":{}}}\n",
-            cpa_obs::metrics_snapshot().to_json(),
-            cpa_obs::profile_snapshot().to_json()
-        );
-        if let Err(e) = fs::write(path, doc) {
-            eprintln!("cannot write {}: {e}", path.display());
-            return ExitCode::FAILURE;
-        }
-        eprintln!("wrote {}", path.display());
+    if let Err(e) = cli.sinks.write() {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

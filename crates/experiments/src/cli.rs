@@ -24,6 +24,7 @@
 //! ```
 
 use std::fmt;
+use std::path::PathBuf;
 use std::str::FromStr;
 
 /// A CLI parsing failure: carries the message to print before exiting.
@@ -140,6 +141,84 @@ pub fn apply_sweep_flag(
     Ok(true)
 }
 
+/// The shared `--trace FILE` / `--metrics FILE` observability sinks.
+///
+/// Every binary that exposes these flags (`run_experiments`, `cpa-validate`,
+/// `cpa-optimize run`) routes them through this one helper so the semantics
+/// cannot drift: `--trace` enables the full `cpa-obs` subscriber and writes
+/// the deterministic JSON-lines event stream; `--metrics` enables timing
+/// collection only and writes the counters + span-profile JSON document.
+#[derive(Debug, Clone, Default)]
+pub struct ObsSinks {
+    /// Destination for the JSON-lines event stream, when requested.
+    pub trace_path: Option<PathBuf>,
+    /// Destination for the metrics + profile document, when requested.
+    pub metrics_path: Option<PathBuf>,
+}
+
+impl ObsSinks {
+    /// Applies one sink flag, consuming its value from `args`. Returns
+    /// `Ok(true)` when `flag` was `--trace` or `--metrics`, `Ok(false)` when
+    /// the caller should handle it itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] when the flag's value is missing.
+    pub fn apply_flag(&mut self, args: &mut Args, flag: &str) -> Result<bool, CliError> {
+        match flag {
+            "--trace" => self.trace_path = Some(args.value_for("--trace")?),
+            "--metrics" => self.metrics_path = Some(args.value_for("--metrics")?),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Enables the `cpa-obs` layers the requested sinks need: the full
+    /// subscriber for `--trace`, timing-only for `--metrics` alone.
+    pub fn enable(&self) {
+        if self.trace_path.is_some() {
+            cpa_obs::enable();
+        } else if self.metrics_path.is_some() {
+            cpa_obs::enable_metrics();
+        }
+    }
+
+    /// Drains the event buffer and writes the requested sink files.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] naming the destination on any write failure.
+    pub fn write(&self) -> Result<(), CliError> {
+        self.write_events(&cpa_obs::take_events())
+    }
+
+    /// Writes the requested sink files from an already-drained event buffer
+    /// (for callers that also feed the events to an exporter).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] naming the destination on any write failure.
+    pub fn write_events(&self, events: &[cpa_obs::Event]) -> Result<(), CliError> {
+        if let Some(path) = &self.trace_path {
+            let lines = cpa_obs::events_to_json_lines(events);
+            std::fs::write(path, lines)
+                .map_err(|e| CliError::new(format!("cannot write {}: {e}", path.display())))?;
+            eprintln!("wrote {}", path.display());
+        }
+        if let Some(path) = &self.metrics_path {
+            let doc = format!(
+                "{{\"metrics\":{},\"profile\":{}}}\n",
+                cpa_obs::metrics_snapshot().to_json(),
+                cpa_obs::profile_snapshot().to_json()
+            );
+            std::fs::write(path, doc)
+                .map_err(|e| CliError::new(format!("cannot write {}: {e}", path.display())))?;
+            eprintln!("wrote {}", path.display());
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +285,41 @@ mod tests {
             crate::SweepOptions::quick().sets_per_point
         );
         assert_eq!(apply_sweep_flag(&mut a, "--out", &mut opts), Ok(false));
+    }
+
+    #[test]
+    fn obs_sinks_claim_their_flags_only() {
+        let mut a = args(&["t.jsonl", "m.json", "ignored"]);
+        let mut sinks = ObsSinks::default();
+        assert_eq!(sinks.apply_flag(&mut a, "--trace"), Ok(true));
+        assert_eq!(sinks.apply_flag(&mut a, "--metrics"), Ok(true));
+        assert_eq!(sinks.apply_flag(&mut a, "--out"), Ok(false));
+        assert_eq!(
+            sinks.trace_path.as_deref(),
+            Some(std::path::Path::new("t.jsonl"))
+        );
+        assert_eq!(
+            sinks.metrics_path.as_deref(),
+            Some(std::path::Path::new("m.json"))
+        );
+    }
+
+    #[test]
+    fn obs_sinks_missing_value_is_an_error() {
+        let mut a = args(&[]);
+        let mut sinks = ObsSinks::default();
+        let err = sinks.apply_flag(&mut a, "--trace").unwrap_err();
+        assert!(err.to_string().contains("--trace needs a value"), "{err}");
+    }
+
+    #[test]
+    fn obs_sinks_report_unwritable_destinations() {
+        let sinks = ObsSinks {
+            trace_path: Some(PathBuf::from("/nonexistent-dir/trace.jsonl")),
+            metrics_path: None,
+        };
+        let err = sinks.write_events(&[]).unwrap_err();
+        assert!(err.to_string().contains("cannot write"), "{err}");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! cpa-optimize run --requests FILE [--out FILE] [--cache DIR]
 //!                  [--threads N] [--chunk N] [--stats FILE]
+//!                  [--trace FILE] [--metrics FILE]
 //! cpa-optimize gen --sets N [--seed S] [--cores N] [--tasks-per-core N]
 //!                  [--cache-sets N] [--util F] [--d-mem N] [--bus P]
 //!                  [--slots N] [--mode M] [--toy] [--out FILE]
@@ -17,12 +18,13 @@
 
 use std::process::ExitCode;
 
-use cpa_experiments::cli::Args;
+use cpa_experiments::cli::{Args, ObsSinks};
 use cpa_optimize::{gen_batch, process_batch, GenOptions, ResultCache, ServiceOptions};
 
 const USAGE: &str = "usage:
   cpa-optimize run --requests FILE [--out FILE] [--cache DIR]
                    [--threads N] [--chunk N] [--stats FILE]
+                   [--trace FILE] [--metrics FILE]
   cpa-optimize gen --sets N [--seed S] [--cores N] [--tasks-per-core N]
                    [--cache-sets N] [--util F] [--d-mem N] [--bus P]
                    [--slots N] [--mode M] [--toy] [--out FILE]
@@ -76,7 +78,14 @@ fn run(mut args: Args) -> Result<(), String> {
     let mut cache_dir: Option<String> = None;
     let mut stats_path: Option<String> = None;
     let mut service = ServiceOptions::default();
+    let mut sinks = ObsSinks::default();
     while let Some(arg) = args.next_arg() {
+        if sinks
+            .apply_flag(&mut args, arg.as_str())
+            .map_err(|e| e.to_string())?
+        {
+            continue;
+        }
         match arg.as_str() {
             "--requests" => {
                 requests_path = Some(args.value_for("--requests").map_err(|e| e.to_string())?);
@@ -99,8 +108,10 @@ fn run(mut args: Args) -> Result<(), String> {
         Some(dir) => ResultCache::persistent(dir).map_err(|e| format!("open cache {dir}: {e}"))?,
         None => ResultCache::in_memory(),
     };
+    sinks.enable();
     let (body, stats) = process_batch(&batch, &service, &mut cache)?;
     write_out(out.as_deref(), &body)?;
+    sinks.write().map_err(|e| e.to_string())?;
     let stats_doc = serde_json::to_string(&stats).map_err(|e| format!("stats: {e}"))?;
     eprintln!("{stats_doc}");
     if let Some(path) = stats_path {

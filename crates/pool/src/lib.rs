@@ -187,6 +187,10 @@ where
     let chunk = opts.chunk();
     let chunks_claimed = cpa_obs::counter("pool.chunks_claimed");
     let chunks_stolen = cpa_obs::counter("pool.chunks_stolen");
+    // Unlike the chunk meters above (scheduling artifacts, excluded from
+    // deterministic exports), the item count depends only on the workload:
+    // it is the pool's work-unit counter for per-stage attribution.
+    cpa_obs::counter("pool.items").add(items as u64);
     let total_chunks = items.div_ceil(chunk);
     let fair_share = total_chunks.div_ceil(threads.max(1));
     let cursor = AtomicUsize::new(0);

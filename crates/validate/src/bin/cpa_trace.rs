@@ -1,17 +1,24 @@
 //! One traced analysis or simulation run, with convergence diagnostics.
 //!
 //! ```text
-//! cpa-trace analyze [--seed S] [--cores N] [--tasks-per-core K] [--util U]
-//!                   [--bus fp|rr|tdma|perfect] [--slots K]
-//!                   [--mode aware|oblivious] [--trace FILE] [--profile FILE]
-//!                   [--json]
-//! cpa-trace sim     [--seed S] [--cores N] [--tasks-per-core K] [--util U]
-//!                   [--bus fp|rr|tdma] [--slots K] [--horizon H]
-//!                   [--trace FILE] [--profile FILE] [--json] [--reference-sim]
-//! cpa-trace sweep   [--seed S] [--cores N] [--tasks-per-core K] [--util U]
-//!                   [--bus fp|rr|tdma|perfect] [--slots K] [--sets N]
-//!                   [--threads T] [--chunk C] [--trace FILE] [--profile FILE]
-//!                   [--json]
+//! cpa-trace analyze  [--seed S] [--cores N] [--tasks-per-core K] [--util U]
+//!                    [--bus fp|rr|tdma|perfect] [--slots K]
+//!                    [--mode aware|oblivious] [SINKS]
+//! cpa-trace sim      [--seed S] [--cores N] [--tasks-per-core K] [--util U]
+//!                    [--bus fp|rr|tdma] [--slots K] [--horizon H]
+//!                    [--reference-sim] [SINKS]
+//! cpa-trace sweep    [--seed S] [--cores N] [--tasks-per-core K] [--util U]
+//!                    [--bus fp|rr|tdma|perfect] [--slots K] [--sets N]
+//!                    [--threads T] [--chunk C] [SINKS]
+//! cpa-trace optimize [--seed S] [--cores N] [--tasks-per-core K] [--util U]
+//!                    [--bus fp|rr|tdma|perfect] [--slots K]
+//!                    [--mode aware|oblivious] [--sets N] [--threads T]
+//!                    [--chunk C] [SINKS]
+//! cpa-trace bench diff --baseline FILE --current FILE [--current FILE ...]
+//!                    [--threshold F] [--json]
+//!
+//! SINKS: [--trace FILE] [--profile FILE] [--json]
+//!        [--export chrome|openmetrics|json] [--export-out FILE]
 //! ```
 //!
 //! `analyze` generates one task set (paper-default profile with the given
@@ -30,11 +37,27 @@
 //! claimed, chunks stolen beyond the fair share, steal ratio — together
 //! with the engine's scratch-reuse count (DESIGN.md §12).
 //!
-//! Both subcommands end with a self-profile: the span tree with wall-time
-//! aggregation, pretty-printed (or embedded in the `--json` document).
+//! Every run subcommand ends with a per-stage pipeline breakdown (wall
+//! time, calls, work items, and throughput per phase — DESIGN.md §14) and
+//! a self-profile: the span tree with wall-time aggregation,
+//! pretty-printed (or embedded in the `--json` document).
 //! `--trace FILE` writes the deterministic JSON-lines event stream
 //! (payloads carry iterations and seeds, never wall-clock values);
 //! `--profile FILE` writes the metrics + profile JSON document.
+//!
+//! `--export chrome|openmetrics|json` renders the run through
+//! `cpa-telemetry`: a Chrome Trace Event / Perfetto JSON document, an
+//! OpenMetrics text exposition, or the stage-breakdown JSON. Chrome and
+//! OpenMetrics exports are byte-deterministic (same seed ⇒ identical
+//! bytes at any `--threads`/`--chunk`). With `--export-out FILE` the
+//! export is written beside the normal report; without it the export
+//! document replaces the report on stdout (`cpa-trace sweep --export
+//! chrome > sweep.json`, then open in Perfetto).
+//!
+//! `cpa-trace bench diff --baseline FILE --current FILE...` compares
+//! unified `BenchRecord` documents (the `BENCH_*.json` files or
+//! `results/bench_history.jsonl`) and exits non-zero when any throughput
+//! entry regressed by more than `--threshold` (default 15%).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -47,6 +70,10 @@ use cpa_experiments::runner::evaluate_point;
 use cpa_experiments::SweepOptions;
 use cpa_model::{Platform, TaskSet, Time};
 use cpa_sim::{SimConfig, SimReport, Simulator};
+use cpa_telemetry::{
+    chrome_trace, diff_records, load_records, openmetrics, ExportScope, StageReport,
+    DEFAULT_REGRESSION_THRESHOLD,
+};
 use cpa_validate::oracle::{arbitration_of, horizon_for};
 use cpa_validate::platform_for_tasks;
 use cpa_workload::{GeneratorConfig, TaskSetGenerator};
@@ -343,14 +370,18 @@ struct SimDoc {
 }
 
 const USAGE: &str = "usage: cpa-trace analyze [--seed S] [--cores N] [--tasks-per-core K] \
-[--util U] [--bus fp|rr|tdma|perfect] [--slots K] [--mode aware|oblivious] [--trace FILE] \
-[--profile FILE] [--json]\n       cpa-trace sim [--seed S] [--cores N] [--tasks-per-core K] \
-[--util U] [--bus fp|rr|tdma] [--slots K] [--horizon H] [--trace FILE] [--profile FILE] [--json] \
-[--reference-sim]\n       cpa-trace sweep [--seed S] [--cores N] [--tasks-per-core K] [--util U] \
-[--bus fp|rr|tdma|perfect] [--slots K] [--sets N] [--threads T] [--chunk C] [--trace FILE] \
-[--profile FILE] [--json]\n       cpa-trace optimize [--seed S] [--cores N] [--tasks-per-core K] \
-[--util U] [--bus fp|rr|tdma|perfect] [--slots K] [--mode aware|oblivious] [--sets N] \
-[--threads T] [--chunk C] [--trace FILE] [--profile FILE] [--json]";
+[--util U] [--bus fp|rr|tdma|perfect] [--slots K] [--mode aware|oblivious] [SINKS]\n       \
+cpa-trace sim [--seed S] [--cores N] [--tasks-per-core K] [--util U] [--bus fp|rr|tdma] \
+[--slots K] [--horizon H] [--reference-sim] [SINKS]\n       \
+cpa-trace sweep [--seed S] [--cores N] [--tasks-per-core K] [--util U] \
+[--bus fp|rr|tdma|perfect] [--slots K] [--sets N] [--threads T] [--chunk C] [SINKS]\n       \
+cpa-trace optimize [--seed S] [--cores N] [--tasks-per-core K] [--util U] \
+[--bus fp|rr|tdma|perfect] [--slots K] [--mode aware|oblivious] [--sets N] [--threads T] \
+[--chunk C] [SINKS]\n       \
+cpa-trace bench diff --baseline FILE --current FILE [--current FILE ...] [--threshold F] \
+[--json]\n\
+SINKS: [--trace FILE] [--profile FILE] [--json] [--export chrome|openmetrics|json] \
+[--export-out FILE]";
 
 /// Everything both subcommands share.
 struct TraceOptions {
@@ -369,6 +400,8 @@ struct TraceOptions {
     profile_path: Option<PathBuf>,
     json: bool,
     reference_sim: bool,
+    export: Option<String>,
+    export_out: Option<PathBuf>,
 }
 
 impl Default for TraceOptions {
@@ -389,6 +422,8 @@ impl Default for TraceOptions {
             profile_path: None,
             json: false,
             reference_sim: false,
+            export: None,
+            export_out: None,
         }
     }
 }
@@ -426,6 +461,20 @@ impl TraceOptions {
                 }
                 "--json" => opts.json = true,
                 "--reference-sim" => opts.reference_sim = true,
+                "--export" => {
+                    let format: String = args.value_for("--export").map_err(|e| e.to_string())?;
+                    if !matches!(format.as_str(), "chrome" | "openmetrics" | "json") {
+                        return Err(format!(
+                            "unknown export format `{format}` (expected chrome, openmetrics, \
+                             or json)"
+                        ));
+                    }
+                    opts.export = Some(format);
+                }
+                "--export-out" => {
+                    opts.export_out =
+                        Some(args.value_for("--export-out").map_err(|e| e.to_string())?);
+                }
                 "--help" | "-h" => return Err(args.help().to_string()),
                 other => return Err(args.unknown_flag(other).to_string()),
             }
@@ -485,6 +534,7 @@ fn main() -> ExitCode {
         Some("sim") => dispatch(&mut args, sim_cmd),
         Some("sweep") => dispatch(&mut args, sweep_cmd),
         Some("optimize") => dispatch(&mut args, optimize_cmd),
+        Some("bench") => bench_cmd(&mut args),
         Some("--help" | "-h") => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -544,8 +594,10 @@ fn analyze_cmd(opts: &TraceOptions) -> Result<(), String> {
         .map(|i| decompose(&ctx, &config, i, windows[i.index()], &windows))
         .collect();
 
-    write_sinks(opts)?;
-    let profile = cpa_obs::profile_snapshot();
+    let run = finish_run(opts)?;
+    if run.exported_to_stdout {
+        return Ok(());
+    }
 
     if opts.json {
         let task_rows: Vec<AnalyzeTaskRow> = tasks
@@ -581,7 +633,7 @@ fn analyze_cmd(opts: &TraceOptions) -> Result<(), String> {
             engine,
             tasks: task_rows,
         };
-        println!("{}", with_profile(&doc, &profile)?);
+        println!("{}", with_profile(&doc, &run)?);
         return Ok(());
     }
 
@@ -652,7 +704,8 @@ fn analyze_cmd(opts: &TraceOptions) -> Result<(), String> {
         "schedulable: {}",
         if result.is_schedulable() { "yes" } else { "no" }
     );
-    print_profile(&profile);
+    print_stages(&run.stages);
+    print_profile(&run.profile);
     Ok(())
 }
 
@@ -670,8 +723,10 @@ fn sim_cmd(opts: &TraceOptions) -> Result<(), String> {
     };
     let skip = SkipStats::from_delta(counters_before, report.horizon.cycles());
 
-    write_sinks(opts)?;
-    let profile = cpa_obs::profile_snapshot();
+    let run = finish_run(opts)?;
+    if run.exported_to_stdout {
+        return Ok(());
+    }
 
     if opts.json {
         let doc = SimDoc {
@@ -686,7 +741,7 @@ fn sim_cmd(opts: &TraceOptions) -> Result<(), String> {
             skip,
             tasks: task_sim_rows(&tasks, &report),
         };
-        println!("{}", with_profile(&doc, &profile)?);
+        println!("{}", with_profile(&doc, &run)?);
         return Ok(());
     }
 
@@ -734,7 +789,8 @@ fn sim_cmd(opts: &TraceOptions) -> Result<(), String> {
         report.bus_busy_cycles,
         report.bus_utilization() * 100.0
     );
-    print_profile(&profile);
+    print_stages(&run.stages);
+    print_profile(&run.profile);
     Ok(())
 }
 
@@ -761,8 +817,10 @@ fn sweep_cmd(opts: &TraceOptions) -> Result<(), String> {
     let point = evaluate_point(&gen_config, &configs, &sweep, 0);
     let pool = PoolStats::from_delta(counters_before, threads);
 
-    write_sinks(opts)?;
-    let profile = cpa_obs::profile_snapshot();
+    let run = finish_run(opts)?;
+    if run.exported_to_stdout {
+        return Ok(());
+    }
 
     let rows: Vec<SweepConfigRow> = configs
         .iter()
@@ -783,7 +841,7 @@ fn sweep_cmd(opts: &TraceOptions) -> Result<(), String> {
             pool,
             configs: rows,
         };
-        println!("{}", with_profile(&doc, &profile)?);
+        println!("{}", with_profile(&doc, &run)?);
         return Ok(());
     }
 
@@ -809,7 +867,8 @@ fn sweep_cmd(opts: &TraceOptions) -> Result<(), String> {
             row.bus, row.mode, row.schedulable, row.samples
         );
     }
-    print_profile(&profile);
+    print_stages(&run.stages);
+    print_profile(&run.profile);
     Ok(())
 }
 
@@ -844,8 +903,10 @@ fn optimize_cmd(opts: &TraceOptions) -> Result<(), String> {
     let counters = OptimizeStats::from_delta(counters_before);
     let replay_identical = cold_doc == warm_doc;
 
-    write_sinks(opts)?;
-    let profile = cpa_obs::profile_snapshot();
+    let run = finish_run(opts)?;
+    if run.exported_to_stdout {
+        return Ok(());
+    }
 
     if opts.json {
         let doc = OptimizeDoc {
@@ -857,7 +918,7 @@ fn optimize_cmd(opts: &TraceOptions) -> Result<(), String> {
             cold,
             warm,
         };
-        println!("{}", with_profile(&doc, &profile)?);
+        println!("{}", with_profile(&doc, &run)?);
         return Ok(());
     }
 
@@ -886,7 +947,8 @@ fn optimize_cmd(opts: &TraceOptions) -> Result<(), String> {
         cold.requests,
         cold.strictly_improved,
     );
-    print_profile(&profile);
+    print_stages(&run.stages);
+    print_profile(&run.profile);
     Ok(())
 }
 
@@ -907,23 +969,83 @@ fn task_sim_rows(tasks: &TaskSet, report: &SimReport) -> Vec<SimTaskRow> {
         .collect()
 }
 
-/// Serializes `doc` and splices the span-tree profile in as a top-level
-/// `"profile"` key (the profile renders its own JSON).
-fn with_profile<T: Serialize>(doc: &T, profile: &cpa_obs::ProfileNode) -> Result<String, String> {
+/// Everything a run subcommand needs after its workload finished: the
+/// span-tree profile, the per-stage attribution, and whether an
+/// `--export` document already claimed stdout (suppressing the report).
+struct RunArtifacts {
+    profile: cpa_obs::ProfileNode,
+    stages: StageReport,
+    exported_to_stdout: bool,
+}
+
+/// Drains the event buffer once, writes the `--trace`/`--profile` sinks,
+/// captures the profile + stage breakdown, and renders any `--export`.
+fn finish_run(opts: &TraceOptions) -> Result<RunArtifacts, String> {
+    let events = cpa_obs::take_events();
+    write_sinks(opts, &events)?;
+    let profile = cpa_obs::profile_snapshot();
+    // Counters start at zero in this process, so the full snapshot is
+    // exactly this run's delta.
+    let stages = StageReport::from_parts(&cpa_obs::metrics_snapshot(), &profile);
+    let exported_to_stdout = write_export(opts, &events, &profile, &stages)?;
+    Ok(RunArtifacts {
+        profile,
+        stages,
+        exported_to_stdout,
+    })
+}
+
+/// Renders the `--export` document, if one was requested. Returns `true`
+/// when the export went to stdout (replacing the report), `false` when it
+/// went to `--export-out` or no export was requested.
+fn write_export(
+    opts: &TraceOptions,
+    events: &[cpa_obs::Event],
+    profile: &cpa_obs::ProfileNode,
+    stages: &StageReport,
+) -> Result<bool, String> {
+    let Some(format) = opts.export.as_deref() else {
+        return Ok(false);
+    };
+    let body = match format {
+        "chrome" => chrome_trace(events, profile, ExportScope::Deterministic),
+        "openmetrics" => openmetrics(&cpa_obs::metrics_snapshot(), ExportScope::Deterministic),
+        "json" => format!("{}\n", stages.to_json()),
+        other => return Err(format!("unknown export format `{other}`")),
+    };
+    match &opts.export_out {
+        Some(path) => {
+            std::fs::write(path, &body)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("wrote {}", path.display());
+            Ok(false)
+        }
+        None => {
+            print!("{body}");
+            Ok(true)
+        }
+    }
+}
+
+/// Serializes `doc` and splices the stage breakdown and span-tree profile
+/// in as top-level `"stages"` / `"profile"` keys (both render their own
+/// JSON).
+fn with_profile<T: Serialize>(doc: &T, run: &RunArtifacts) -> Result<String, String> {
     let body = serde_json::to_string(doc).map_err(|e| e.to_string())?;
     let without_brace = body
         .strip_suffix('}')
         .ok_or_else(|| "report did not serialize to a JSON object".to_string())?;
     Ok(format!(
-        "{without_brace},\"profile\":{}}}",
-        profile.to_json()
+        "{without_brace},\"stages\":{},\"profile\":{}}}",
+        run.stages.to_json(),
+        run.profile.to_json()
     ))
 }
 
-/// Writes the `--trace` / `--profile` sinks.
-fn write_sinks(opts: &TraceOptions) -> Result<(), String> {
+/// Writes the `--trace` / `--profile` sinks from the drained event buffer.
+fn write_sinks(opts: &TraceOptions, events: &[cpa_obs::Event]) -> Result<(), String> {
     if let Some(path) = &opts.trace_path {
-        let lines = cpa_obs::events_to_json_lines(&cpa_obs::take_events());
+        let lines = cpa_obs::events_to_json_lines(events);
         std::fs::write(path, lines).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         eprintln!("wrote {}", path.display());
     }
@@ -937,6 +1059,87 @@ fn write_sinks(opts: &TraceOptions) -> Result<(), String> {
         eprintln!("wrote {}", path.display());
     }
     Ok(())
+}
+
+fn print_stages(stages: &StageReport) {
+    println!();
+    println!("stage breakdown:");
+    print!("{}", stages.render_text());
+}
+
+/// `cpa-trace bench ...`: exit 0 when the gate passes, 1 when it reports
+/// a regression (or missing data), 2 on usage/parse errors.
+fn bench_cmd(args: &mut Args) -> ExitCode {
+    match args.next_arg().as_deref() {
+        Some("diff") => {}
+        Some("--help" | "-h") => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => {
+            eprintln!("unknown bench subcommand `{other}` (expected diff)\n{USAGE}");
+            return ExitCode::from(2);
+        }
+        None => {
+            eprintln!("bench needs a subcommand (expected diff)\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+    match bench_diff(args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Compares baseline and current `BenchRecord` files; returns `Ok(false)`
+/// when the gate fails (throughput regression beyond `--threshold`, a
+/// bench or metric missing from the current set, or a failed in-record
+/// gate).
+fn bench_diff(args: &mut Args) -> Result<bool, String> {
+    let mut baseline_path: Option<String> = None;
+    let mut current_paths: Vec<String> = Vec::new();
+    let mut threshold = DEFAULT_REGRESSION_THRESHOLD;
+    let mut json = false;
+    while let Some(arg) = args.next_arg() {
+        match arg.as_str() {
+            "--baseline" => {
+                baseline_path = Some(args.value_for("--baseline").map_err(|e| e.to_string())?);
+            }
+            "--current" => {
+                current_paths.push(args.value_for("--current").map_err(|e| e.to_string())?);
+            }
+            "--threshold" => {
+                threshold = args.value_for("--threshold").map_err(|e| e.to_string())?;
+                if !(0.0..1.0).contains(&threshold) {
+                    return Err(format!("--threshold must be in [0, 1), got {threshold}"));
+                }
+            }
+            "--json" => json = true,
+            "--help" | "-h" => return Err(args.help().to_string()),
+            other => return Err(args.unknown_flag(other).to_string()),
+        }
+    }
+    let baseline_path =
+        baseline_path.ok_or_else(|| format!("bench diff needs --baseline\n{USAGE}"))?;
+    if current_paths.is_empty() {
+        return Err(format!("bench diff needs at least one --current\n{USAGE}"));
+    }
+    let baseline = load_records(&baseline_path)?;
+    let mut current = Vec::new();
+    for path in &current_paths {
+        current.extend(load_records(path)?);
+    }
+    let diff = diff_records(&baseline, &current, threshold);
+    if json {
+        println!("{}", diff.to_json());
+    } else {
+        print!("{}", diff.render_text());
+    }
+    Ok(diff.pass())
 }
 
 fn print_profile(profile: &cpa_obs::ProfileNode) {

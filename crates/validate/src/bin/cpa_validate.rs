@@ -28,7 +28,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cpa_experiments::cli::Args;
+use cpa_experiments::cli::{Args, ObsSinks};
 use cpa_validate::repro::REPRO_SCHEMA;
 use cpa_validate::{run_campaign, shrink_case, CampaignOptions, OracleKind, Repro, ViolationCase};
 
@@ -61,14 +61,19 @@ fn run_cmd(mut args: Args) -> ExitCode {
     let mut opts = CampaignOptions::new();
     opts.progress = true;
     let mut report_path: Option<PathBuf> = None;
-    let mut trace_path: Option<PathBuf> = None;
-    let mut metrics_path: Option<PathBuf> = None;
+    let mut sinks = ObsSinks::default();
     let mut repro_dir = PathBuf::from("validate-repros");
     let mut max_shrinks: usize = 3;
     while let Some(arg) = args.next_arg() {
         let parsed: Result<(), String> = (|| {
             if opts
                 .apply_cli_flag(&mut args, arg.as_str())
+                .map_err(|e| e.to_string())?
+            {
+                return Ok(());
+            }
+            if sinks
+                .apply_flag(&mut args, arg.as_str())
                 .map_err(|e| e.to_string())?
             {
                 return Ok(());
@@ -83,12 +88,6 @@ fn run_cmd(mut args: Args) -> ExitCode {
                 "--max-shrinks" => {
                     max_shrinks = args.value_for("--max-shrinks").map_err(|e| e.to_string())?;
                 }
-                "--trace" => {
-                    trace_path = Some(args.value_for("--trace").map_err(|e| e.to_string())?);
-                }
-                "--metrics" => {
-                    metrics_path = Some(args.value_for("--metrics").map_err(|e| e.to_string())?);
-                }
                 "--help" | "-h" => return Err(args.help().to_string()),
                 other => return Err(args.unknown_flag(other).to_string()),
             }
@@ -100,11 +99,7 @@ fn run_cmd(mut args: Args) -> ExitCode {
         }
     }
 
-    if trace_path.is_some() {
-        cpa_obs::enable();
-    } else if metrics_path.is_some() {
-        cpa_obs::enable_metrics();
-    }
+    sinks.enable();
 
     eprintln!(
         "campaign: {} sets, seed {:#x}, {} threads, {} profile, inject {}",
@@ -116,25 +111,9 @@ fn run_cmd(mut args: Args) -> ExitCode {
     );
     let mut outcome = run_campaign(&opts);
 
-    if let Some(path) = &trace_path {
-        let lines = cpa_obs::events_to_json_lines(&cpa_obs::take_events());
-        if let Err(e) = std::fs::write(path, lines) {
-            eprintln!("cannot write {}: {e}", path.display());
-            return ExitCode::from(2);
-        }
-        eprintln!("wrote {}", path.display());
-    }
-    if let Some(path) = &metrics_path {
-        let doc = format!(
-            "{{\"metrics\":{},\"profile\":{}}}\n",
-            cpa_obs::metrics_snapshot().to_json(),
-            cpa_obs::profile_snapshot().to_json()
-        );
-        if let Err(e) = std::fs::write(path, doc) {
-            eprintln!("cannot write {}: {e}", path.display());
-            return ExitCode::from(2);
-        }
-        eprintln!("wrote {}", path.display());
+    if let Err(e) = sinks.write() {
+        eprintln!("{e}");
+        return ExitCode::from(2);
     }
 
     let shrinks = outcome.cases.len().min(max_shrinks);

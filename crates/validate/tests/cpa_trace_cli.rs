@@ -1,0 +1,319 @@
+//! End-to-end CLI contract for `cpa-trace`: every subcommand must fail
+//! with exit code 2 and a diagnostic (never a panic) on malformed input,
+//! the telemetry exports must be byte-identical across worker counts and
+//! chunk sizes, and `bench diff` must gate regressions with exit code 1.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cpa_trace(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cpa-trace"))
+        .args(args)
+        .output()
+        .expect("spawn cpa-trace")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// A scratch path under the system temp dir, unique per test.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cpa-trace-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir.join(name)
+}
+
+#[track_caller]
+fn assert_usage_error(args: &[&str], needle: &str) {
+    let out = cpa_trace(args);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?} should exit 2, stderr: {}",
+        stderr_of(&out)
+    );
+    let stderr = stderr_of(&out);
+    assert!(
+        stderr.contains(needle),
+        "{args:?} stderr missing `{needle}`: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{args:?} panicked: {stderr}");
+}
+
+#[test]
+fn analyze_rejects_unknown_bus_with_a_diagnostic() {
+    assert_usage_error(&["analyze", "--bus", "warp"], "unknown bus `warp`");
+}
+
+#[test]
+fn sim_rejects_malformed_horizon_with_a_diagnostic() {
+    assert_usage_error(&["sim", "--horizon", "soon"], "--horizon");
+}
+
+#[test]
+fn sweep_rejects_unknown_flags_with_usage() {
+    assert_usage_error(&["sweep", "--setz", "4"], "unknown flag `--setz`");
+}
+
+#[test]
+fn optimize_rejects_unknown_mode_with_a_diagnostic() {
+    assert_usage_error(&["optimize", "--mode", "chaotic"], "unknown mode `chaotic`");
+}
+
+#[test]
+fn unknown_subcommand_exits_with_usage() {
+    assert_usage_error(&["replay"], "unknown flag `replay`");
+}
+
+#[test]
+fn export_rejects_unknown_formats_before_running() {
+    assert_usage_error(
+        &["sweep", "--export", "protobuf"],
+        "unknown export format `protobuf`",
+    );
+}
+
+#[test]
+fn unwritable_trace_sink_is_reported_not_panicked() {
+    assert_usage_error(
+        &[
+            "analyze",
+            "--tasks-per-core",
+            "2",
+            "--trace",
+            "/nonexistent-dir/trace.jsonl",
+        ],
+        "cannot write /nonexistent-dir/trace.jsonl",
+    );
+}
+
+#[test]
+fn bench_without_subcommand_exits_with_usage() {
+    assert_usage_error(&["bench"], "bench needs a subcommand");
+}
+
+#[test]
+fn bench_diff_requires_baseline_and_current() {
+    assert_usage_error(&["bench", "diff"], "bench diff needs --baseline");
+    let baseline = fixture_record("fixture", 100.0);
+    let path = write_fixture("only-baseline.json", &baseline);
+    assert_usage_error(
+        &["bench", "diff", "--baseline", path.to_str().unwrap()],
+        "bench diff needs at least one --current",
+    );
+}
+
+#[test]
+fn bench_diff_reports_missing_files() {
+    assert_usage_error(
+        &[
+            "bench",
+            "diff",
+            "--baseline",
+            "/nonexistent/baseline.jsonl",
+            "--current",
+            "/nonexistent/current.json",
+        ],
+        "read /nonexistent/baseline.jsonl",
+    );
+}
+
+#[test]
+fn bench_diff_reports_malformed_records() {
+    let path = scratch("malformed.json");
+    std::fs::write(&path, "{\"bench\": truncated").expect("write fixture");
+    let out = cpa_trace(&[
+        "bench",
+        "diff",
+        "--baseline",
+        path.to_str().unwrap(),
+        "--current",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr_of(&out));
+    assert!(!stderr_of(&out).contains("panicked"));
+}
+
+#[test]
+fn bench_diff_rejects_out_of_range_thresholds() {
+    assert_usage_error(
+        &["bench", "diff", "--threshold", "1.5"],
+        "--threshold must be in [0, 1)",
+    );
+}
+
+/// One minimal BenchRecord document with a single throughput entry.
+fn fixture_record(bench: &str, throughput: f64) -> String {
+    format!(
+        "{{\"schema\":1,\"bench\":\"{bench}\",\"workload\":\"cli-test\",\
+         \"git_rev\":\"fixture00000\",\"date\":\"2026-01-01\",\
+         \"config\":{{}},\"metrics\":{{}},\
+         \"throughput\":{{\"items_per_sec\":{throughput}}},\"gates\":[]}}\n"
+    )
+}
+
+fn write_fixture(name: &str, contents: &str) -> PathBuf {
+    let path = scratch(name);
+    std::fs::write(&path, contents).expect("write fixture");
+    path
+}
+
+#[test]
+fn bench_diff_passes_within_threshold_and_fails_beyond_it() {
+    let baseline = write_fixture("diff-baseline.json", &fixture_record("suite", 100.0));
+    let ok = write_fixture("diff-ok.json", &fixture_record("suite", 90.0));
+    let regressed = write_fixture("diff-regressed.json", &fixture_record("suite", 80.0));
+
+    // -10% is inside the default 15% threshold: exit 0, verdict PASS.
+    let out = cpa_trace(&[
+        "bench",
+        "diff",
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--current",
+        ok.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    assert!(stdout_of(&out).contains("PASS"), "{}", stdout_of(&out));
+
+    // -20% breaches it: exit 1 (regression, not usage error).
+    let out = cpa_trace(&[
+        "bench",
+        "diff",
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--current",
+        regressed.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr_of(&out));
+    let report = stdout_of(&out);
+    assert!(report.contains("REGRESSED"), "{report}");
+    assert!(report.contains("FAIL"), "{report}");
+
+    // A tighter threshold flags the -10% run too.
+    let out = cpa_trace(&[
+        "bench",
+        "diff",
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--current",
+        ok.to_str().unwrap(),
+        "--threshold",
+        "0.05",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr_of(&out));
+}
+
+#[test]
+fn bench_diff_fails_when_a_bench_disappears() {
+    let baseline = write_fixture("gone-baseline.json", &fixture_record("suite", 100.0));
+    let other = write_fixture("gone-current.json", &fixture_record("other_suite", 100.0));
+    let out = cpa_trace(&[
+        "bench",
+        "diff",
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--current",
+        other.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr_of(&out));
+}
+
+#[test]
+fn run_reports_include_the_stage_breakdown() {
+    for cmd in ["sweep", "optimize"] {
+        let out = cpa_trace(&[cmd, "--sets", "3", "--tasks-per-core", "3"]);
+        assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+        let report = stdout_of(&out);
+        assert!(report.contains("stage breakdown:"), "{cmd}: {report}");
+        assert!(report.contains("self-profile:"), "{cmd}: {report}");
+    }
+}
+
+#[test]
+fn chrome_export_is_byte_identical_across_threads_and_chunks() {
+    let runs: Vec<String> = [("1", "1"), ("4", "1"), ("4", "5")]
+        .iter()
+        .map(|(threads, chunk)| {
+            let out = cpa_trace(&[
+                "sweep",
+                "--sets",
+                "6",
+                "--threads",
+                threads,
+                "--chunk",
+                chunk,
+                "--export",
+                "chrome",
+            ]);
+            assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+            stdout_of(&out)
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1], "1-vs-4 threads diverged");
+    assert_eq!(runs[0], runs[2], "chunk 1-vs-5 diverged");
+    // The document must be well-formed JSON with the trace-event shape.
+    let doc = cpa_telemetry::parse_json(&runs[0]).expect("chrome export parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(cpa_telemetry::JsonValue::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+}
+
+#[test]
+fn openmetrics_export_is_byte_identical_and_valid() {
+    let runs: Vec<String> = ["1", "4"]
+        .iter()
+        .map(|threads| {
+            let out = cpa_trace(&[
+                "sweep",
+                "--sets",
+                "6",
+                "--threads",
+                threads,
+                "--export",
+                "openmetrics",
+            ]);
+            assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+            stdout_of(&out)
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1], "1-vs-4 threads diverged");
+    let samples = cpa_telemetry::validate_openmetrics(&runs[0]).expect("exposition validates");
+    assert!(samples > 0, "no samples in the exposition");
+}
+
+#[test]
+fn export_out_writes_the_file_and_keeps_the_report() {
+    let path = scratch("sweep-export.json");
+    let out = cpa_trace(&[
+        "sweep",
+        "--sets",
+        "3",
+        "--tasks-per-core",
+        "3",
+        "--export",
+        "chrome",
+        "--export-out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    assert!(stdout_of(&out).contains("stage breakdown:"));
+    let exported = std::fs::read_to_string(&path).expect("export file");
+    cpa_telemetry::parse_json(&exported).expect("exported chrome trace parses");
+}
+
+#[test]
+fn json_reports_embed_stages_and_profile() {
+    let out = cpa_trace(&["sweep", "--sets", "3", "--tasks-per-core", "3", "--json"]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let doc = cpa_telemetry::parse_json(&stdout_of(&out)).expect("sweep --json parses");
+    assert!(doc.get("stages").is_some(), "missing stages key");
+    assert!(doc.get("profile").is_some(), "missing profile key");
+}

@@ -192,6 +192,7 @@ impl TaskSetGenerator {
     /// configuration this only fires on pathological utilization values
     /// that collapse a period to zero.
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<TaskSet, ModelError> {
+        let _span = cpa_obs::span!("workload.generate");
         let cfg = &self.config;
         // (deadline, creation index) pairs for deadline-monotonic priority
         // assignment after all tasks are drawn.
@@ -261,7 +262,9 @@ impl TaskSetGenerator {
                 .build()?;
             tasks.push(task);
         }
-        TaskSet::new(tasks)
+        let set = TaskSet::new(tasks)?;
+        cpa_obs::counter("workload.sets_generated").incr();
+        Ok(set)
     }
 }
 

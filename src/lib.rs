@@ -56,4 +56,5 @@ pub use cpa_model as model;
 pub use cpa_obs as obs;
 pub use cpa_optimize as optimize;
 pub use cpa_sim as sim;
+pub use cpa_telemetry as telemetry;
 pub use cpa_workload as workload;
