@@ -29,6 +29,9 @@ cargo test -q
 echo "==> engine_equivalence smoke (engine vs reference, all policy x mode combos)"
 cargo test -q -p cpa-analysis --release --test engine_equivalence
 
+echo "==> warm-vs-cold equivalence smoke (fig1 fixture + proptests, cross-check mode)"
+CPA_WARM_CROSS_CHECK=1 cargo test -q -p cpa-analysis --release --test warm_equivalence
+
 echo "==> skip_equivalence smoke (event-skipping sim vs cycle-stepped reference)"
 cargo test -q -p cpa-sim --release --test skip_equivalence
 
@@ -81,7 +84,7 @@ cargo bench -p cpa-bench --bench analysis_engine
 echo "==> sim engine bench (>=5x on campaign mix, emits BENCH_sim.json)"
 cargo bench -p cpa-bench --bench sim_engine
 
-echo "==> sweep e2e bench (>=1.5x on fig2 FP panel, emits BENCH_e2e.json)"
+echo "==> sweep e2e bench (>=1.8x on fig2 FP panel, emits BENCH_e2e.json + history record)"
 cargo bench -p cpa-bench --bench sweep_e2e
 
 echo "==> optimizer bench (weak dominance + strict improvement, emits BENCH_optimize.json)"
@@ -108,6 +111,11 @@ cargo run --release -p cpa-validate --bin cpa-trace -- bench diff \
   --baseline results/bench_baseline.jsonl \
   --current BENCH_obs.json --current BENCH_analysis.json --current BENCH_sim.json \
   --current BENCH_e2e.json --current BENCH_optimize.json
+
+echo "==> e2e speedup floor (declarative --min-speedup from the appended history)"
+cargo run --release -p cpa-validate --bin cpa-trace -- bench diff \
+  --baseline results/bench_baseline.jsonl --current results/bench_history.jsonl \
+  --min-speedup fig2_fp_panel_speedup=1.8 > /dev/null
 
 echo "==> bench trajectory gate negative test (injected regression must exit 1)"
 cat > ci-telemetry/regressed.jsonl << 'JSON'

@@ -347,19 +347,23 @@ impl BaoMembers {
     }
 }
 
-/// One member's static record (see [`BaoMember`]).
+/// One member's static record (see [`BaoMember`]), read off the
+/// context's struct-of-arrays task columns (verbatim per-task scalars,
+/// contiguous per field).
 fn member_record(ctx: &AnalysisContext<'_>, k: TaskId, l: TaskId) -> BaoMember {
-    let task = &ctx.tasks()[l];
+    let cols = ctx.columns();
+    let lx = l.index();
     let gamma = ctx.gamma(k, l);
+    let md = cols.md[lx];
     BaoMember {
-        idx: l.index(),
-        cost: task.memory_demand().saturating_add(gamma),
+        idx: lx,
+        cost: md.saturating_add(gamma),
         gamma,
         overlap: ctx.cpro_overlap(l, k),
-        md: task.memory_demand(),
-        md_r: task.residual_memory_demand(),
-        pcb_len: task.pcb().len() as u64,
-        period: task.period(),
+        md,
+        md_r: cols.md_r[lx],
+        pcb_len: cols.pcb_len[lx],
+        period: Time::from_cycles(cols.period[lx]),
     }
 }
 
@@ -579,7 +583,9 @@ impl BaoSegment {
     /// term is kept verbatim when its member's response time is unchanged
     /// and `t` still lies in the member's own `N`-interval. A typical span
     /// exit crosses one member's period boundary, so this costs one term
-    /// derivation plus a cheap scan — not a full rebuild.
+    /// derivation plus a cheap scan — not a full rebuild. Returns the
+    /// number of terms kept verbatim (zero on the rebuild fallback), the
+    /// engine's measure of re-derivations avoided.
     pub fn refresh(
         &mut self,
         members: &BaoMembers,
@@ -587,20 +593,23 @@ impl BaoSegment {
         resp: &[Time],
         d_mem: Time,
         mode: PersistenceMode,
-    ) {
+    ) -> usize {
         if self.terms.len() != members.members.len() || self.split != members.split {
             self.rebuild(members, t, resp, d_mem, mode);
-            return;
+            return 0;
         }
         let tc = t.cycles();
+        let mut kept = 0usize;
         for (term, m) in self.terms.iter_mut().zip(&members.members) {
             let r_l = resp[m.idx];
             if r_l == term.r && term.lo <= tc && tc <= term.hi {
+                kept += 1;
                 continue;
             }
             *term = m.term(t, r_l, d_mem, mode);
         }
         self.commit(t);
+        kept
     }
 
     /// Re-derives the aggregate state from the terms: the span (the

@@ -32,7 +32,68 @@ pub struct AnalysisContext<'a> {
     /// `p` within the response window of task `w` (Eq. (14) without the
     /// `(n−1)` factor).
     cpro_overlap: Vec<u64>,
+    /// Struct-of-arrays mirror of the hot per-task scalars (see
+    /// [`TaskColumns`]).
+    columns: TaskColumns,
     crpd_approach: CrpdApproach,
+}
+
+/// Struct-of-arrays mirror of the per-task scalars every inner fixed-point
+/// walk reads: periods, demands, persistence parameters, in parallel
+/// arrays indexed by task id.
+///
+/// The [`cpa_model::Task`] record interleaves these hot words with cold
+/// data (the name string, three cache block sets), so the fused BAS/BAO
+/// walks of [`crate::bas::same_core_terms`] and
+/// [`crate::bao::BaoMembers`] striding over `&TaskSet` touch one cache
+/// line per scalar read. The columns pack each scalar contiguously —
+/// walking a core's eight tasks reads eight adjacent words per field,
+/// which both caches well and lets the release-count loops vectorize.
+/// Filled once per context build (`O(n)`, recycled via
+/// [`ContextBuffers`]); values are verbatim copies, so bounds computed
+/// off the columns are bit-identical to bounds computed off the tasks.
+#[derive(Debug, Default)]
+pub struct TaskColumns {
+    /// `T_i` in cycles.
+    pub period: Vec<u64>,
+    /// `PD_i` in cycles.
+    pub pd: Vec<u64>,
+    /// `MD_i`.
+    pub md: Vec<u64>,
+    /// `MD_i^r`.
+    pub md_r: Vec<u64>,
+    /// `|PCB_i|`.
+    pub pcb_len: Vec<u64>,
+    /// `D_i` in cycles.
+    pub deadline: Vec<u64>,
+}
+
+impl TaskColumns {
+    /// Refills every column from `tasks` in id order, reusing the
+    /// allocations.
+    fn refill(&mut self, tasks: &TaskSet) {
+        self.period.clear();
+        self.pd.clear();
+        self.md.clear();
+        self.md_r.clear();
+        self.pcb_len.clear();
+        self.deadline.clear();
+        for task in tasks.iter() {
+            self.period.push(task.period().cycles());
+            self.pd.push(task.processing_demand().cycles());
+            self.md.push(task.memory_demand());
+            self.md_r.push(task.residual_memory_demand());
+            self.pcb_len.push(task.pcb().len() as u64);
+            self.deadline.push(task.deadline().cycles());
+        }
+    }
+
+    /// Freshly filled columns for `tasks`.
+    fn of(tasks: &TaskSet) -> Self {
+        let mut columns = TaskColumns::default();
+        columns.refill(tasks);
+        columns
+    }
 }
 
 /// Fills the flattened `γ` and CPRO-overlap tables with one incremental
@@ -143,6 +204,7 @@ fn fill_tables(tasks: &TaskSet, approach: CrpdApproach, gamma: &mut [u64], overl
 pub struct ContextBuffers {
     gamma: Vec<u64>,
     cpro_overlap: Vec<u64>,
+    columns: TaskColumns,
 }
 
 impl ContextBuffers {
@@ -186,6 +248,7 @@ impl<'a> AnalysisContext<'a> {
             tasks,
             gamma,
             cpro_overlap,
+            columns: TaskColumns::of(tasks),
             crpd_approach: approach,
         })
     }
@@ -209,6 +272,7 @@ impl<'a> AnalysisContext<'a> {
         let n = tasks.len();
         let mut gamma = std::mem::take(&mut buffers.gamma);
         let mut cpro_overlap = std::mem::take(&mut buffers.cpro_overlap);
+        let mut columns = std::mem::take(&mut buffers.columns);
         if gamma.capacity() >= n * n {
             cpa_obs::counter("analysis.context_recycles").incr();
         }
@@ -217,11 +281,13 @@ impl<'a> AnalysisContext<'a> {
         cpro_overlap.clear();
         cpro_overlap.resize(n * n, 0);
         fill_tables(tasks, approach, &mut gamma, &mut cpro_overlap);
+        columns.refill(tasks);
         Ok(AnalysisContext {
             platform,
             tasks,
             gamma,
             cpro_overlap,
+            columns,
             crpd_approach: approach,
         })
     }
@@ -231,6 +297,7 @@ impl<'a> AnalysisContext<'a> {
     pub fn recycle(self, buffers: &mut ContextBuffers) {
         buffers.gamma = self.gamma;
         buffers.cpro_overlap = self.cpro_overlap;
+        buffers.columns = self.columns;
     }
 
     /// [`AnalysisContext::with_crpd_approach`] with the tables evaluated
@@ -262,6 +329,7 @@ impl<'a> AnalysisContext<'a> {
             tasks,
             gamma,
             cpro_overlap,
+            columns: TaskColumns::of(tasks),
             crpd_approach: approach,
         })
     }
@@ -288,6 +356,13 @@ impl<'a> AnalysisContext<'a> {
     #[must_use]
     pub fn d_mem(&self) -> Time {
         self.platform.memory_latency()
+    }
+
+    /// The struct-of-arrays mirror of the hot per-task scalars (see
+    /// [`TaskColumns`]).
+    #[must_use]
+    pub fn columns(&self) -> &TaskColumns {
+        &self.columns
     }
 
     /// `γ_{i,j}`: ECB-union CRPD charged per job of `τj` within `τi`'s

@@ -51,13 +51,20 @@
 
 use core::fmt;
 
-use cpa_model::{CoreId, TaskId, Time};
+use cpa_model::{CoreId, TaskId, TaskSetFingerprint, Time};
 
 use crate::arbiter::{arbiter_for, BaoSource, BusArbiter};
 use crate::bao::{BaoMembers, BaoSegment, CarryOut, PriorityBand};
+use crate::crpd::CrpdApproach;
 use crate::curve::StepCurve;
 use crate::wcrt::{self, AnalysisResult};
 use crate::{bas, AnalysisConfig, AnalysisContext, PersistenceMode};
+
+/// Stamp that can never equal a live per-core version counter (versions
+/// start at 0 and bump at most once per estimate change), so a carried
+/// [`BaoSlot`] always misses on first touch and goes through
+/// [`BaoSegment::refresh`] against the current run's estimates.
+const CARRIED_STAMP: u64 = u64::MAX;
 
 /// One memoized `BAO` slot for a fixed `(level, core)` key: the
 /// precomputed member statics of both priority bands plus the most
@@ -78,6 +85,11 @@ struct BaoSlot {
     seg: BaoSegment,
     /// Core version [`BaoSlot::seg`] was last refreshed against.
     stamp: u64,
+    /// Whether the slot was carried over from a previous run by the warm
+    /// retention of [`AnalysisScratch::reset`]; cleared on the slot's
+    /// first refresh, whose kept-term count feeds
+    /// `engine.inner_iters_saved`.
+    carried: bool,
 }
 
 impl BaoSlot {
@@ -89,6 +101,26 @@ impl BaoSlot {
         self.filled = false;
         self.seg.reset();
         self.stamp = 0;
+        self.carried = false;
+    }
+
+    /// Keeps the slot's members (and, when the persistence mode is
+    /// unchanged, its segment terms) across a run boundary. Only sound
+    /// when the caller certified — via [`cpa_model::TaskSetDelta`] — that
+    /// a fresh fill against the new context would produce identical
+    /// bytes. The [`CARRIED_STAMP`] sentinel forces the first lookup to
+    /// miss, so the segment is always refreshed against the new run's
+    /// estimates before it serves a value.
+    fn carry_over(&mut self, mode_stable: bool) {
+        if mode_stable {
+            self.stamp = CARRIED_STAMP;
+            self.carried = true;
+        } else {
+            // Terms are mode-dependent; members are not.
+            self.seg.reset();
+            self.stamp = 0;
+            self.carried = false;
+        }
     }
 }
 
@@ -104,6 +136,9 @@ struct CachedBao<'e, 'ctx, 'a> {
     on_core: &'e [Vec<TaskId>],
     hits: &'e mut u64,
     misses: &'e mut u64,
+    /// Term re-derivations avoided thanks to warm-carried segments
+    /// (feeds `engine.inner_iters_saved`).
+    saved: &'e mut u64,
     mode: PersistenceMode,
     cores: usize,
 }
@@ -130,8 +165,15 @@ impl CachedBao<'_, '_, '_> {
                 .refill_on(ctx, level, &self.on_core[core.index()]);
             slot.filled = true;
         }
-        slot.seg
+        let kept = slot
+            .seg
             .refresh(&slot.members, t, self.resp, d_mem, self.mode);
+        if slot.carried {
+            // First refresh of a warm-carried slot: every term kept
+            // verbatim is a re-derivation a cold run would have paid.
+            *self.saved += kept as u64;
+            slot.carried = false;
+        }
         slot.stamp = version;
         slot.seg.eval(t, d_mem, carry)
     }
@@ -173,6 +215,51 @@ impl BaoSource for CachedBao<'_, '_, '_> {
 /// the scratch-reuse test below pin this), so sharing one scratch across
 /// heterogeneous task sets and configurations is always safe — just not
 /// across threads (`&mut` per run).
+///
+/// # Warm retention
+///
+/// Consecutive runs on *related* task sets (the same set under another
+/// configuration, or a neighbour differing in one task) can skip
+/// re-deriving cache entries whose inputs provably did not change. Each
+/// reset fingerprints the task set ([`TaskSetFingerprint`]) and compares
+/// it against the previous run's; the resulting
+/// [`cpa_model::TaskSetDelta`] certifies an unchanged prefix of tasks
+/// and a set of stable cores, and the reset then *carries over* (instead
+/// of clearing) exactly the certified entries:
+///
+/// * the same-core curve of task `i` when `i` lies in the unchanged
+///   prefix — its inputs (the task's own columns, its same-core
+///   higher-priority tasks and their CRPD/CPRO rows) all have indices
+///   `≤ i`, and the curve caches both persistence modes, so it survives
+///   configuration changes too;
+/// * the `BAO` slot `(level, core)` when `level` lies in the prefix and
+///   `core` is stable — member lists and member-derived table rows are
+///   then provably identical. Members are mode-independent and always
+///   kept; segment terms are kept only when the persistence mode also
+///   matched, and are re-validated against the new run's estimates by
+///   [`BaoSegment::refresh`] before they serve a value.
+///
+/// Retention never alters the fixed-point iterate chain — a carried
+/// entry holds exactly the bytes a cold run would re-derive — so every
+/// output of [`AnalysisResult`], including iteration counts, stays
+/// bitwise identical (the warm-equivalence proptests pin this). The
+/// d_mem latency, core count and CRPD approach are part of the retention
+/// key; any mismatch disables carry-over entirely. Call
+/// [`AnalysisScratch::forget_warm`] to sever the chain explicitly when
+/// determinism of the *warm counters* across work schedules matters
+/// (e.g. between independent sweep items).
+///
+/// Observability: `engine.warm_starts` (resets that carried anything),
+/// `engine.segments_reused` (curves and slots carried), and
+/// `engine.inner_iters_saved` (carried same-core spans promoted on first
+/// touch plus verbatim term keeps on a carried slot's first refresh).
+/// Hit/miss meters (`engine.curve_hit` et al.) stay bitwise-equal
+/// between warm and cold runs: a carried entry's first touch is
+/// accounted as the miss the cold run would have paid, with the saving
+/// booked separately. The three warm meters themselves depend on the
+/// chain history (which solve preceded this one on the same scratch), so
+/// they are classified as scheduling meters and excluded from
+/// deterministic telemetry exports.
 #[derive(Debug, Default)]
 pub struct AnalysisScratch {
     /// Current response-time estimates, updated in task-id order within a
@@ -185,11 +272,14 @@ pub struct AnalysisScratch {
     /// core changes, lazily invalidating that core's `BAO` curves.
     core_version: Vec<u64>,
     /// Per-task same-core curves caching the
-    /// `(interference cycles, BAS_i(t))` pair — both constant between the
-    /// task's own higher-priority releases, so they share one segment
-    /// grid. Never invalidated within a run: independent of the
-    /// response-time estimates.
-    same_core: Vec<StepCurve<(u64, u64)>>,
+    /// `(interference cycles, BAS_i^oblivious(t), BAS_i^aware(t))`
+    /// triple — all constant between the task's own higher-priority
+    /// releases, so they share one segment grid. Never invalidated
+    /// within a run (independent of the response-time estimates), and
+    /// valid across *configurations* of the same task set: both
+    /// persistence modes are cached, and the values are d_mem- and
+    /// bus-independent access counts.
+    same_core: Vec<StepCurve<(u64, u64, u64)>>,
     /// `BAO` curves, flat-indexed by `(level, core)` — one segment serves
     /// both priority bands and both carry-out modes.
     bao_slots: Vec<BaoSlot>,
@@ -205,6 +295,24 @@ pub struct AnalysisScratch {
     dirty: Vec<bool>,
     /// Runs this scratch has served (drives `engine.scratch_reuses`).
     uses: u64,
+    /// Fingerprint of the task set of the previous run, the comparison
+    /// base for warm retention. `None` after [`AnalysisScratch::new`] or
+    /// [`AnalysisScratch::forget_warm`].
+    fingerprint: Option<TaskSetFingerprint>,
+    /// Analysis environment of the previous run; retention requires the
+    /// d_mem/cores/CRPD part to match exactly (the mode only gates
+    /// segment-term carry-over).
+    warm_env: Option<WarmEnv>,
+}
+
+/// The non-task-set inputs the engine's caches consume, compared across
+/// runs to decide whether warm retention is sound at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WarmEnv {
+    d_mem: Time,
+    cores: usize,
+    crpd: CrpdApproach,
+    mode: PersistenceMode,
 }
 
 impl AnalysisScratch {
@@ -214,10 +322,22 @@ impl AnalysisScratch {
         AnalysisScratch::default()
     }
 
+    /// Severs the warm-retention chain: the next run starts cold, as if
+    /// on a fresh scratch (buffers stay allocated). Call this between
+    /// *independent* work items when warm counters must not depend on
+    /// which items a worker happened to process back to back — results
+    /// never depend on it.
+    pub fn forget_warm(&mut self) {
+        self.fingerprint = None;
+        self.warm_env = None;
+    }
+
     /// Resets every buffer for a run on `ctx` under an arbiter that does
     /// (or does not) charge blocking — clears and refills in place,
-    /// growing only beyond the largest problem seen so far.
-    fn reset(&mut self, ctx: &AnalysisContext<'_>, charges_blocking: bool) {
+    /// growing only beyond the largest problem seen so far. Cache entries
+    /// certified unchanged against the previous run are carried over
+    /// instead of cleared (see the type docs).
+    fn reset(&mut self, ctx: &AnalysisContext<'_>, charges_blocking: bool, mode: PersistenceMode) {
         if self.uses > 0 {
             cpa_obs::counter("engine.scratch_reuses").incr();
         }
@@ -226,6 +346,30 @@ impl AnalysisScratch {
         let tasks = ctx.tasks();
         let n = tasks.len();
         let cores = ctx.platform().cores();
+
+        // Warm retention: certify what may be carried over from the
+        // previous run. Everything value-bearing below is re-derived
+        // from `ctx` regardless; only *cache* entries are retained, and
+        // only under a bitwise-equality certificate.
+        let fingerprint = TaskSetFingerprint::of(tasks);
+        let env = WarmEnv {
+            d_mem: ctx.d_mem(),
+            cores,
+            crpd: ctx.crpd_approach(),
+            mode,
+        };
+        let (delta, mode_stable) = match (&self.fingerprint, &self.warm_env) {
+            (Some(prev), Some(prev_env))
+                if prev_env.d_mem == env.d_mem
+                    && prev_env.cores == env.cores
+                    && prev_env.crpd == env.crpd =>
+            {
+                (Some(prev.delta(&fingerprint)), prev_env.mode == env.mode)
+            }
+            _ => (None, false),
+        };
+        let unchanged = delta.as_ref().map_or(0, |d| d.unchanged_prefix().min(n));
+        let mut reused = 0u64;
 
         wcrt::fill_initial_estimates(ctx, &mut self.resp);
         self.init.clear();
@@ -237,17 +381,41 @@ impl AnalysisScratch {
         if self.same_core.len() < n {
             self.same_core.resize_with(n, StepCurve::new);
         }
-        for curve in &mut self.same_core[..n] {
-            curve.clear();
+        for (idx, curve) in self.same_core[..n].iter_mut().enumerate() {
+            if idx < unchanged {
+                if !curve.is_empty() {
+                    reused += 1;
+                }
+                curve.carry_over();
+            } else {
+                curve.clear();
+            }
         }
 
         let slots = n * cores;
         if self.bao_slots.len() < slots {
             self.bao_slots.resize_with(slots, BaoSlot::default);
         }
-        for slot in &mut self.bao_slots[..slots] {
-            slot.reset();
+        for (sidx, slot) in self.bao_slots[..slots].iter_mut().enumerate() {
+            let level = sidx / cores;
+            let core = sidx % cores;
+            let certified = level < unchanged
+                && delta.as_ref().is_some_and(|d| d.core_stable(core))
+                && slot.filled;
+            if certified {
+                reused += 1;
+                slot.carry_over(mode_stable);
+            } else {
+                slot.reset();
+            }
         }
+
+        if unchanged > 0 {
+            cpa_obs::counter("engine.warm_starts").incr();
+            cpa_obs::counter("engine.segments_reused").add(reused);
+        }
+        self.fingerprint = Some(fingerprint);
+        self.warm_env = Some(env);
 
         self.blocking.clear();
         self.blocking.extend(tasks.ids().map(|i| {
@@ -290,6 +458,10 @@ pub struct AnalysisEngine<'e, 'a> {
     bao_misses: u64,
     tasks_solved: u64,
     tasks_skipped: u64,
+    /// Re-derivations avoided via warm-carried cache entries: hits on
+    /// carried same-core segments plus verbatim term keeps on a carried
+    /// `BAO` slot's first refresh.
+    warm_saved: u64,
 }
 
 impl fmt::Debug for AnalysisEngine<'_, '_> {
@@ -314,7 +486,7 @@ impl<'e, 'a> AnalysisEngine<'e, 'a> {
     ) -> Self {
         let cores = ctx.platform().cores();
         let arbiter = arbiter_for(config.bus);
-        scratch.reset(ctx, arbiter.charges_blocking());
+        scratch.reset(ctx, arbiter.charges_blocking(), config.persistence);
         AnalysisEngine {
             ctx,
             config,
@@ -327,7 +499,35 @@ impl<'e, 'a> AnalysisEngine<'e, 'a> {
             bao_misses: 0,
             tasks_solved: 0,
             tasks_skipped: 0,
+            warm_saved: 0,
         }
+    }
+
+    /// Offers per-task response-time hints from a neighbouring solve
+    /// (see [`crate::analyze_with_seed`]). A hint is *adopted* only when
+    /// it is provably the value the cold iteration starts from anyway —
+    /// i.e. it equals the initial estimate `PD_i + MD_i · d_mem`. No
+    /// other certificate short of re-running the fixed point exists, so
+    /// every other component (over-estimates in particular) is rejected
+    /// and re-derived by the unmodified cold iterate chain; seeded runs
+    /// are therefore bitwise identical to unseeded ones, and the warm
+    /// speedup comes from the scratch's certified structural retention
+    /// instead. Tallies land in `engine.seed_hints_adopted` /
+    /// `engine.seed_hints_rejected`.
+    pub(crate) fn offer_seed(&mut self, seed: &[Time]) {
+        let n = self.scratch.init.len();
+        let mut adopted = 0u64;
+        // Length mismatches reject the excess outright.
+        let mut rejected = (seed.len().abs_diff(n)) as u64;
+        for (hint, &init) in seed.iter().zip(&self.scratch.init[..n.min(seed.len())]) {
+            if *hint == init {
+                adopted += 1;
+            } else {
+                rejected += 1;
+            }
+        }
+        cpa_obs::counter("engine.seed_hints_adopted").add(adopted);
+        cpa_obs::counter("engine.seed_hints_rejected").add(rejected);
     }
 
     /// Eq. (19)'s right-hand side at window length `r`, evaluated through
@@ -341,20 +541,38 @@ impl<'e, 'a> AnalysisEngine<'e, 'a> {
         let idx = i.index();
         let scratch = &mut *self.scratch;
 
-        // Same-core terms: interference (cycles) and BAS share one
-        // constancy span — every release count E_j is constant on it — so
-        // the pair lives in a single curve: one lookup, one span, one
-        // insert.
-        let (interference, own) = match scratch.same_core[idx].lookup(r) {
-            Some((intf, own)) => {
-                self.same_core_hits += 1;
+        // Same-core terms: interference (cycles) and both BAS modes share
+        // one constancy span — every release count E_j is constant on
+        // it — so the triple lives in a single curve: one lookup, one
+        // span, one insert, and the curve stays valid when the
+        // persistence mode changes between runs.
+        let (interference, own) = match scratch.same_core[idx].lookup_promote(r) {
+            Some(((intf, oblivious, aware), carried)) => {
+                if carried {
+                    // First touch of a warm-carried span: a cold run
+                    // would have derived it here, so score the miss it
+                    // replaces and book the saving separately. Revisits
+                    // count as the hits a cold run would also score.
+                    self.same_core_misses += 1;
+                    self.warm_saved += 1;
+                } else {
+                    self.same_core_hits += 1;
+                }
+                let own = match mode {
+                    PersistenceMode::Oblivious => oblivious,
+                    PersistenceMode::Aware => aware,
+                };
                 (Time::from_cycles(intf), own)
             }
             None => {
                 self.same_core_misses += 1;
                 let hp = &scratch.on_core[task.core().index()][..scratch.hp_prefix[idx]];
-                let (s, intf, own) = bas::same_core_terms(ctx, i, r, mode, hp);
-                scratch.same_core[idx].insert(r, s, (intf.cycles(), own));
+                let (s, intf, oblivious, aware) = bas::same_core_terms(ctx, i, r, hp);
+                scratch.same_core[idx].insert(r, s, (intf.cycles(), oblivious, aware));
+                let own = match mode {
+                    PersistenceMode::Oblivious => oblivious,
+                    PersistenceMode::Aware => aware,
+                };
                 (intf, own)
             }
         };
@@ -369,6 +587,7 @@ impl<'e, 'a> AnalysisEngine<'e, 'a> {
             on_core: &scratch.on_core,
             hits: &mut self.bao_hits,
             misses: &mut self.bao_misses,
+            saved: &mut self.warm_saved,
             mode,
             cores: self.cores,
         };
@@ -393,6 +612,7 @@ impl<'e, 'a> AnalysisEngine<'e, 'a> {
         cpa_obs::counter("engine.bao_miss").add(self.bao_misses);
         cpa_obs::counter("engine.tasks_solved").add(self.tasks_solved);
         cpa_obs::counter("engine.tasks_skipped").add(self.tasks_skipped);
+        cpa_obs::counter("engine.inner_iters_saved").add(self.warm_saved);
         result
     }
 

@@ -102,9 +102,12 @@ pub mod sched;
 pub mod wcrt;
 
 pub use config::{AnalysisConfig, BusPolicy, PersistenceMode};
-pub use context::{AnalysisContext, ContextBuffers};
+pub use context::{AnalysisContext, ContextBuffers, TaskColumns};
 pub use crpd::CrpdApproach;
 pub use diagnose::{decompose, DominantTerm, TermDecomposition};
 pub use engine::AnalysisScratch;
 pub use sched::{weighted_schedulability, WeightedAccumulator};
-pub use wcrt::{analyze, analyze_reference, analyze_with, explain, AnalysisResult, WcrtBreakdown};
+pub use wcrt::{
+    analyze, analyze_reference, analyze_with, analyze_with_seed, explain, AnalysisResult,
+    WcrtBreakdown,
+};

@@ -114,7 +114,79 @@ pub fn analyze_with(
     config: &AnalysisConfig,
     scratch: &mut crate::engine::AnalysisScratch,
 ) -> AnalysisResult {
-    crate::engine::AnalysisEngine::new(ctx, config, scratch).run()
+    let result = crate::engine::AnalysisEngine::new(ctx, config, scratch).run();
+    if warm_cross_check_enabled() {
+        cross_check_against_cold(ctx, config, &result);
+    }
+    result
+}
+
+/// [`analyze_with`] additionally offered per-task response-time hints
+/// from a neighbouring solve (a parent optimizer candidate, the previous
+/// configuration of the same set). The seed is a *hint, never an input*:
+/// a component is adopted only when it provably equals the value the
+/// cold iteration starts from, and every other component — over-estimates
+/// in particular — is rejected and re-derived by the unmodified cold
+/// iterate chain. Results are therefore bitwise identical to
+/// [`analyze_with`] and [`analyze`] (the warm-equivalence proptests pin
+/// every output field, iteration counts included); the actual speedup
+/// comes from the scratch's certified structural retention, which the
+/// seeded call path keeps alive across neighbouring solves.
+#[must_use]
+pub fn analyze_with_seed(
+    ctx: &AnalysisContext<'_>,
+    config: &AnalysisConfig,
+    scratch: &mut crate::engine::AnalysisScratch,
+    seed: &[Time],
+) -> AnalysisResult {
+    let mut engine = crate::engine::AnalysisEngine::new(ctx, config, scratch);
+    engine.offer_seed(seed);
+    let result = engine.run();
+    if warm_cross_check_enabled() {
+        cross_check_against_cold(ctx, config, &result);
+    }
+    result
+}
+
+/// Whether `CPA_WARM_CROSS_CHECK` is set (to anything but `0`): every
+/// warm/seeded analysis then re-runs cold on a fresh scratch and asserts
+/// full bitwise equality — the belt-and-braces mode ci.sh uses for the
+/// warm-equivalence smoke test. Read once per process.
+fn warm_cross_check_enabled() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("CPA_WARM_CROSS_CHECK").is_some_and(|v| v != "0"))
+}
+
+/// Re-runs `ctx` × `config` cold (fresh scratch, no retention) and
+/// asserts the warm result matches field for field.
+fn cross_check_against_cold(
+    ctx: &AnalysisContext<'_>,
+    config: &AnalysisConfig,
+    warm: &AnalysisResult,
+) {
+    let cold =
+        crate::engine::AnalysisEngine::new(ctx, config, &mut crate::engine::AnalysisScratch::new())
+            .run();
+    assert_eq!(
+        warm.response_times, cold.response_times,
+        "warm/cold divergence: response times"
+    );
+    assert_eq!(
+        warm.schedulable, cold.schedulable,
+        "warm/cold divergence: schedulability"
+    );
+    assert_eq!(
+        warm.outer_iterations, cold.outer_iterations,
+        "warm/cold divergence: outer iterations"
+    );
+    assert_eq!(
+        warm.inner_iterations, cold.inner_iterations,
+        "warm/cold divergence: inner iterations"
+    );
+    assert_eq!(
+        warm.hit_outer_cap, cold.hit_outer_cap,
+        "warm/cold divergence: outer cap"
+    );
 }
 
 /// The perfect-bus residual bus-utilization gate shared by [`analyze`] and

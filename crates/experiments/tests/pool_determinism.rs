@@ -30,7 +30,16 @@ fn panel_bytes(threads: usize, chunk: usize) -> (String, String) {
 
 #[test]
 fn artifacts_are_byte_identical_across_thread_counts() {
+    // The always-on counter proves the warm-start path was live while
+    // the bytes were compared: each sweep item chains its configurations
+    // on one scratch, so retention must fire — and must not show up in
+    // any artifact byte.
+    let warm_before = cpa_obs::counter("engine.warm_starts").get();
     let (csv_1, md_1) = panel_bytes(1, 0);
+    assert!(
+        cpa_obs::counter("engine.warm_starts").get() > warm_before,
+        "sweep items must chain their configs on a warm scratch"
+    );
     for threads in [2, 4, 8] {
         let (csv_n, md_n) = panel_bytes(threads, 0);
         assert_eq!(csv_1, csv_n, "CSV diverged at {threads} threads");

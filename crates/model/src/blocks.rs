@@ -99,11 +99,35 @@ impl CacheBlockSet {
             return set;
         }
         assert!(capacity > 0, "contiguous blocks require non-zero capacity");
-        for offset in 0..len.min(capacity) {
-            let block = (start + offset) % capacity;
-            set.set_bit(block);
-        }
+        // The wrapped range [start, start + len) mod capacity is at most
+        // two linear runs; fill them word-wise instead of bit by bit
+        // (task generation builds three of these per task).
+        let len = len.min(capacity);
+        let start = start % capacity;
+        let first = (capacity - start).min(len);
+        set.fill_range(start, start + first);
+        set.fill_range(0, len - first);
         set
+    }
+
+    /// Sets every bit in `[lo, hi)` (callers keep `hi <= capacity`).
+    fn fill_range(&mut self, lo: usize, hi: usize) {
+        if lo >= hi {
+            return;
+        }
+        let wl = lo / WORD_BITS;
+        let wh = (hi - 1) / WORD_BITS;
+        let mask_lo = !0u64 << (lo % WORD_BITS);
+        let mask_hi = !0u64 >> (WORD_BITS - 1 - (hi - 1) % WORD_BITS);
+        if wl == wh {
+            self.words[wl] |= mask_lo & mask_hi;
+        } else {
+            self.words[wl] |= mask_lo;
+            for word in &mut self.words[wl + 1..wh] {
+                *word = !0;
+            }
+            self.words[wh] |= mask_hi;
+        }
     }
 
     /// Number of cache sets this set ranges over.
@@ -379,13 +403,17 @@ impl CacheBlockSet {
         out
     }
 
-    /// Feeds the set's canonical encoding (capacity, cardinality, sorted
-    /// block indices) into a [`crate::ContentHasher`].
+    /// Feeds the set's canonical encoding into a
+    /// [`crate::ContentHasher`]: the capacity plus the raw bitset words.
+    /// The words *are* canonical — every mutation keeps bits beyond
+    /// `capacity` zero and the word count is a function of the
+    /// capacity — and hashing them directly costs one write per 64
+    /// blocks instead of one per set block (fingerprinting task sets
+    /// sits on the analysis hot path).
     pub fn hash_content(&self, hasher: &mut crate::ContentHasher) {
         hasher.write_usize(self.capacity);
-        hasher.write_usize(self.len());
-        for block in self.iter() {
-            hasher.write_usize(block);
+        for &word in &self.words {
+            hasher.write_u64(word);
         }
     }
 
@@ -606,6 +634,20 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn contiguous_matches_bit_by_bit_reference(
+            capacity in 1usize..300,
+            start in 0usize..600,
+            len in 0usize..600,
+        ) {
+            let fast = CacheBlockSet::contiguous(capacity, start, len);
+            let mut reference = CacheBlockSet::new(capacity);
+            for offset in 0..len.min(capacity) {
+                reference.set_bit((start + offset) % capacity);
+            }
+            prop_assert_eq!(fast, reference);
+        }
+
         #[test]
         fn union_len_inclusion_exclusion(
             a in proptest::collection::hash_set(0usize..256, 0..64),

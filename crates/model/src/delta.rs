@@ -1,0 +1,233 @@
+//! Task-set fingerprints and deltas for incremental re-analysis.
+//!
+//! Campaign sweeps and optimizer searches solve long chains of *related*
+//! task sets: adjacent candidates differ in one task's core, rank or
+//! cache coloring, and consecutive configurations of the same set differ
+//! in nothing at all. The analysis engine can retain per-task and
+//! per-`(level, core)` cached state across such solves — but only when it
+//! can *certify* that the retained entries were derived from identical
+//! inputs. A [`TaskSetFingerprint`] captures exactly the inputs the
+//! engine's caches consume (the canonical per-task content hashes of
+//! [`crate::Task::hash_content`], which cover every semantic field
+//! including core and priority, plus each task's position and core
+//! index); a [`TaskSetDelta`] compares two fingerprints and answers the
+//! two certification queries the engine asks:
+//!
+//! * [`TaskSetDelta::unchanged_prefix`] — the number of leading tasks
+//!   (in the canonical priority order) that are bitwise-identical in
+//!   content *and* global index. The CRPD/CPRO tables are filled by a
+//!   running-union sweep in ascending id order, so every table entry
+//!   `(a, b)` with `max(a, b) < unchanged_prefix` is provably unchanged.
+//! * [`TaskSetDelta::core_stable`] — whether *every* task mapped to a
+//!   core (in either the old or the new set) lies inside the unchanged
+//!   prefix, i.e. the core's member list and all member-dependent table
+//!   rows are provably unchanged.
+//!
+//! The fingerprint deliberately stores only hashes and core indices: a
+//! worker can keep the fingerprint of the previous solve without keeping
+//! the previous [`TaskSet`](crate::TaskSet) alive.
+
+use crate::TaskSet;
+
+/// Canonical per-task content hashes plus core assignment of one task
+/// set — the comparison key for [`TaskSetDelta`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSetFingerprint {
+    /// Per-task canonical content hash, in priority (id) order.
+    task_hashes: Vec<u64>,
+    /// Per-task core index, same order.
+    cores: Vec<usize>,
+    /// Cache geometry the block sets were encoded against.
+    cache_sets: usize,
+}
+
+impl TaskSetFingerprint {
+    /// Fingerprints `tasks` in its canonical priority order.
+    #[must_use]
+    pub fn of(tasks: &TaskSet) -> Self {
+        TaskSetFingerprint {
+            task_hashes: tasks.task_content_hashes().to_vec(),
+            cores: tasks.iter().map(|t| t.core().index()).collect(),
+            cache_sets: tasks.cache_sets(),
+        }
+    }
+
+    /// Number of tasks fingerprinted.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.task_hashes.len()
+    }
+
+    /// Whether the fingerprint covers no tasks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.task_hashes.is_empty()
+    }
+
+    /// Compares `self` (the previous solve) against `next` (the upcoming
+    /// solve) and derives the certified-unchanged structure.
+    #[must_use]
+    pub fn delta(&self, next: &TaskSetFingerprint) -> TaskSetDelta {
+        let unchanged_prefix = if self.cache_sets == next.cache_sets {
+            self.task_hashes
+                .iter()
+                .zip(&next.task_hashes)
+                .zip(self.cores.iter().zip(&next.cores))
+                .take_while(|((ha, hb), (ca, cb))| ha == hb && ca == cb)
+                .count()
+        } else {
+            0
+        };
+        let num_cores = self
+            .cores
+            .iter()
+            .chain(&next.cores)
+            .map(|&c| c + 1)
+            .max()
+            .unwrap_or(0);
+        let mut core_stable = vec![true; num_cores];
+        for fp in [self, next] {
+            for (idx, &core) in fp.cores.iter().enumerate() {
+                if idx >= unchanged_prefix {
+                    core_stable[core] = false;
+                }
+            }
+        }
+        TaskSetDelta {
+            unchanged_prefix,
+            identical: unchanged_prefix == self.len() && unchanged_prefix == next.len(),
+            core_stable,
+        }
+    }
+}
+
+/// The certified-unchanged structure between two task-set fingerprints
+/// (see the module docs for the invalidation rules it encodes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSetDelta {
+    unchanged_prefix: usize,
+    identical: bool,
+    core_stable: Vec<bool>,
+}
+
+impl TaskSetDelta {
+    /// Number of leading tasks identical in content and global index in
+    /// both sets. Any cached value derived only from tasks below this
+    /// index is provably unchanged.
+    #[must_use]
+    pub fn unchanged_prefix(&self) -> usize {
+        self.unchanged_prefix
+    }
+
+    /// Whether the two sets are entirely identical.
+    #[must_use]
+    pub fn identical(&self) -> bool {
+        self.identical
+    }
+
+    /// Whether every task on `core` — in *both* the old and the new set —
+    /// lies inside the unchanged prefix, so the core's member list and
+    /// every member-derived table row are unchanged.
+    #[must_use]
+    pub fn core_stable(&self, core: usize) -> bool {
+        self.core_stable.get(core).copied().unwrap_or(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CacheBlockSet, CoreId, Priority, Task, Time};
+
+    fn task(name: &str, prio: u32, core: usize, md: u64) -> Task {
+        Task::builder(name)
+            .processing_demand(Time::from_cycles(10))
+            .memory_demand(md)
+            .period(Time::from_cycles(100))
+            .deadline(Time::from_cycles(100))
+            .core(CoreId::new(core))
+            .priority(Priority::new(prio))
+            .ecb(CacheBlockSet::contiguous(16, 0, 4))
+            .build()
+            .unwrap()
+    }
+
+    fn set(tasks: Vec<Task>) -> TaskSet {
+        TaskSet::new(tasks).unwrap()
+    }
+
+    #[test]
+    fn identical_sets_have_full_prefix_and_stable_cores() {
+        let a = set(vec![task("a", 1, 0, 2), task("b", 2, 1, 3)]);
+        let b = set(vec![task("a", 1, 0, 2), task("b", 2, 1, 3)]);
+        let delta = TaskSetFingerprint::of(&a).delta(&TaskSetFingerprint::of(&b));
+        assert!(delta.identical());
+        assert_eq!(delta.unchanged_prefix(), 2);
+        assert!(delta.core_stable(0) && delta.core_stable(1));
+    }
+
+    #[test]
+    fn changed_task_truncates_prefix_and_destabilises_its_core() {
+        let a = set(vec![
+            task("a", 1, 0, 2),
+            task("b", 2, 1, 3),
+            task("c", 3, 0, 4),
+        ]);
+        // τb's memory demand changes: prefix stops at 1, cores 0 and 1
+        // both carry a task at index ≥ 1 so neither is stable.
+        let b = set(vec![
+            task("a", 1, 0, 2),
+            task("b", 2, 1, 9),
+            task("c", 3, 0, 4),
+        ]);
+        let delta = TaskSetFingerprint::of(&a).delta(&TaskSetFingerprint::of(&b));
+        assert!(!delta.identical());
+        assert_eq!(delta.unchanged_prefix(), 1);
+        assert!(!delta.core_stable(0));
+        assert!(!delta.core_stable(1));
+    }
+
+    #[test]
+    fn tail_change_keeps_other_cores_stable() {
+        let a = set(vec![
+            task("a", 1, 0, 2),
+            task("b", 2, 0, 3),
+            task("c", 3, 1, 4),
+        ]);
+        let b = set(vec![
+            task("a", 1, 0, 2),
+            task("b", 2, 0, 3),
+            task("c", 3, 1, 9),
+        ]);
+        let delta = TaskSetFingerprint::of(&a).delta(&TaskSetFingerprint::of(&b));
+        assert_eq!(delta.unchanged_prefix(), 2);
+        assert!(
+            delta.core_stable(0),
+            "core 0's tasks all sit below the change"
+        );
+        assert!(!delta.core_stable(1));
+    }
+
+    #[test]
+    fn core_move_is_a_change() {
+        let a = set(vec![task("a", 1, 0, 2), task("b", 2, 1, 3)]);
+        let b = set(vec![task("a", 1, 1, 2), task("b", 2, 1, 3)]);
+        let delta = TaskSetFingerprint::of(&a).delta(&TaskSetFingerprint::of(&b));
+        assert_eq!(delta.unchanged_prefix(), 0);
+    }
+
+    #[test]
+    fn length_mismatch_is_never_identical() {
+        let a = set(vec![task("a", 1, 0, 2)]);
+        let b = set(vec![task("a", 1, 0, 2), task("b", 2, 1, 3)]);
+        let fa = TaskSetFingerprint::of(&a);
+        let fb = TaskSetFingerprint::of(&b);
+        let delta = fa.delta(&fb);
+        assert!(!delta.identical());
+        assert_eq!(delta.unchanged_prefix(), 1);
+        assert!(!delta.core_stable(1));
+        // Empty previous fingerprint: nothing certifiable.
+        let empty = TaskSetFingerprint::of(&set(vec![task("x", 1, 0, 1)]));
+        assert_eq!(empty.delta(&fb).unchanged_prefix(), 0);
+    }
+}

@@ -66,6 +66,7 @@
 
 mod blocks;
 mod canon;
+mod delta;
 mod error;
 mod ids;
 mod platform;
@@ -75,6 +76,7 @@ mod time;
 
 pub use blocks::CacheBlockSet;
 pub use canon::ContentHasher;
+pub use delta::{TaskSetDelta, TaskSetFingerprint};
 pub use error::ModelError;
 pub use ids::{CoreId, Priority, TaskId};
 pub use platform::{CacheGeometry, Platform, PlatformBuilder};

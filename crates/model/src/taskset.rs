@@ -46,6 +46,14 @@ use crate::{ContentHasher, CoreId, ModelError, Platform, Task, TaskId, Time};
 #[serde(try_from = "Vec<Task>", into = "Vec<Task>")]
 pub struct TaskSet {
     tasks: Vec<Task>,
+    /// Per-task canonical content hashes ([`Task::hash_content`]), in
+    /// the same order as `tasks`. Computed once at construction — task
+    /// sets are immutable — so fingerprinting for incremental
+    /// re-analysis ([`crate::TaskSetFingerprint`]) is a plain copy
+    /// instead of a re-hash of every cache-block set. Derived state:
+    /// excluded from serialization by the `Vec<Task>` conversions and
+    /// rebuilt on deserialization.
+    task_hashes: Vec<u64>,
 }
 
 impl From<TaskSet> for Vec<Task> {
@@ -102,7 +110,15 @@ impl TaskSet {
                 ),
             });
         }
-        Ok(TaskSet { tasks })
+        let task_hashes = tasks
+            .iter()
+            .map(|t| {
+                let mut hasher = ContentHasher::new();
+                t.hash_content(&mut hasher);
+                hasher.finish()
+            })
+            .collect();
+        Ok(TaskSet { tasks, task_hashes })
     }
 
     /// Number of tasks.
@@ -334,9 +350,16 @@ impl TaskSet {
     pub fn hash_content(&self, hasher: &mut ContentHasher) {
         hasher.write_usize(self.tasks.len());
         hasher.write_usize(self.cache_sets());
-        for task in &self.tasks {
-            task.hash_content(hasher);
+        for &h in &self.task_hashes {
+            hasher.write_u64(h);
         }
+    }
+
+    /// The cached per-task canonical content hashes, in priority (id)
+    /// order — the raw material of [`crate::TaskSetFingerprint`].
+    #[must_use]
+    pub fn task_content_hashes(&self) -> &[u64] {
+        &self.task_hashes
     }
 
     /// Serializes the task set as pretty-printed JSON (an array of task

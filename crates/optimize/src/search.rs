@@ -28,10 +28,11 @@
 //! identical best candidate at any `--threads`.
 
 use cpa_analysis::{
-    analyze_with, AnalysisConfig, AnalysisContext, AnalysisScratch, ContextBuffers, CrpdApproach,
+    analyze_with, analyze_with_seed, AnalysisConfig, AnalysisContext, AnalysisScratch,
+    ContextBuffers, CrpdApproach,
 };
 use cpa_experiments::runner::derive_seed;
-use cpa_model::{ContentHasher, Platform, TaskSet};
+use cpa_model::{ContentHasher, Platform, TaskSet, Time};
 use cpa_pool::PoolOptions;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -204,6 +205,34 @@ impl<'a> Searcher<'a> {
     /// Evaluates a batch of candidates over the pool; results come back in
     /// candidate order whatever the thread count.
     fn evaluate_batch(&mut self, candidates: &[Candidate]) -> Vec<Evaluation> {
+        self.evaluate_batch_impl(candidates, None, false)
+            .into_iter()
+            .map(|(eval, _)| eval)
+            .collect()
+    }
+
+    /// [`Searcher::evaluate_batch`], seeded and response-tracking: each
+    /// candidate's solve is offered `seed` (the current point's converged
+    /// response times) as a warm-start hint, and each returned pair
+    /// carries the candidate's own per-task response-time vector so an
+    /// accepted neighbour can seed the *next* round. Results stay
+    /// bitwise-identical to the unseeded path — `analyze_with_seed` only
+    /// adopts provably-correct components — so the search trajectory is
+    /// unchanged.
+    fn evaluate_batch_seeded(
+        &mut self,
+        candidates: &[Candidate],
+        seed: Option<&[Time]>,
+    ) -> Vec<(Evaluation, Vec<Time>)> {
+        self.evaluate_batch_impl(candidates, seed, true)
+    }
+
+    fn evaluate_batch_impl(
+        &mut self,
+        candidates: &[Candidate],
+        seed: Option<&[Time]>,
+        track_responses: bool,
+    ) -> Vec<(Evaluation, Vec<Time>)> {
         let _span = cpa_obs::span!("optimize.evaluate_batch");
         self.evaluated += candidates.len() as u64;
         cpa_obs::counter("optimize.candidates").add(candidates.len() as u64);
@@ -223,10 +252,28 @@ impl<'a> Searcher<'a> {
                     &mut state.buffers,
                 )
                 .expect("candidates stay valid for the platform");
-                let result = analyze_with(&ctx, config, &mut state.scratch);
+                // Workers chain warm-start state across the candidates they
+                // happen to claim: neighbours differ from the parent (and
+                // thus from each other) in a handful of tasks, so the
+                // fingerprint delta certifies most cached segments. This is
+                // safe at any thread count because retention and seeding
+                // never change results, only skip re-derivations.
+                let result = match seed {
+                    Some(seed) => analyze_with_seed(&ctx, config, &mut state.scratch, seed),
+                    None => analyze_with(&ctx, config, &mut state.scratch),
+                };
                 let eval = evaluate_result(&tasks, &result);
+                let responses = if track_responses {
+                    result
+                        .response_times()
+                        .iter()
+                        .map(|r| r.unwrap_or(Time::from_cycles(u64::MAX)))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
                 ctx.recycle(&mut state.buffers);
-                eval
+                (eval, responses)
             },
         )
     }
@@ -468,7 +515,10 @@ pub fn optimize(
                 }
                 c
             };
-            let mut current_eval = s.evaluate_batch(std::slice::from_ref(&current))[0];
+            let (mut current_eval, mut current_resp) = s
+                .evaluate_batch_seeded(std::slice::from_ref(&current), None)
+                .pop()
+                .expect("one candidate in, one evaluation out");
             if current_eval.score > best_eval.score {
                 best = current.clone();
                 best_eval = current_eval;
@@ -486,13 +536,26 @@ pub fn optimize(
                 if neighbors.is_empty() {
                     break;
                 }
-                let evals = s.evaluate_batch(&neighbors);
-                let bi = Searcher::argmax(&evals);
-                if evals[bi].score > current_eval.score {
+                // The parent's converged response times seed every
+                // neighbour solve (pure hint — adopted per component only
+                // when provably exact, so outcomes match the unseeded
+                // search bit for bit).
+                let mut evals = s.evaluate_batch_seeded(&neighbors, Some(&current_resp));
+                let bi = {
+                    let mut bi = 0;
+                    for (k, (e, _)) in evals.iter().enumerate().skip(1) {
+                        if e.score > evals[bi].0.score {
+                            bi = k;
+                        }
+                    }
+                    bi
+                };
+                if evals[bi].0.score > current_eval.score {
                     stats.moves_accepted += 1;
                     stats.moves_rejected += (neighbors.len() - 1) as u64;
                     current = neighbors[bi].clone();
-                    current_eval = evals[bi];
+                    current_eval = evals[bi].0;
+                    current_resp = std::mem::take(&mut evals[bi].1);
                     stale = 0;
                     if current_eval.score > best_eval.score {
                         best = current.clone();
@@ -503,9 +566,10 @@ pub fn optimize(
                     stale += 1;
                     // Sideways drift along score plateaus, seeded like
                     // everything else, to escape flat regions.
-                    if evals[bi].score == current_eval.score && rng.gen_bool(0.5) {
+                    if evals[bi].0.score == current_eval.score && rng.gen_bool(0.5) {
                         current = neighbors[bi].clone();
-                        current_eval = evals[bi];
+                        current_eval = evals[bi].0;
+                        current_resp = std::mem::take(&mut evals[bi].1);
                     }
                     if stale >= knobs.patience.max(1) {
                         break;

@@ -37,7 +37,14 @@ fn responses_are_invariant_in_the_thread_count() {
         let opts = ServiceOptions { threads, chunk: 0 };
         process_batch(&batch, &opts, &mut cache).expect("batch processes")
     };
+    let warm_before = cpa_obs::counter("engine.warm_starts").get();
     let (single, single_stats) = run(1);
+    // Optimizer workers chain their scratches across candidates, so the
+    // warm path must have been live while the bytes below were produced.
+    assert!(
+        cpa_obs::counter("engine.warm_starts").get() > warm_before,
+        "optimizer candidates must warm-chain on per-worker scratches"
+    );
     let (parallel, parallel_stats) = run(4);
     assert_eq!(single, parallel, "1-thread and 4-thread bytes must match");
     assert_eq!(single_stats.cache_misses, 3);

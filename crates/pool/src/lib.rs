@@ -48,8 +48,17 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Auto-detected parallelism is capped here; see the crate docs for why.
-/// An explicit `threads` request is never capped.
+/// An explicit `threads` request is never capped. The cap itself can be
+/// overridden per-process via [`MAX_AUTO_THREADS_ENV`].
 pub const MAX_AUTO_THREADS: usize = 8;
+
+/// Environment variable overriding [`MAX_AUTO_THREADS`] for auto-detected
+/// worker counts (`CPA_MAX_AUTO_THREADS=16`). Unset, empty, zero, or
+/// unparsable values fall back to the built-in cap. Explicit `--threads`
+/// requests are never capped, so this only matters on hosts with more
+/// cores than the default cap where re-running with a flag is awkward
+/// (CI images, batch schedulers).
+pub const MAX_AUTO_THREADS_ENV: &str = "CPA_MAX_AUTO_THREADS";
 
 /// Items per claimed chunk when the caller does not fix one.
 ///
@@ -119,16 +128,40 @@ impl PoolOptions {
 
 /// Resolves a requested worker count to an actual one: explicit requests
 /// (`requested > 0`) are honored verbatim; `0` auto-detects and caps at
-/// [`MAX_AUTO_THREADS`].
+/// [`MAX_AUTO_THREADS`] (or the [`MAX_AUTO_THREADS_ENV`] override). A
+/// clamped auto-detection emits one `pool.threads_clamped` event so a
+/// trace of the run records that the host had more cores than were used.
 #[must_use]
 pub fn resolve_threads(requested: usize) -> usize {
     if requested > 0 {
         return requested;
     }
-    std::thread::available_parallelism()
+    let detected = std::thread::available_parallelism()
         .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(MAX_AUTO_THREADS)
+        .unwrap_or(1);
+    clamp_auto(detected, auto_cap())
+}
+
+/// The effective auto-detect cap: [`MAX_AUTO_THREADS_ENV`] when it parses
+/// to a positive integer, the built-in [`MAX_AUTO_THREADS`] otherwise.
+fn auto_cap() -> usize {
+    std::env::var(MAX_AUTO_THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&cap| cap > 0)
+        .unwrap_or(MAX_AUTO_THREADS)
+}
+
+/// Applies the cap to a detected core count, recording a clamp as a
+/// structured event (not a counter: it is one fact about the host, not a
+/// meter that accumulates).
+fn clamp_auto(detected: usize, cap: usize) -> usize {
+    if detected > cap {
+        cpa_obs::event!("pool.threads_clamped", detected = detected, cap = cap);
+        cap
+    } else {
+        detected
+    }
 }
 
 /// Width of the item field in a [`scope_key`]: items occupy the low 40
@@ -259,10 +292,27 @@ mod tests {
     }
 
     #[test]
-    fn auto_detection_is_capped() {
+    fn auto_detection_is_capped_and_env_overrides() {
+        // One test, run serially within itself: the override variable is
+        // process-global, so splitting these assertions across #[test]
+        // functions would race under the parallel test runner.
+        std::env::remove_var(MAX_AUTO_THREADS_ENV);
         let auto = resolve_threads(0);
         assert!(auto >= 1);
         assert!(auto <= MAX_AUTO_THREADS);
+        assert_eq!(auto_cap(), MAX_AUTO_THREADS);
+        for bogus in ["", "0", "-3", "lots"] {
+            std::env::set_var(MAX_AUTO_THREADS_ENV, bogus);
+            assert_eq!(auto_cap(), MAX_AUTO_THREADS, "bogus value {bogus:?}");
+        }
+        std::env::set_var(MAX_AUTO_THREADS_ENV, " 16 ");
+        assert_eq!(auto_cap(), 16);
+        std::env::remove_var(MAX_AUTO_THREADS_ENV);
+
+        // The clamp policy itself, independent of the host's core count.
+        assert_eq!(clamp_auto(4, 8), 4);
+        assert_eq!(clamp_auto(8, 8), 8);
+        assert_eq!(clamp_auto(64, 8), 8);
     }
 
     #[test]

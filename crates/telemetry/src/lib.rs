@@ -38,9 +38,9 @@ pub use chrome::chrome_trace;
 pub use json::{parse as parse_json, JsonValue};
 pub use openmetrics::{openmetrics, sanitize_metric_name, validate as validate_openmetrics};
 pub use record::{
-    civil_from_epoch_secs, diff_records, git_rev, latest_per_bench, load_records, parse_records,
-    utc_date, BenchDiff, BenchRecord, DiffEntry, GateCheck, BENCH_SCHEMA_VERSION,
-    DEFAULT_REGRESSION_THRESHOLD,
+    civil_from_epoch_secs, diff_records, git_rev, latest_per_bench, load_records,
+    parse_min_speedup, parse_records, utc_date, BenchDiff, BenchRecord, DiffEntry, GateCheck,
+    BENCH_SCHEMA_VERSION, DEFAULT_REGRESSION_THRESHOLD,
 };
 pub use stage::{
     stage_for_counter, stage_for_span, StageReport, StageRow, StageSpec, PIPELINE_STAGES,
@@ -59,9 +59,20 @@ pub enum ExportScope {
 
 /// Counters whose values depend on scheduling (`--threads`/`--chunk`), not on
 /// the workload: excluded from deterministic exports.
+///
+/// The three `engine.warm_*`-family meters measure warm-start chain
+/// history — what the *previous* solve on the same per-worker scratch
+/// left behind. Sweep and campaign runners sever chains at item
+/// boundaries, but the optimizer chains freely per worker, so which
+/// candidate warms which is a pool artifact. (Analysis *results* and the
+/// hit/miss meters stay bitwise-equal warm vs cold by construction; only
+/// these bookkeeping meters vary.)
 pub const SCHEDULING_METERS: &[&str] = &[
     "analysis.context_recycles",
     "engine.scratch_reuses",
+    "engine.warm_starts",
+    "engine.segments_reused",
+    "engine.inner_iters_saved",
     "pool.chunks_claimed",
     "pool.chunks_stolen",
 ];
@@ -87,6 +98,10 @@ mod tests {
     fn scheduling_meter_classification() {
         assert!(is_scheduling_meter("pool.chunks_claimed"));
         assert!(is_scheduling_meter("engine.scratch_reuses"));
+        assert!(is_scheduling_meter("engine.segments_reused"));
+        assert!(is_scheduling_meter("engine.inner_iters_saved"));
+        assert!(!is_scheduling_meter("engine.seed_hints_adopted"));
+        assert!(!is_scheduling_meter("engine.curve_hit"));
         assert!(!is_scheduling_meter("pool.items"));
         assert!(!is_scheduling_meter("sim.runs"));
         assert!(is_scheduling_span("pool.chunk"));

@@ -15,7 +15,7 @@
 //!                    [--mode aware|oblivious] [--sets N] [--threads T]
 //!                    [--chunk C] [SINKS]
 //! cpa-trace bench diff --baseline FILE --current FILE [--current FILE ...]
-//!                    [--threshold F] [--json]
+//!                    [--threshold F] [--min-speedup STAGE=K ...] [--json]
 //!
 //! SINKS: [--trace FILE] [--profile FILE] [--json]
 //!        [--export chrome|openmetrics|json] [--export-out FILE]
@@ -57,7 +57,11 @@
 //! `cpa-trace bench diff --baseline FILE --current FILE...` compares
 //! unified `BenchRecord` documents (the `BENCH_*.json` files or
 //! `results/bench_history.jsonl`) and exits non-zero when any throughput
-//! entry regressed by more than `--threshold` (default 15%).
+//! entry regressed by more than `--threshold` (default 15%). Repeatable
+//! `--min-speedup STAGE=K` flags additionally assert absolute floors: the
+//! named throughput entry or gate in the current records must report a
+//! value of at least `K` (CI uses this to pin the `sweep_e2e`
+//! `fig2_fp_panel_speedup` gate declaratively).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -71,8 +75,8 @@ use cpa_experiments::SweepOptions;
 use cpa_model::{Platform, TaskSet, Time};
 use cpa_sim::{SimConfig, SimReport, Simulator};
 use cpa_telemetry::{
-    chrome_trace, diff_records, load_records, openmetrics, ExportScope, StageReport,
-    DEFAULT_REGRESSION_THRESHOLD,
+    chrome_trace, diff_records, load_records, openmetrics, parse_min_speedup, ExportScope,
+    StageReport, DEFAULT_REGRESSION_THRESHOLD,
 };
 use cpa_validate::oracle::{arbitration_of, horizon_for};
 use cpa_validate::platform_for_tasks;
@@ -165,6 +169,67 @@ impl EngineStats {
     }
 }
 
+/// Warm-start section of the `analyze`/`sweep`/`optimize` reports: how
+/// much work the engine's cross-solve retention avoided (DESIGN.md §15),
+/// from the always-on `engine.warm_*`/`engine.seed_*` counter deltas.
+/// Retention never changes results — these counters are the only
+/// observable difference between a warm and a cold solve.
+#[derive(Serialize)]
+struct WarmStats {
+    /// Engine resets that carried at least one certified cache entry over
+    /// from the previous solve.
+    warm_starts: u64,
+    /// Same-core curves and BAO slots carried across solve boundaries.
+    segments_reused: u64,
+    /// Inner-loop term re-derivations skipped thanks to carried entries.
+    inner_iters_saved: u64,
+    /// Response-time seed components adopted (provably equal to the
+    /// iteration's own starting point).
+    seed_hints_adopted: u64,
+    /// Seed components rejected and re-derived from scratch.
+    seed_hints_rejected: u64,
+}
+
+impl WarmStats {
+    /// Snapshot of the always-on warm-start counters, for delta-ing
+    /// around one analysis, sweep, or optimizer run.
+    fn snapshot() -> [u64; 5] {
+        [
+            cpa_obs::counter("engine.warm_starts").get(),
+            cpa_obs::counter("engine.segments_reused").get(),
+            cpa_obs::counter("engine.inner_iters_saved").get(),
+            cpa_obs::counter("engine.seed_hints_adopted").get(),
+            cpa_obs::counter("engine.seed_hints_rejected").get(),
+        ]
+    }
+
+    fn from_delta(before: [u64; 5]) -> WarmStats {
+        let after = WarmStats::snapshot();
+        let d = |i: usize| after[i].saturating_sub(before[i]);
+        WarmStats {
+            warm_starts: d(0),
+            segments_reused: d(1),
+            inner_iters_saved: d(2),
+            seed_hints_adopted: d(3),
+            seed_hints_rejected: d(4),
+        }
+    }
+
+    fn print_human(&self) {
+        if self.warm_starts > 0 || self.seed_hints_adopted + self.seed_hints_rejected > 0 {
+            println!(
+                "warm-start: {} warm resets, {} segments carried, {} inner derivations saved, \
+                 seed hints {} adopted / {} rejected",
+                self.warm_starts,
+                self.segments_reused,
+                self.inner_iters_saved,
+                self.seed_hints_adopted,
+                self.seed_hints_rejected,
+            );
+        }
+    }
+}
+
 /// Pool section of the `sweep` report: dynamic-scheduling statistics from
 /// the `pool.*` counter deltas of one pooled evaluation, plus the engine's
 /// scratch-reuse count (DESIGN.md §12).
@@ -222,6 +287,7 @@ struct SweepDoc {
     seed: u64,
     sets: usize,
     pool: PoolStats,
+    warm: WarmStats,
     configs: Vec<SweepConfigRow>,
 }
 
@@ -281,6 +347,7 @@ struct OptimizeDoc {
     sets: usize,
     replay_identical: bool,
     counters: OptimizeStats,
+    warm_start: WarmStats,
     cold: cpa_optimize::BatchStats,
     warm: cpa_optimize::BatchStats,
 }
@@ -296,6 +363,7 @@ struct AnalyzeDoc {
     outer_iterations: u32,
     hit_outer_cap: bool,
     engine: EngineStats,
+    warm: WarmStats,
     tasks: Vec<AnalyzeTaskRow>,
 }
 
@@ -379,7 +447,7 @@ cpa-trace optimize [--seed S] [--cores N] [--tasks-per-core K] [--util U] \
 [--bus fp|rr|tdma|perfect] [--slots K] [--mode aware|oblivious] [--sets N] [--threads T] \
 [--chunk C] [SINKS]\n       \
 cpa-trace bench diff --baseline FILE --current FILE [--current FILE ...] [--threshold F] \
-[--json]\n\
+[--min-speedup STAGE=K ...] [--json]\n\
 SINKS: [--trace FILE] [--profile FILE] [--json] [--export chrome|openmetrics|json] \
 [--export-out FILE]";
 
@@ -576,8 +644,10 @@ fn analyze_cmd(opts: &TraceOptions) -> Result<(), String> {
     let ctx = AnalysisContext::new(&platform, &tasks).map_err(|e| e.to_string())?;
     let config = AnalysisConfig::new(bus, mode);
     let counters_before = EngineStats::snapshot();
+    let warm_before = WarmStats::snapshot();
     let result = analyze(&ctx, &config);
     let engine = EngineStats::from_delta(counters_before, result.outer_iterations());
+    let warm = WarmStats::from_delta(warm_before);
 
     // Decomposition windows: the fixed point where one exists, the
     // deadline (the last window the sufficiency test probed) otherwise.
@@ -631,6 +701,7 @@ fn analyze_cmd(opts: &TraceOptions) -> Result<(), String> {
             outer_iterations: result.outer_iterations(),
             hit_outer_cap: result.hit_outer_iteration_cap(),
             engine,
+            warm,
             tasks: task_rows,
         };
         println!("{}", with_profile(&doc, &run)?);
@@ -667,6 +738,7 @@ fn analyze_cmd(opts: &TraceOptions) -> Result<(), String> {
     if engine.scratch_reuses > 0 {
         println!("engine: {} scratch reuses", engine.scratch_reuses);
     }
+    warm.print_human();
     println!();
     println!(
         "{:<14} {:>4} {:>4} {:>10} {:>10} {:>5} {:>7}  {:<8} shares",
@@ -814,8 +886,10 @@ fn sweep_cmd(opts: &TraceOptions) -> Result<(), String> {
     let threads = cpa_pool::resolve_threads(opts.threads);
 
     let counters_before = PoolStats::snapshot();
+    let warm_before = WarmStats::snapshot();
     let point = evaluate_point(&gen_config, &configs, &sweep, 0);
     let pool = PoolStats::from_delta(counters_before, threads);
+    let warm = WarmStats::from_delta(warm_before);
 
     let run = finish_run(opts)?;
     if run.exported_to_stdout {
@@ -839,6 +913,7 @@ fn sweep_cmd(opts: &TraceOptions) -> Result<(), String> {
             seed: opts.seed,
             sets: opts.sets,
             pool,
+            warm,
             configs: rows,
         };
         println!("{}", with_profile(&doc, &run)?);
@@ -860,6 +935,7 @@ fn sweep_cmd(opts: &TraceOptions) -> Result<(), String> {
         pool.steal_ratio * 100.0,
         pool.scratch_reuses,
     );
+    warm.print_human();
     println!();
     for row in &rows {
         println!(
@@ -897,10 +973,12 @@ fn optimize_cmd(opts: &TraceOptions) -> Result<(), String> {
     // Run the same batch twice against one cache: the cold run searches,
     // the warm run must replay the exact bytes from the cache.
     let counters_before = OptimizeStats::snapshot();
+    let warm_before = WarmStats::snapshot();
     let mut cache = cpa_optimize::ResultCache::in_memory();
     let (cold_doc, cold) = cpa_optimize::process_batch(&batch, &service, &mut cache)?;
     let (warm_doc, warm) = cpa_optimize::process_batch(&batch, &service, &mut cache)?;
     let counters = OptimizeStats::from_delta(counters_before);
+    let warm_start = WarmStats::from_delta(warm_before);
     let replay_identical = cold_doc == warm_doc;
 
     let run = finish_run(opts)?;
@@ -915,6 +993,7 @@ fn optimize_cmd(opts: &TraceOptions) -> Result<(), String> {
             sets: opts.sets,
             replay_identical,
             counters,
+            warm_start,
             cold,
             warm,
         };
@@ -939,6 +1018,7 @@ fn optimize_cmd(opts: &TraceOptions) -> Result<(), String> {
         "cache: {} hits, {} misses across cold+warm; warm replay byte-identical: {}",
         counters.cache_hits, counters.cache_misses, replay_identical
     );
+    warm_start.print_human();
     println!(
         "verdicts: default schedulable {}/{}, optimized {}/{}, strictly improved {}",
         cold.schedulable_default,
@@ -1103,6 +1183,7 @@ fn bench_diff(args: &mut Args) -> Result<bool, String> {
     let mut baseline_path: Option<String> = None;
     let mut current_paths: Vec<String> = Vec::new();
     let mut threshold = DEFAULT_REGRESSION_THRESHOLD;
+    let mut minimums: Vec<(String, f64)> = Vec::new();
     let mut json = false;
     while let Some(arg) = args.next_arg() {
         match arg.as_str() {
@@ -1117,6 +1198,10 @@ fn bench_diff(args: &mut Args) -> Result<bool, String> {
                 if !(0.0..1.0).contains(&threshold) {
                     return Err(format!("--threshold must be in [0, 1), got {threshold}"));
                 }
+            }
+            "--min-speedup" => {
+                let spec: String = args.value_for("--min-speedup").map_err(|e| e.to_string())?;
+                minimums.push(parse_min_speedup(&spec)?);
             }
             "--json" => json = true,
             "--help" | "-h" => return Err(args.help().to_string()),
@@ -1133,7 +1218,8 @@ fn bench_diff(args: &mut Args) -> Result<bool, String> {
     for path in &current_paths {
         current.extend(load_records(path)?);
     }
-    let diff = diff_records(&baseline, &current, threshold);
+    let mut diff = diff_records(&baseline, &current, threshold);
+    diff.enforce_minimums(&current, &minimums);
     if json {
         println!("{}", diff.to_json());
     } else {

@@ -13,6 +13,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
+use cpa_analysis::{AnalysisScratch, ContextBuffers};
 use cpa_experiments::cli::{Args, CliError};
 use cpa_experiments::runner::{derive_seed, platform_for};
 use cpa_model::{TaskSet, Time};
@@ -20,7 +21,7 @@ use cpa_workload::{GeneratorConfig, TaskSetGenerator};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use crate::oracle::{check_task_set, CheckOptions, Inject, OracleKind, Violation};
+use crate::oracle::{check_task_set_with, CheckOptions, Inject, OracleKind, Violation};
 use crate::report::{
     CampaignStats, OptionsSummary, OracleStats, ValidationReport, ViolationRecord, REPORT_SCHEMA,
 };
@@ -287,9 +288,14 @@ pub fn run_campaign(opts: &CampaignOptions) -> CampaignOutcome {
             items,
             pool_opts,
             epoch,
-            |_worker| (),
-            |(), set| {
-                let outcome = validate_one_set(set as u64, base_seed, &base_check);
+            // One engine scratch + context-table buffers per worker:
+            // allocations amortize across the worker's whole stream of
+            // sets, while warm-start retention stays within one set
+            // (`check_task_set_with` forgets warm state on entry).
+            |_worker| (AnalysisScratch::new(), ContextBuffers::new()),
+            |(scratch, buffers), set| {
+                let outcome =
+                    validate_one_set(set as u64, base_seed, &base_check, scratch, buffers);
                 validated.incr();
                 outcome
             },
@@ -341,7 +347,13 @@ pub fn run_campaign(opts: &CampaignOptions) -> CampaignOutcome {
     CampaignOutcome { report, cases }
 }
 
-fn validate_one_set(set: u64, base_seed: u64, base_check: &CheckOptions) -> SetOutcome {
+fn validate_one_set(
+    set: u64,
+    base_seed: u64,
+    base_check: &CheckOptions,
+    scratch: &mut AnalysisScratch,
+    buffers: &mut ContextBuffers,
+) -> SetOutcome {
     let mut outcome = SetOutcome::default();
     let set_seed = derive_seed(base_seed, CAMPAIGN_POINT, set);
     let (config, mut rng) = profile_for(set_seed);
@@ -384,7 +396,7 @@ fn validate_one_set(set: u64, base_seed: u64, base_check: &CheckOptions) -> SetO
         }
     }
 
-    let checked = check_task_set(&platform, &tasks, &check)
+    let checked = check_task_set_with(&platform, &tasks, &check, scratch, buffers)
         .expect("generated task sets always fit their platform");
     outcome.checked = true;
     outcome.schedulable = checked.any_schedulable;

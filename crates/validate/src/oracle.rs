@@ -14,8 +14,8 @@ use std::fmt;
 use std::str::FromStr;
 
 use cpa_analysis::{
-    analyze, AnalysisConfig, AnalysisContext, AnalysisResult, BusPolicy, CrpdApproach,
-    PersistenceMode,
+    analyze, analyze_with, AnalysisConfig, AnalysisContext, AnalysisResult, AnalysisScratch,
+    BusPolicy, ContextBuffers, CrpdApproach, PersistenceMode,
 };
 use cpa_model::{CacheGeometry, ModelError, Platform, TaskSet, Time};
 use cpa_sim::{BusArbitration, ReleaseModel, SimConfig, SimReport, Simulator};
@@ -288,18 +288,54 @@ pub fn check_task_set(
     tasks: &TaskSet,
     opts: &CheckOptions,
 ) -> Result<SetOutcome, ModelError> {
+    check_task_set_with(
+        platform,
+        tasks,
+        opts,
+        &mut AnalysisScratch::new(),
+        &mut ContextBuffers::new(),
+    )
+}
+
+/// [`check_task_set`] with caller-owned engine scratch and context-table
+/// buffers, for campaign workers that validate long streams of sets. The
+/// scratch's warm-start state is forgotten on entry, so retention stays
+/// strictly within this set's analysis matrix (where every solve shares
+/// one task set) and the outcome is identical to a fresh-scratch run —
+/// the determinism oracle re-checks exactly that on sampled sets.
+///
+/// # Errors
+///
+/// Returns a [`ModelError`] when the task set does not fit the platform —
+/// a configuration mistake of the caller, not an oracle violation.
+pub fn check_task_set_with(
+    platform: &Platform,
+    tasks: &TaskSet,
+    opts: &CheckOptions,
+    scratch: &mut AnalysisScratch,
+    buffers: &mut ContextBuffers,
+) -> Result<SetOutcome, ModelError> {
     let _span = cpa_obs::span!("oracle.check_set");
     let buses = BusPolicy::paper_buses(opts.slots);
     let mut out = SetOutcome::default();
+    scratch.forget_warm();
 
     // Analysis matrix + dominance oracle (pure computation, cheap).
     let analysis_span = cpa_obs::span!("oracle.analysis");
     let mut entries = Vec::with_capacity(opts.approaches.len() * buses.len());
     for &approach in &opts.approaches {
-        let ctx = AnalysisContext::with_crpd_approach(platform, tasks, approach)?;
+        let ctx = AnalysisContext::with_crpd_approach_buffers(platform, tasks, approach, buffers)?;
         for &bus in &buses {
-            let aware = analyze(&ctx, &AnalysisConfig::new(bus, PersistenceMode::Aware));
-            let oblivious = analyze(&ctx, &AnalysisConfig::new(bus, PersistenceMode::Oblivious));
+            let aware = analyze_with(
+                &ctx,
+                &AnalysisConfig::new(bus, PersistenceMode::Aware),
+                scratch,
+            );
+            let oblivious = analyze_with(
+                &ctx,
+                &AnalysisConfig::new(bus, PersistenceMode::Oblivious),
+                scratch,
+            );
             check_dominance(
                 tasks,
                 approach,
@@ -319,6 +355,7 @@ pub fn check_task_set(
                 oblivious,
             });
         }
+        ctx.recycle(buffers);
     }
 
     drop(analysis_span);

@@ -290,6 +290,36 @@ fn openmetrics_export_is_byte_identical_and_valid() {
 }
 
 #[test]
+fn optimize_openmetrics_export_is_byte_identical_across_threads() {
+    // The optimizer warm-chains scratches per worker, so *which* candidate
+    // warms which is a scheduling artifact. The warm-chain meters are
+    // classified as scheduling meters and dropped from deterministic
+    // exports; everything that remains — per-solve hit/miss meters
+    // included, which the engine keeps bitwise-equal between warm and
+    // cold runs — must not see the thread count.
+    let runs: Vec<String> = ["1", "4"]
+        .iter()
+        .map(|threads| {
+            let out = cpa_trace(&[
+                "optimize",
+                "--sets",
+                "3",
+                "--tasks-per-core",
+                "3",
+                "--threads",
+                threads,
+                "--export",
+                "openmetrics",
+            ]);
+            assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+            stdout_of(&out)
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1], "1-vs-4 threads diverged");
+    cpa_telemetry::validate_openmetrics(&runs[0]).expect("exposition validates");
+}
+
+#[test]
 fn export_out_writes_the_file_and_keeps_the_report() {
     let path = scratch("sweep-export.json");
     let out = cpa_trace(&[
