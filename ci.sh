@@ -29,8 +29,9 @@ cargo test -q
 echo "==> engine_equivalence smoke (engine vs reference, all policy x mode combos)"
 cargo test -q -p cpa-analysis --release --test engine_equivalence
 
-echo "==> warm-vs-cold equivalence smoke (fig1 fixture + proptests, cross-check mode)"
-CPA_WARM_CROSS_CHECK=1 cargo test -q -p cpa-analysis --release --test warm_equivalence
+echo "==> warm-vs-cold + partial-vs-cold equivalence smoke (cross-check mode)"
+CPA_WARM_CROSS_CHECK=1 cargo test -q -p cpa-analysis --release \
+  --test warm_equivalence --test partial_equivalence
 
 echo "==> skip_equivalence smoke (event-skipping sim vs cycle-stepped reference)"
 cargo test -q -p cpa-sim --release --test skip_equivalence
@@ -112,10 +113,11 @@ cargo run --release -p cpa-validate --bin cpa-trace -- bench diff \
   --current BENCH_obs.json --current BENCH_analysis.json --current BENCH_sim.json \
   --current BENCH_e2e.json --current BENCH_optimize.json
 
-echo "==> e2e speedup floor (declarative --min-speedup from the appended history)"
+echo "==> speedup floors (declarative --min-speedup from the appended history)"
 cargo run --release -p cpa-validate --bin cpa-trace -- bench diff \
   --baseline results/bench_baseline.jsonl --current results/bench_history.jsonl \
-  --min-speedup fig2_fp_panel_speedup=1.8 > /dev/null
+  --min-speedup fig2_fp_panel_speedup=1.8 \
+  --min-speedup optimize_speedup=2.5 > /dev/null
 
 echo "==> bench trajectory gate negative test (injected regression must exit 1)"
 cat > ci-telemetry/regressed.jsonl << 'JSON'

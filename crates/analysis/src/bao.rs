@@ -176,6 +176,69 @@ fn largest_t_within(bound: u128, r: u128, c: u128) -> u128 {
     }
 }
 
+/// `u64` fast path of [`smallest_t_reaching`] for `u64`-range inputs:
+/// `None` iff the intermediate `bound + c` leaves `u64` (then the caller
+/// falls back to the exact `u128` derivation — by far the uncommon
+/// case). Pinned bitwise against the `u128` model by proptest.
+fn smallest_t_reaching64(bound: u64, r: u64, c: u64) -> Option<u64> {
+    if bound == 0 {
+        return Some(0);
+    }
+    Some(bound.checked_add(c)?.saturating_sub(r))
+}
+
+/// `u64` fast path of [`largest_t_within`] for `u64`-range inputs —
+/// total, no fallback: an overflowing `bound + c` is exactly the `u128`
+/// model's saturation plateau. Pinned bitwise by proptest.
+fn largest_t_within64(bound: u64, r: u64, c: u64) -> u64 {
+    match bound.checked_add(c) {
+        Some(lim) if lim < u64::MAX => lim.saturating_sub(r),
+        // lim ≥ SAT: the saturation plateau never exceeds the bound.
+        _ => u64::MAX,
+    }
+}
+
+/// The `N`-interval `[lo, hi]` a [`BaoTerm`] is valid on, for a member
+/// with period `p > 0`, response-time estimate `r` and pre-saturated
+/// overlap subtrahend `c = min(cost · d_mem, u64::MAX)` at full-job
+/// count `n`. Runs entirely in `u64` — the hot-path win over the former
+/// all-`u128` derivation — dropping to the `u128` saturation model only
+/// when `N·T` (or `bound + c` inside the lower endpoint) overflows;
+/// `term_interval_fast_path_matches_u128_model` pins the two bitwise.
+fn term_interval(n: u64, p: u64, r: u64, c: u64) -> (u64, u64) {
+    let lo = if n == 0 {
+        0
+    } else {
+        match n
+            .checked_mul(p)
+            .and_then(|b| smallest_t_reaching64(b, r, c))
+        {
+            Some(lo) => lo,
+            None => {
+                let exact = smallest_t_reaching(
+                    u128::from(n) * u128::from(p),
+                    u128::from(r),
+                    u128::from(c),
+                );
+                u64::try_from(exact).unwrap_or(u64::MAX)
+            }
+        }
+    };
+    let hi = match n.checked_add(1).and_then(|n1| n1.checked_mul(p)) {
+        Some(b) => largest_t_within64(b - 1, r, c),
+        None => {
+            let exact = largest_t_within(
+                (u128::from(n) + 1) * u128::from(p) - 1,
+                u128::from(r),
+                u128::from(c),
+            )
+            .min(SAT);
+            u64::try_from(exact).unwrap_or(u64::MAX)
+        }
+    };
+    (lo, hi)
+}
+
 /// Maximal window interval containing `t` on which `bao(...)` — with the
 /// very same arguments — is constant.
 ///
@@ -435,22 +498,15 @@ impl BaoMember {
     /// Derives the member's [`BaoTerm`] around window length `t` given its
     /// current response-time estimate `r_l` — the `N`-determined charges
     /// exactly as [`bao`] derives them, plus the `N`-interval they are
-    /// valid on (the same exact `u128` model of the crate's saturating
-    /// `u64` arithmetic as [`bao_span`]).
+    /// valid on. The endpoints use the `u64` fast path of the exact
+    /// `u128` saturation model (the same model as [`bao_span`]), falling
+    /// back to the `u128` derivation only when `N·T` or `bound + c`
+    /// overflows `u64` — the proptests pin the two derivations bitwise.
     fn term(&self, t: Time, r_l: Time, d_mem: Time, mode: PersistenceMode) -> BaoTerm {
         let n = n_jobs(t, r_l, self.cost, d_mem, self.period);
-        let r = r_l.cycles() as u128;
-        let p = self.period.cycles() as u128;
-        let c = (d_mem.cycles() as u128)
-            .saturating_mul(self.cost as u128)
-            .min(SAT);
-        let n_big = n as u128;
-        let lo = if n == 0 {
-            0
-        } else {
-            smallest_t_reaching(n_big * p, r, c)
-        };
-        let hi = largest_t_within((n_big + 1) * p - 1, r, c).min(SAT);
+        // Saturating u64 multiply equals the u128 product clamped at SAT.
+        let c = d_mem.cycles().saturating_mul(self.cost);
+        let (lo, hi) = term_interval(n, self.period.cycles(), r_l.cycles(), c);
         let cout_cap = match mode {
             PersistenceMode::Oblivious => self.cost,
             PersistenceMode::Aware => {
@@ -479,8 +535,8 @@ impl BaoMember {
             r: r_l,
             sub1: d_mem.saturating_mul(self.cost),
             sub2: self.period.saturating_mul(n),
-            lo: u64::try_from(lo).unwrap_or(u64::MAX),
-            hi: u64::try_from(hi).unwrap_or(u64::MAX),
+            lo,
+            hi,
         }
     }
 }
@@ -1060,6 +1116,47 @@ mod tests {
             let r = Time::from_cycles(r);
             let n = n_jobs(t, r, cost, d, p);
             prop_assert!(w_cout(t, r, cost, d, p, n) <= cost);
+        }
+
+        /// The u64 fast path of [`term_interval`] must be bitwise equal
+        /// to the all-u128 derivation it replaced, for the full input
+        /// range — including the overflow regions that force the
+        /// fallback (huge n·p, huge bound + c) and the saturation
+        /// plateau. `shape` remaps part of the full-range draws onto
+        /// those boundaries so the overflow branches are actually
+        /// exercised, not just reachable.
+        #[test]
+        fn term_interval_fast_path_matches_u128_model(
+            n in any::<u64>(),
+            p in any::<u64>(),
+            r in any::<u64>(),
+            c in any::<u64>(),
+            shape in proptest::sample::select(vec![0u8, 1, 2, 3, 4]),
+        ) {
+            let (n, p, r, c) = match shape {
+                // n·p overflows, bound + c saturates.
+                1 => (u64::MAX - n % 4, u64::MAX - p % 4, r, u64::MAX - c % 4),
+                // n·p at the overflow boundary from below.
+                2 => (n >> 32, u64::MAX, r, c),
+                // Small everything: the pure fast path.
+                3 => (n % 8, (p % 8).max(1), r % 8, c % 8),
+                // bound + c overflows with in-range n·p.
+                4 => ((n % 4) + 1, u64::MAX >> 2, r, u64::MAX - c % 4),
+                _ => (n, p, r, c),
+            };
+            let p = p.max(1); // periods are positive
+            let (lo, hi) = term_interval(n, p, r, c);
+            // The former derivation, verbatim: everything in u128 against
+            // the shared SAT model, clamped back to u64 at the end.
+            let (rr, pp, cc) = (u128::from(r), u128::from(p), u128::from(c));
+            let exact_lo = if n == 0 {
+                0
+            } else {
+                smallest_t_reaching(u128::from(n) * pp, rr, cc)
+            };
+            let exact_hi = largest_t_within((u128::from(n) + 1) * pp - 1, rr, cc).min(SAT);
+            prop_assert_eq!(lo, u64::try_from(exact_lo).unwrap_or(u64::MAX));
+            prop_assert_eq!(hi, u64::try_from(exact_hi).unwrap_or(u64::MAX));
         }
     }
 }

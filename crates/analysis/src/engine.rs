@@ -57,7 +57,7 @@ use crate::arbiter::{arbiter_for, BaoSource, BusArbiter};
 use crate::bao::{BaoMembers, BaoSegment, CarryOut, PriorityBand};
 use crate::crpd::CrpdApproach;
 use crate::curve::StepCurve;
-use crate::wcrt::{self, AnalysisResult};
+use crate::wcrt::{self, AnalysisResult, ParentSolution};
 use crate::{bas, AnalysisConfig, AnalysisContext, PersistenceMode};
 
 /// Stamp that can never equal a live per-core version counter (versions
@@ -293,6 +293,10 @@ pub struct AnalysisScratch {
     hp_prefix: Vec<usize>,
     /// Outer-worklist dirty flags.
     dirty: Vec<bool>,
+    /// Per-task partial re-solve certificates (set by
+    /// [`AnalysisEngine::offer_parent`], empty otherwise): a certified
+    /// task's round-1 solve is replaced by the parent's converged bound.
+    certified: Vec<bool>,
     /// Runs this scratch has served (drives `engine.scratch_reuses`).
     uses: u64,
     /// Fingerprint of the task set of the previous run, the comparison
@@ -437,6 +441,8 @@ impl AnalysisScratch {
 
         self.dirty.clear();
         self.dirty.resize(n, true);
+
+        self.certified.clear();
     }
 }
 
@@ -462,6 +468,15 @@ pub struct AnalysisEngine<'e, 'a> {
     /// carried same-core segments plus verbatim term keeps on a carried
     /// `BAO` slot's first refresh.
     warm_saved: u64,
+    /// The certification base for partial re-solve, when
+    /// [`AnalysisEngine::offer_parent`] accepted one.
+    parent: Option<&'e ParentSolution>,
+    /// Whether the accepted parent solved the *identical* set under the
+    /// identical environment, so [`AnalysisEngine::run`] replays it
+    /// outright (sound under every bus policy).
+    replay: bool,
+    /// Tasks whose round-1 solve was replaced by a certified parent bound.
+    tasks_certified: u64,
 }
 
 impl fmt::Debug for AnalysisEngine<'_, '_> {
@@ -500,6 +515,62 @@ impl<'e, 'a> AnalysisEngine<'e, 'a> {
             tasks_solved: 0,
             tasks_skipped: 0,
             warm_saved: 0,
+            parent: None,
+            replay: false,
+            tasks_certified: 0,
+        }
+    }
+
+    /// Offers a [`ParentSolution`] as the certification base for partial
+    /// re-solve (see [`crate::analyze_with_parent`] for the rules). The
+    /// offer is rejected outright — `engine.parent_rejected` — unless the
+    /// parent's analysis environment (bus, mode, `d_mem`, cores, CRPD
+    /// approach, iteration caps) matches this run's exactly; an accepted
+    /// offer either schedules a full replay (identical sets, any policy;
+    /// `engine.parent_replays`) or certifies individual tasks (arbiters
+    /// that never consume remote response times; the per-task tally is
+    /// `engine.tasks_certified`).
+    pub(crate) fn offer_parent(&mut self, parent: &'e ParentSolution) {
+        let env_matches = parent.config == *self.config
+            && parent.d_mem == self.ctx.d_mem()
+            && parent.cores == self.cores
+            && parent.crpd == self.ctx.crpd_approach();
+        if !env_matches {
+            cpa_obs::counter("engine.parent_rejected").incr();
+            return;
+        }
+        let current = self
+            .scratch
+            .fingerprint
+            .as_ref()
+            .expect("reset always fingerprints the task set");
+        let delta = parent.fingerprint.delta(current);
+        if delta.identical() {
+            self.parent = Some(parent);
+            self.replay = true;
+            cpa_obs::counter("engine.parent_replays").incr();
+            return;
+        }
+        if self.arbiter.consumes_remote_response_times() {
+            // Every task reads every other core's estimates: no per-task
+            // certificate short of set identity exists (DESIGN.md §16).
+            cpa_obs::counter("engine.parent_rejected").incr();
+            return;
+        }
+        let tasks = self.ctx.tasks();
+        let mut any = false;
+        self.scratch.certified.clear();
+        self.scratch.certified.extend(tasks.ids().map(|i| {
+            let ok =
+                delta.task_unchanged(i.index()) && delta.core_untouched(tasks[i].core().index());
+            any |= ok;
+            ok
+        }));
+        if any {
+            self.parent = Some(parent);
+        } else {
+            self.scratch.certified.clear();
+            cpa_obs::counter("engine.parent_rejected").incr();
         }
     }
 
@@ -613,6 +684,7 @@ impl<'e, 'a> AnalysisEngine<'e, 'a> {
         cpa_obs::counter("engine.tasks_solved").add(self.tasks_solved);
         cpa_obs::counter("engine.tasks_skipped").add(self.tasks_skipped);
         cpa_obs::counter("engine.inner_iters_saved").add(self.warm_saved);
+        cpa_obs::counter("engine.tasks_certified").add(self.tasks_certified);
         result
     }
 
@@ -623,6 +695,21 @@ impl<'e, 'a> AnalysisEngine<'e, 'a> {
     pub fn run(mut self) -> AnalysisResult {
         let _span = cpa_obs::span!("wcrt.analyze");
         if let Some(result) = wcrt::perfect_bus_check(self.ctx, self.config) {
+            return self.finish(result);
+        }
+        if self.replay {
+            // The accepted parent solved the bitwise-identical problem:
+            // its result *is* what the fixed point below would recompute,
+            // field for field (analysis is deterministic in its inputs).
+            let parent = self.parent.expect("replay implies an accepted parent");
+            self.tasks_certified = parent.resp.len() as u64;
+            let result = AnalysisResult {
+                response_times: parent.resp.iter().map(|&r| Some(r)).collect(),
+                schedulable: true,
+                outer_iterations: parent.outer,
+                inner_iterations: parent.inner.clone(),
+                hit_outer_cap: false,
+            };
             return self.finish(result);
         }
         let ctx = self.ctx;
@@ -638,6 +725,37 @@ impl<'e, 'a> AnalysisEngine<'e, 'a> {
             for i in tasks.ids() {
                 if !self.scratch.dirty[i.index()] {
                     self.tasks_skipped += 1;
+                    continue;
+                }
+                if round == 1 && self.scratch.certified.get(i.index()) == Some(&true) {
+                    // Partial re-solve: the parent's bound for τi is
+                    // certified to be exactly what the solve below would
+                    // derive (same columns, same hp set, same table rows,
+                    // and — certified mode only runs under arbiters that
+                    // consume no remote estimates — no cross-core reads),
+                    // so adopt it along with the inner-iteration count the
+                    // cold single-visit solve would have booked.
+                    let idx = i.index();
+                    let parent = self.parent.expect("certificates imply a parent");
+                    self.scratch.dirty[idx] = false;
+                    self.tasks_certified += 1;
+                    inner_iterations[idx] += parent.inner[idx];
+                    let r = parent.resp[idx];
+                    if r > self.scratch.resp[idx] {
+                        cpa_obs::event!(
+                            "wcrt.estimate",
+                            task = idx,
+                            outer = round,
+                            inner = parent.inner[idx],
+                            estimate = r.cycles(),
+                        );
+                        self.scratch.resp[idx] = r;
+                        changed_tasks += 1;
+                        // Certified mode never runs under remote-consuming
+                        // arbiters, so nothing is re-dirtied; the version
+                        // bump keeps internal state on the cold trajectory.
+                        self.scratch.core_version[tasks[i].core().index()] += 1;
+                    }
                     continue;
                 }
                 self.scratch.dirty[i.index()] = false;

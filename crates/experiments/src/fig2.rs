@@ -9,7 +9,10 @@
 use cpa_analysis::{AnalysisConfig, BusPolicy, PersistenceMode};
 use cpa_workload::GeneratorConfig;
 
-use crate::runner::{evaluate_point, CurvePoint, ExperimentResult, Series, SweepOptions};
+use crate::runner::{
+    evaluate_point_chained, ChainState, CurvePoint, ExperimentResult, Series, SweepOptions,
+};
+use cpa_analysis::CrpdApproach;
 
 /// The three panels of Fig. 2 in paper order (a: FP, b: RR, c: TDMA).
 #[must_use]
@@ -57,11 +60,22 @@ pub fn fig2_panel(
         })
         .collect();
 
+    // One warm chain per panel: worker scratches persist across the
+    // utilization points, so allocations and certified cache entries
+    // carry from point to point (results identical to unchained).
+    let mut chain = ChainState::default();
     for (ui, &utilization) in opts.utilization_grid.iter().enumerate() {
         let gen = GeneratorConfig::paper_default().with_per_core_utilization(utilization);
         // Same point id across panels ⇒ same task sets for FP/RR/TDMA,
         // exactly as one generated population evaluated under each policy.
-        let stats = evaluate_point(&gen, &configs, opts, ui as u64);
+        let stats = evaluate_point_chained(
+            &gen,
+            &configs,
+            opts,
+            ui as u64,
+            CrpdApproach::EcbUnion,
+            &mut chain,
+        );
         for (si, s) in series.iter_mut().enumerate() {
             let acc = stats.config(si);
             s.points.push(CurvePoint {

@@ -13,7 +13,10 @@ use cpa_analysis::{AnalysisConfig, BusPolicy, PersistenceMode, WeightedAccumulat
 use cpa_model::Time;
 use cpa_workload::GeneratorConfig;
 
-use crate::runner::{evaluate_point, CurvePoint, ExperimentResult, Series, SweepOptions};
+use crate::runner::{
+    evaluate_point_chained, ChainState, CurvePoint, ExperimentResult, Series, SweepOptions,
+};
+use cpa_analysis::CrpdApproach;
 
 /// Cycles per microsecond in the evaluation timebase. One benchmark-table
 /// cycle is interpreted as 1 µs (see `cpa_workload::GeneratorConfig::d_mem`
@@ -81,10 +84,11 @@ pub fn fig3d(opts: &SweepOptions) -> ExperimentResult {
             points: Vec::with_capacity(xs.len()),
         })
         .collect();
+    let mut chain = ChainState::default();
     for &x in &xs {
         let (configs, _) = paper_configs(x as u64);
         let base = GeneratorConfig::paper_default();
-        let accs = integrate_utilization(opts, &(|| base.clone()), &configs);
+        let accs = integrate_utilization(opts, &(|| base.clone()), &configs, &mut chain);
         for (s, acc) in series.iter_mut().zip(&accs) {
             s.points.push(point(x, acc));
         }
@@ -137,15 +141,28 @@ fn point(x: f64, acc: &WeightedAccumulator) -> CurvePoint {
 /// the utilization index, so sweeps that keep the generator fixed (e.g.
 /// the slot-size sweep) see the same task-set population at every
 /// parameter value.
+///
+/// Worker state chains across the utilization points (and, because the
+/// callers hoist the [`ChainState`], across adjacent parameter values
+/// too); a parameter change that touches the engine's retention key
+/// (d_mem, cores) simply disables carry-over at the boundary.
 fn integrate_utilization(
     opts: &SweepOptions,
     base: &dyn Fn() -> GeneratorConfig,
     configs: &[AnalysisConfig],
+    chain: &mut ChainState,
 ) -> Vec<WeightedAccumulator> {
     let mut totals = vec![WeightedAccumulator::new(); configs.len()];
     for (ui, &u) in opts.utilization_grid.iter().enumerate() {
         let gen = base().with_per_core_utilization(u);
-        let stats = evaluate_point(&gen, configs, opts, ui as u64);
+        let stats = evaluate_point_chained(
+            &gen,
+            configs,
+            opts,
+            ui as u64,
+            CrpdApproach::EcbUnion,
+            chain,
+        );
         for (t, i) in totals.iter_mut().zip(0..) {
             t.merge(stats.config(i));
         }
@@ -169,9 +186,10 @@ fn sweep(
             points: Vec::with_capacity(xs.len()),
         })
         .collect();
+    let mut chain = ChainState::default();
     for &x in xs {
         let base = config_of(x);
-        let accs = integrate_utilization(opts, &(|| base.clone()), &configs);
+        let accs = integrate_utilization(opts, &(|| base.clone()), &configs, &mut chain);
         for (s, acc) in series.iter_mut().zip(&accs) {
             s.points.push(point(x, acc));
         }

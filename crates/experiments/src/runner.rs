@@ -172,6 +172,21 @@ impl PointStats {
     }
 }
 
+/// Per-worker engine state chained across adjacent sweep points.
+///
+/// A driver that owns one of these and calls
+/// [`evaluate_point_chained`] per point keeps each worker's
+/// [`AnalysisScratch`] and [`ContextBuffers`] alive from one
+/// utilization point to the next: allocations survive, and the engine's
+/// certified warm retention decides per solve what may carry over.
+/// Results are bitwise identical to the unchained path — retention only
+/// ever reuses cache entries certified byte-equal to what a cold run
+/// would re-derive — so chaining is purely a throughput lever.
+#[derive(Debug, Default)]
+pub struct ChainState {
+    states: Vec<(AnalysisScratch, ContextBuffers)>,
+}
+
 /// SplitMix64-style seed derivation: decorrelates per-set RNG streams from
 /// `(base seed, point id, set index)` without any cross-thread state.
 #[must_use]
@@ -229,7 +244,8 @@ pub fn evaluate_point(
 /// previous fingerprint at the start of every set, so the engine only
 /// carries cached segments across the configurations of one set (which
 /// are identical task sets) and never across sets — whose assignment to
-/// workers depends on thread count and chunk size.
+/// workers depends on thread count and chunk size. The sweep drivers
+/// use [`evaluate_point_chained`] instead, which lets chains run freely.
 ///
 /// # Panics
 ///
@@ -244,6 +260,51 @@ pub fn evaluate_point_with(
     point_id: u64,
     crpd: CrpdApproach,
 ) -> PointStats {
+    let mut chain = ChainState::default();
+    evaluate_point_impl(gen_config, configs, opts, point_id, crpd, &mut chain, false)
+}
+
+/// [`evaluate_point_with`] over a caller-owned [`ChainState`]: worker
+/// states persist across calls, and warm chains run freely — across the
+/// sets of one point *and* across adjacent points — instead of being
+/// severed per set. The engine's retention certificates keep every
+/// analysis result (and the deterministic hit/miss meters) bitwise
+/// identical to the unchained path at any thread count; only the warm
+/// bookkeeping meters (`engine.warm_starts` et al.) and the
+/// `experiments.chain_*` meters vary with scheduling, and all of those
+/// are classified as scheduling meters in `cpa-telemetry`.
+///
+/// # Panics
+///
+/// Same conditions as [`evaluate_point_with`].
+#[must_use]
+pub fn evaluate_point_chained(
+    gen_config: &GeneratorConfig,
+    configs: &[AnalysisConfig],
+    opts: &SweepOptions,
+    point_id: u64,
+    crpd: CrpdApproach,
+    chain: &mut ChainState,
+) -> PointStats {
+    if !chain.states.is_empty() {
+        // How many points linked into an existing chain, and over how
+        // many worker states: scheduling meters (the chain shape depends
+        // on --threads), not workload meters.
+        cpa_obs::counter("experiments.chain_points_linked").incr();
+        cpa_obs::counter("experiments.chain_workers").add(chain.states.len() as u64);
+    }
+    evaluate_point_impl(gen_config, configs, opts, point_id, crpd, chain, true)
+}
+
+fn evaluate_point_impl(
+    gen_config: &GeneratorConfig,
+    configs: &[AnalysisConfig],
+    opts: &SweepOptions,
+    point_id: u64,
+    crpd: CrpdApproach,
+    chain: &mut ChainState,
+    link: bool,
+) -> PointStats {
     assert!(configs.len() <= 64, "schedulability mask is 64 bits");
     let generator = TaskSetGenerator::new(gen_config.clone()).expect("valid generator config");
     let platform = platform_for(gen_config);
@@ -255,16 +316,21 @@ pub fn evaluate_point_with(
     // gives each call a scope block of its own even when point ids repeat
     // across experiments (fig2 reuses one id per panel to share task sets).
     let epoch = cpa_obs::next_scope_epoch();
-    let outcomes: Vec<(f64, u64)> = cpa_pool::map(
+    let outcomes: Vec<(f64, u64)> = cpa_pool::map_with(
         opts.sets_per_point,
         opts.pool_options(),
         epoch,
         |_worker| (AnalysisScratch::new(), ContextBuffers::new()),
+        &mut chain.states,
         |(scratch, buffers), set| {
-            // Warm chains must not leak across sets: which sets a worker
-            // sees depends on thread count, and determinism demands the
-            // per-set outcome be independent of that.
-            scratch.forget_warm();
+            // Unchained mode severs the warm chain per set so the warm
+            // bookkeeping meters stay independent of which sets a worker
+            // happened to process back to back. Chained mode skips the
+            // sever: retention is certificate-gated in the engine, so
+            // per-set *outcomes* are identical either way.
+            if !link {
+                scratch.forget_warm();
+            }
             let set_seed = derive_seed(opts.seed, point_id, set as u64);
             let mut rng = ChaCha8Rng::seed_from_u64(set_seed);
             let tasks = generator.generate(&mut rng).expect("generation succeeds");
@@ -404,6 +470,47 @@ mod tests {
             // Outcomes fold in set-index order on every thread count, so
             // even the f64 sums are bit-identical, not merely close.
             assert_eq!(a.config(i).value().to_bits(), b.config(i).value().to_bits());
+        }
+    }
+
+    #[test]
+    fn chained_evaluation_matches_unchained_bitwise() {
+        let configs = [
+            AnalysisConfig::new(BusPolicy::FixedPriority, PersistenceMode::Aware),
+            AnalysisConfig::new(BusPolicy::FixedPriority, PersistenceMode::Oblivious),
+        ];
+        let grid = [0.3, 0.5, 0.7];
+        for threads in [1usize, 3] {
+            let opts = SweepOptions::quick()
+                .with_sets_per_point(5)
+                .with_threads(threads);
+            let mut chain = ChainState::default();
+            for (ui, _) in grid.iter().enumerate() {
+                let gen = GeneratorConfig::paper_default().with_per_core_utilization(grid[ui]);
+                let chained = evaluate_point_chained(
+                    &gen,
+                    &configs,
+                    &opts,
+                    ui as u64,
+                    CrpdApproach::EcbUnion,
+                    &mut chain,
+                );
+                let cold = evaluate_point(&gen, &configs, &opts, ui as u64);
+                for i in 0..configs.len() {
+                    assert_eq!(
+                        chained.config(i).schedulable_count(),
+                        cold.config(i).schedulable_count(),
+                        "threads {threads} point {ui} config {i}"
+                    );
+                    // Warm retention is certificate-gated, so even the
+                    // f64 sums are bit-identical, not merely close.
+                    assert_eq!(
+                        chained.config(i).value().to_bits(),
+                        cold.config(i).value().to_bits(),
+                        "threads {threads} point {ui} config {i}"
+                    );
+                }
+            }
         }
     }
 

@@ -121,6 +121,53 @@ impl TaskSet {
         Ok(TaskSet { tasks, task_hashes })
     }
 
+    /// Assembles a task set from parts the caller has already validated
+    /// and hashed — the hot-path constructor for code that builds many
+    /// near-identical sets (the optimizer applies thousands of candidate
+    /// configurations per search, and re-sorting, re-validating and
+    /// re-hashing every cache-block set dominated its evaluation cost).
+    ///
+    /// # Caller contract
+    ///
+    /// `tasks` must already be sorted by strictly increasing priority,
+    /// share one cache capacity, and be non-empty; `task_hashes[k]` must
+    /// equal `Task::hash_content` of `tasks[k]`. Every invariant is
+    /// `debug_assert`ed, and debug builds re-derive the hashes, so a
+    /// violating caller fails loudly under `cargo test`; release builds
+    /// trust the contract. Sets built here are indistinguishable from
+    /// [`TaskSet::new`] output — same order, same hashes, same bytes.
+    #[must_use]
+    pub fn from_sorted_parts(tasks: Vec<Task>, task_hashes: Vec<u64>) -> TaskSet {
+        debug_assert!(!tasks.is_empty(), "task set is empty");
+        debug_assert_eq!(tasks.len(), task_hashes.len(), "one hash per task");
+        debug_assert!(
+            tasks.windows(2).all(|p| p[0].priority() < p[1].priority()),
+            "tasks must be sorted by strictly increasing priority"
+        );
+        debug_assert!(
+            tasks
+                .iter()
+                .all(|t| t.ecb().capacity() == tasks[0].ecb().capacity()),
+            "tasks must share one cache capacity"
+        );
+        #[cfg(debug_assertions)]
+        for (t, &h) in tasks.iter().zip(&task_hashes) {
+            let mut hasher = ContentHasher::new();
+            t.hash_content(&mut hasher);
+            debug_assert_eq!(hasher.finish(), h, "stale content hash for `{}`", t.name());
+        }
+        TaskSet { tasks, task_hashes }
+    }
+
+    /// Disassembles the set into its sorted tasks and their content
+    /// hashes — the inverse of [`TaskSet::from_sorted_parts`], for hot
+    /// paths that patch a few tasks in place and reassemble instead of
+    /// rebuilding from scratch.
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<Task>, Vec<u64>) {
+        (self.tasks, self.task_hashes)
+    }
+
     /// Number of tasks.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -58,8 +58,8 @@ pub use metrics::{Counter, Histogram, MetricsSnapshot};
 pub use profile::{format_nanos, ProfileNode};
 pub use registry::{
     active, counter, disable, emit, enable, enable_metrics, events_enabled, histogram_record,
-    metrics_snapshot, next_scope_epoch, profile_snapshot, reset, scope, set_scope, span_enter,
-    take_events, timing_enabled, SpanGuard,
+    metrics_snapshot, next_scope_epoch, profile_snapshot, reset, restore_scope_state, scope,
+    scope_state, set_scope, span_enter, take_events, timing_enabled, SpanGuard,
 };
 pub use value::FieldValue;
 

@@ -101,6 +101,24 @@ pub fn scope() -> u64 {
     SCOPE.with(Cell::get)
 }
 
+/// Saves this thread's ordering state — scope *and* next sequence
+/// number — so an inline parallel region (a pool running its items on
+/// the calling thread) can re-scope per item and then hand the thread
+/// back exactly as it found it. Pair with [`restore_scope_state`];
+/// plain [`set_scope`] is not a substitute because it rewinds the
+/// sequence counter, which would let later caller events collide with
+/// earlier ones in the canonical `(scope, seq)` order.
+#[must_use]
+pub fn scope_state() -> (u64, u64) {
+    (SCOPE.with(Cell::get), SEQ.with(Cell::get))
+}
+
+/// Restores ordering state saved by [`scope_state`].
+pub fn restore_scope_state(state: (u64, u64)) {
+    SCOPE.with(|s| s.set(state.0));
+    SEQ.with(|s| s.set(state.1));
+}
+
 /// Process-wide scope-epoch allocator: drivers that run many scoped
 /// parallel regions in sequence (the experiment sweeps re-use point ids
 /// across panels) take one epoch per region and derive their per-unit

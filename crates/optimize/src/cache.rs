@@ -12,10 +12,22 @@
 //! The cache is two-level: a process-local map, optionally backed by a
 //! directory with one `<key:016x>.json` file per entry so separate
 //! invocations share results.
+//!
+//! Below the response cache sits the [`SolveMemo`]: a batch-scoped memo
+//! of individual *candidate solves*, keyed on the exact analysis problem
+//! (base-set content, analysis environment, candidate vectors). Where the
+//! response cache deduplicates whole requests, the memo deduplicates the
+//! solve fragments shared *across* candidates and requests within one
+//! batch — repeated search points, identical neighbours, Audsley probes
+//! that re-derive the same configuration.
 
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
+
+use cpa_model::Time;
+
+use crate::score::Evaluation;
 
 /// A content-addressed store of serialized response documents.
 #[derive(Debug, Default)]
@@ -96,9 +108,77 @@ impl ResultCache {
     }
 }
 
+/// One memoized candidate solve: its [`Evaluation`] and, when the solve
+/// tracked them, the per-task response-time vector.
+#[derive(Debug)]
+struct MemoEntry {
+    eval: Evaluation,
+    responses: Option<Vec<Time>>,
+}
+
+/// A batch-scoped, content-addressed memo of candidate solves, shared
+/// across every candidate and request in one `process_batch` call.
+///
+/// Consulted and updated only on the search driver thread, in candidate
+/// order, so its hit pattern — and therefore every solve the pool runs —
+/// is invariant in the worker-thread count. Entries are never evicted;
+/// the memo lives exactly as long as its batch.
+#[derive(Debug, Default)]
+pub struct SolveMemo {
+    entries: HashMap<u64, MemoEntry>,
+}
+
+impl SolveMemo {
+    /// An empty memo.
+    #[must_use]
+    pub fn new() -> SolveMemo {
+        SolveMemo::default()
+    }
+
+    /// Number of memoized solves.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is memoized yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a solve. When `need_responses` is set, an entry without a
+    /// response vector counts as a miss so the caller re-solves (and
+    /// upgrades the entry via [`SolveMemo::insert`]).
+    pub(crate) fn get(&self, key: u64, need_responses: bool) -> Option<(Evaluation, Vec<Time>)> {
+        let entry = self.entries.get(&key)?;
+        if need_responses {
+            entry.responses.clone().map(|resp| (entry.eval, resp))
+        } else {
+            Some((entry.eval, Vec::new()))
+        }
+    }
+
+    /// Stores (or upgrades) a solve. An existing entry's response vector
+    /// is never downgraded to `None`.
+    pub(crate) fn insert(&mut self, key: u64, eval: Evaluation, responses: Option<Vec<Time>>) {
+        match self.entries.get_mut(&key) {
+            Some(entry) => {
+                if entry.responses.is_none() {
+                    entry.responses = responses;
+                }
+            }
+            None => {
+                self.entries.insert(key, MemoEntry { eval, responses });
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::score::Score;
 
     #[test]
     fn memory_round_trip() {
@@ -120,5 +200,24 @@ mod tests {
         let mut fresh = ResultCache::persistent(&dir).unwrap();
         assert_eq!(fresh.get(0xdead_beef).as_deref(), Some("{\"y\":2}"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memo_misses_when_responses_are_required_but_absent() {
+        let eval = Evaluation {
+            score: Score::worst(),
+            converged_mask: 0,
+        };
+        let mut memo = SolveMemo::new();
+        memo.insert(3, eval, None);
+        assert!(memo.get(3, false).is_some());
+        assert!(memo.get(3, true).is_none(), "responseless entry is a miss");
+        // Upgrading fills the responses; a later insert never clears them.
+        memo.insert(3, eval, Some(vec![Time::from_cycles(9)]));
+        let (_, resp) = memo.get(3, true).expect("upgraded entry hits");
+        assert_eq!(resp, vec![Time::from_cycles(9)]);
+        memo.insert(3, eval, None);
+        assert!(memo.get(3, true).is_some(), "no downgrade on re-insert");
+        assert_eq!(memo.len(), 1);
     }
 }

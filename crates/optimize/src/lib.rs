@@ -25,6 +25,11 @@
 //! * [`ResultCache`] — content-addressed response store keyed on the
 //!   canonical request fingerprint; warm runs replay the exact cold-run
 //!   bytes ([`cache`]).
+//! * [`AdmissionCheck`] — O(n) sound lower bounds that reject provably
+//!   unschedulable candidates before any engine call ([`prune`]).
+//! * [`SolveMemo`] — batch-scoped memo of individual candidate solves,
+//!   shared across candidates and requests below the response cache
+//!   ([`cache`]).
 //!
 //! # Determinism contract
 //!
@@ -61,14 +66,16 @@
 
 pub mod cache;
 pub mod candidate;
+pub mod prune;
 pub mod score;
 pub mod search;
 pub mod service;
 
-pub use cache::ResultCache;
+pub use cache::{ResultCache, SolveMemo};
 pub use candidate::Candidate;
+pub use prune::{Admission, AdmissionCheck, AdmissionScratch};
 pub use score::{evaluate_result, Evaluation, Score};
-pub use search::{optimize, SearchKnobs, SearchOutcome, SearchStats};
+pub use search::{optimize, optimize_with_memo, SearchKnobs, SearchOutcome, SearchStats};
 pub use service::{
     gen_batch, process_batch, request_key, BatchStats, GenOptions, OptimizeRequest,
     OptimizeResponse, ServiceOptions, TaskAssignment,

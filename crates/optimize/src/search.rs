@@ -19,6 +19,34 @@
 //! thread* — the pool only ever evaluates fully formed candidates, so the
 //! outcome is invariant in the worker count.
 //!
+//! # Delta-scoped candidate evaluation
+//!
+//! Before any engine call, every batch runs a driver-side admission
+//! pipeline (see DESIGN.md §16):
+//!
+//! 1. **Admission pruning** ([`crate::prune`]) — candidates a cheap O(n)
+//!    lower bound proves unschedulable are assigned the canonical worst
+//!    evaluation without ever being solved. Pruning is part of the search
+//!    semantics (it applies to exhaustive enumeration and local-search
+//!    walks, never to the default configuration or Audsley probes), so it
+//!    is active in *every* evaluation mode.
+//! 2. **Solve memo** ([`crate::cache::SolveMemo`]) — admitted candidates
+//!    are looked up in a batch-scoped content-addressed memo keyed on
+//!    (base set, analysis environment, candidate vectors); repeats within
+//!    and across requests replay their evaluation instead of re-solving.
+//!    Within one batch, duplicate keys collapse onto a single solve.
+//! 3. **Partial re-solve** — the surviving solves run on the pool; local
+//!    search passes the current point's captured [`ParentSolution`] so
+//!    the engine can certify untouched tasks instead of re-deriving them
+//!    (`cpa_analysis::analyze_with_parent`).
+//!
+//! All three stages decide on the driver thread in candidate order, so
+//! the set of engine calls — and the response bytes — are invariant in
+//! the worker-thread count. The `full_eval` escape hatch disables the
+//! memo, warm chaining, seeding and parent certification (each candidate
+//! solves independently on a cold scratch; pruning stays), which is what
+//! the byte-identity acceptance in `cpa-bench` compares against.
+//!
 //! # Determinism
 //!
 //! All randomness flows from `ChaCha8Rng::seed_from_u64(derive_seed(seed,
@@ -27,18 +55,23 @@
 //! results is sequential with first-wins ties. Same seed + same request ⇒
 //! identical best candidate at any `--threads`.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
 use cpa_analysis::{
-    analyze_with, analyze_with_seed, AnalysisConfig, AnalysisContext, AnalysisScratch,
-    ContextBuffers, CrpdApproach,
+    analyze_with, analyze_with_parent, analyze_with_seed, AnalysisConfig, AnalysisContext,
+    AnalysisScratch, ContextBuffers, CrpdApproach, ParentSolution,
 };
 use cpa_experiments::runner::derive_seed;
-use cpa_model::{ContentHasher, Platform, TaskSet, Time};
+use cpa_model::{ContentHasher, CoreId, Platform, Priority, Task, TaskSet, Time};
 use cpa_pool::PoolOptions;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::cache::SolveMemo;
 use crate::candidate::Candidate;
+use crate::prune::{Admission, AdmissionCheck, AdmissionScratch};
 use crate::score::{evaluate_result, Evaluation, Score};
 
 /// Tuning knobs of one optimization run. Part of the request format (all
@@ -132,6 +165,10 @@ pub struct SearchStats {
     pub restarts: u32,
     /// Hill-climbing rounds actually run (0 for exhaustive).
     pub rounds: u32,
+    /// Candidates rejected by admission pruning without an engine call.
+    /// Counted inside `candidates`; identical across evaluation modes
+    /// and thread counts (pruning decides on the driver).
+    pub pruned: u64,
 }
 
 /// Result of one optimization run.
@@ -148,11 +185,30 @@ pub struct SearchOutcome {
 }
 
 /// Per-worker reusable state: one analysis scratch plus recycled context
-/// tables, so a worker allocates only on its first candidate.
+/// tables, so a worker allocates only on its first candidate. Owned by
+/// the [`Searcher`] and threaded through [`cpa_pool::map_with`], so the
+/// state — including the engine's warm-start caches — chains across
+/// *every* evaluation batch of one search, not just within one batch.
 #[derive(Debug)]
 struct EvalScratch {
     scratch: AnalysisScratch,
     buffers: ContextBuffers,
+    /// Built tasks of this search's base set, keyed by
+    /// `(base index, core, rank, shift)` with their content hashes.
+    /// A candidate differs from its parent in one or two tasks, so
+    /// nearly every per-task build is a repeat; caching them turns
+    /// [`Candidate::apply`]'s full rebuild (rotate three block sets,
+    /// re-validate, re-hash every task) into a few map hits and clones.
+    /// Keyed per worker — never shared — so results cannot depend on
+    /// claim order.
+    assembled: HashMap<(usize, usize, u32, usize), (Task, u64)>,
+    /// Parts of the set this worker assembled last, handed back through
+    /// [`EvalScratch::recycle_set`]. Successive candidates on one worker
+    /// differ in a slot or two, so patching the kept parts beats cloning
+    /// every task again.
+    cur: Option<(Vec<Task>, Vec<u64>)>,
+    /// The build key each slot of `cur` was assembled from.
+    cur_keys: Vec<(usize, usize, u32, usize)>,
 }
 
 impl EvalScratch {
@@ -160,9 +216,76 @@ impl EvalScratch {
         EvalScratch {
             scratch: AnalysisScratch::new(),
             buffers: ContextBuffers::new(),
+            assembled: HashMap::new(),
+            cur: None,
+            cur_keys: Vec::new(),
         }
     }
+
+    /// [`Candidate::apply`] through the per-worker build cache: bitwise
+    /// the same `TaskSet` (same task order, same content hashes), built
+    /// by patching the slots that differ from this worker's previous
+    /// candidate. The delta-scoped fast path uses this; full evaluation
+    /// rebuilds from scratch like an independent solver would.
+    fn assemble(&mut self, base: &TaskSet, c: &Candidate) -> TaskSet {
+        let n = base.len();
+        let (mut tasks, mut hashes) = match self.cur.take() {
+            Some(cur) if cur.0.len() == n && self.cur_keys.len() == n => cur,
+            _ => {
+                // First candidate on this worker: placeholder-fill, then
+                // let the sentinel keys force every slot to be patched.
+                self.cur_keys.clear();
+                self.cur_keys.resize(n, (usize::MAX, 0, 0, 0));
+                let seed_task = base.iter().next().expect("sets are non-empty");
+                (vec![seed_task.clone(); n], vec![0u64; n])
+            }
+        };
+        for (k, t) in base.iter().enumerate() {
+            let key = (k, c.cores[k], c.ranks[k], c.shifts[k]);
+            // Ranks are a permutation, so rank r is priority r is index r
+            // after the sort `TaskSet::new` would have done.
+            let r = c.ranks[k] as usize;
+            if self.cur_keys[r] == key {
+                continue;
+            }
+            let (task, hash) = self.assembled.entry(key).or_insert_with(|| {
+                let task = Task::builder(t.name())
+                    .processing_demand(t.processing_demand())
+                    .memory_demand(t.memory_demand())
+                    .residual_memory_demand(t.residual_memory_demand())
+                    .period(t.period())
+                    .deadline(t.deadline())
+                    .core(CoreId::new(c.cores[k]))
+                    .priority(Priority::new(c.ranks[k]))
+                    .ecb(t.ecb().rotated(c.shifts[k]))
+                    .ucb(t.ucb().rotated(c.shifts[k]))
+                    .pcb(t.pcb().rotated(c.shifts[k]))
+                    .build()
+                    .expect("rotation and reassignment preserve task invariants");
+                let mut h = ContentHasher::new();
+                task.hash_content(&mut h);
+                (task, h.finish())
+            });
+            tasks[r].clone_from(task);
+            hashes[r] = *hash;
+            self.cur_keys[r] = key;
+        }
+        TaskSet::from_sorted_parts(tasks, hashes)
+    }
+
+    /// Returns an assembled set's parts for the next [`EvalScratch::
+    /// assemble`] to patch. Skipping this (a panic, a code path that
+    /// drops the set) only costs the next candidate a full rebuild.
+    fn recycle_set(&mut self, set: TaskSet) {
+        self.cur = Some(set.into_parts());
+    }
 }
+
+/// One evaluated candidate as the driver sees it: its evaluation, the
+/// per-task response vector (empty unless tracked), and — for freshly
+/// solved, schedulable local-search points — a captured [`ParentSolution`]
+/// the next round can certify against.
+type EvalRow = (Evaluation, Vec<Time>, Option<ParentSolution>);
 
 struct Searcher<'a> {
     base: &'a TaskSet,
@@ -177,6 +300,30 @@ struct Searcher<'a> {
     shifts: Vec<usize>,
     /// Candidates evaluated so far.
     evaluated: u64,
+    /// Candidates rejected by admission pruning.
+    pruned: u64,
+    /// Batch-scoped solve memo, shared across requests by the service.
+    memo: &'a mut SolveMemo,
+    /// Persistent per-worker evaluation states ([`cpa_pool::map_with`]):
+    /// warm-start scratches, context buffers and build caches survive
+    /// across evaluation batches for the whole search.
+    states: Vec<EvalScratch>,
+    /// Reused driver-side batch buffers (cleared per batch): memo keys,
+    /// solve worklist, within-batch duplicates, first-seen keys.
+    batch_keys: Vec<u64>,
+    batch_need: Vec<usize>,
+    batch_dups: Vec<(usize, usize)>,
+    batch_first: HashMap<u64, usize>,
+    /// Admission bounds of the base set (candidate-independent columns).
+    admission: AdmissionCheck,
+    /// Reused per-core accumulator for the admission loop.
+    admit_scratch: AdmissionScratch,
+    /// Fingerprint of (base set, analysis environment); prefix of every
+    /// memo key, so fragments of different requests never collide.
+    env_key: u64,
+    /// Evaluate every admitted candidate independently: no memo, no warm
+    /// chaining, no seeding, no parent certification.
+    full_eval: bool,
 }
 
 impl<'a> Searcher<'a> {
@@ -186,10 +333,22 @@ impl<'a> Searcher<'a> {
         config: &'a AnalysisConfig,
         knobs: &'a SearchKnobs,
         pool: PoolOptions,
+        memo: &'a mut SolveMemo,
+        full_eval: bool,
     ) -> Searcher<'a> {
         let cache_sets = base.cache_sets();
         let colors = (knobs.colors.max(1) as usize).min(cache_sets.max(1));
         let step = (cache_sets / colors).max(1);
+        let env_key = {
+            let mut h = ContentHasher::new();
+            base.hash_content(&mut h);
+            // The engine config and platform shape pin the analysis
+            // environment; the CRPD approach is fixed (EcbUnion) below.
+            h.write_str(&format!("{config:?}"));
+            h.write_usize(platform.cores());
+            h.write_u64(platform.memory_latency().cycles());
+            h.finish()
+        };
         Searcher {
             base,
             platform,
@@ -199,83 +358,215 @@ impl<'a> Searcher<'a> {
             cores: platform.cores(),
             shifts: (0..colors).map(|c| c * step).collect(),
             evaluated: 0,
+            pruned: 0,
+            memo,
+            states: Vec::new(),
+            batch_keys: Vec::new(),
+            batch_need: Vec::new(),
+            batch_dups: Vec::new(),
+            batch_first: HashMap::new(),
+            admission: AdmissionCheck::new(base, platform.memory_latency()),
+            admit_scratch: AdmissionScratch::default(),
+            env_key,
+            full_eval,
         }
     }
 
     /// Evaluates a batch of candidates over the pool; results come back in
-    /// candidate order whatever the thread count.
-    fn evaluate_batch(&mut self, candidates: &[Candidate]) -> Vec<Evaluation> {
-        self.evaluate_batch_impl(candidates, None, false)
+    /// candidate order whatever the thread count. `prune` admits the
+    /// batch through the admission bounds first — on for exhaustive
+    /// enumeration, off for the default configuration and Audsley probes.
+    fn evaluate_batch(&mut self, candidates: &[Candidate], prune: bool) -> Vec<Evaluation> {
+        self.evaluate_batch_impl(candidates, None, None, false, prune)
             .into_iter()
-            .map(|(eval, _)| eval)
+            .map(|(eval, _, _)| eval)
             .collect()
     }
 
-    /// [`Searcher::evaluate_batch`], seeded and response-tracking: each
-    /// candidate's solve is offered `seed` (the current point's converged
-    /// response times) as a warm-start hint, and each returned pair
-    /// carries the candidate's own per-task response-time vector so an
-    /// accepted neighbour can seed the *next* round. Results stay
-    /// bitwise-identical to the unseeded path — `analyze_with_seed` only
-    /// adopts provably-correct components — so the search trajectory is
-    /// unchanged.
+    /// [`Searcher::evaluate_batch`] for local-search points: pruning on,
+    /// responses tracked, each solve offered `seed` (the current point's
+    /// converged response times) as a warm-start hint and `parent` (the
+    /// current point's captured solution) for partial re-solve
+    /// certification. Both are pure accelerators — adopted per component
+    /// only when provably exact — so the search trajectory is unchanged.
     fn evaluate_batch_seeded(
         &mut self,
         candidates: &[Candidate],
         seed: Option<&[Time]>,
-    ) -> Vec<(Evaluation, Vec<Time>)> {
-        self.evaluate_batch_impl(candidates, seed, true)
+        parent: Option<&ParentSolution>,
+    ) -> Vec<EvalRow> {
+        self.evaluate_batch_impl(candidates, seed, parent, true, true)
     }
 
     fn evaluate_batch_impl(
         &mut self,
         candidates: &[Candidate],
         seed: Option<&[Time]>,
+        parent: Option<&ParentSolution>,
         track_responses: bool,
-    ) -> Vec<(Evaluation, Vec<Time>)> {
+        prune: bool,
+    ) -> Vec<EvalRow> {
         let _span = cpa_obs::span!("optimize.evaluate_batch");
         self.evaluated += candidates.len() as u64;
         cpa_obs::counter("optimize.candidates").add(candidates.len() as u64);
-        let epoch = cpa_obs::next_scope_epoch();
-        let (base, platform, config) = (self.base, self.platform, self.config);
-        cpa_pool::map(
-            candidates.len(),
-            self.pool,
-            epoch,
-            |_| EvalScratch::new(),
-            |state, k| {
-                let tasks = candidates[k].apply(base);
-                let ctx = AnalysisContext::with_crpd_approach_buffers(
-                    platform,
-                    &tasks,
-                    CrpdApproach::EcbUnion,
-                    &mut state.buffers,
-                )
-                .expect("candidates stay valid for the platform");
-                // Workers chain warm-start state across the candidates they
-                // happen to claim: neighbours differ from the parent (and
-                // thus from each other) in a handful of tasks, so the
-                // fingerprint delta certifies most cached segments. This is
-                // safe at any thread count because retention and seeding
-                // never change results, only skip re-derivations.
-                let result = match seed {
-                    Some(seed) => analyze_with_seed(&ctx, config, &mut state.scratch, seed),
-                    None => analyze_with(&ctx, config, &mut state.scratch),
-                };
-                let eval = evaluate_result(&tasks, &result);
-                let responses = if track_responses {
-                    result
-                        .response_times()
-                        .iter()
-                        .map(|r| r.unwrap_or(Time::from_cycles(u64::MAX)))
-                        .collect()
-                } else {
-                    Vec::new()
-                };
-                ctx.recycle(&mut state.buffers);
-                (eval, responses)
-            },
-        )
+        let n = self.base.len();
+
+        // Stage 1+2, on the driver in candidate order: prune, then memo,
+        // then collapse within-batch duplicates. Only `need` reaches the
+        // pool, so the engine workload is thread-count invariant. The
+        // batch buffers live on the searcher so the per-round batches of
+        // a long search stop paying allocation setup.
+        let Self {
+            base,
+            platform,
+            config,
+            pool,
+            cores,
+            pruned,
+            memo,
+            states,
+            admission,
+            admit_scratch,
+            env_key,
+            full_eval,
+            batch_keys: keys,
+            batch_need: need,
+            batch_dups: dups,
+            batch_first: first_by_key,
+            ..
+        } = &mut *self;
+        let (base, platform, config, pool) = (*base, *platform, *config, *pool);
+        let (cores, env_key, full_eval) = (*cores, *env_key, *full_eval);
+        let mut rows: Vec<Option<EvalRow>> = Vec::with_capacity(candidates.len());
+        rows.resize_with(candidates.len(), || None);
+        keys.clear();
+        keys.resize(candidates.len(), 0);
+        need.clear();
+        dups.clear();
+        first_by_key.clear();
+        for (k, candidate) in candidates.iter().enumerate() {
+            if prune {
+                match admission.admit_with(&candidate.cores, cores, admit_scratch) {
+                    Admission::Admitted => {}
+                    verdict => {
+                        *pruned += 1;
+                        cpa_obs::counter("optimize.pruned_candidates").incr();
+                        cpa_obs::counter(match verdict {
+                            Admission::DemandExceedsDeadline => "optimize.pruned_demand",
+                            _ => "optimize.pruned_utilization",
+                        })
+                        .incr();
+                        rows[k] = Some(pruned_row(n, track_responses));
+                        continue;
+                    }
+                }
+            }
+            if full_eval {
+                need.push(k);
+                continue;
+            }
+            let key = memo_key(env_key, candidate);
+            keys[k] = key;
+            if let Some((eval, responses)) = memo.get(key, track_responses) {
+                cpa_obs::counter("optimize.memo_hits").incr();
+                rows[k] = Some((eval, responses, None));
+                continue;
+            }
+            cpa_obs::counter("optimize.memo_misses").incr();
+            match first_by_key.entry(key) {
+                Entry::Occupied(first) => dups.push((k, *first.get())),
+                Entry::Vacant(slot) => {
+                    slot.insert(need.len());
+                    need.push(k);
+                }
+            }
+        }
+
+        // Stage 3: solve the remainder on the pool.
+        let solved: Vec<EvalRow> = if need.is_empty() {
+            Vec::new()
+        } else {
+            let epoch = cpa_obs::next_scope_epoch();
+            let need = &*need;
+            cpa_pool::map_with(
+                need.len(),
+                pool,
+                epoch,
+                |_| EvalScratch::new(),
+                states,
+                |state, j| {
+                    let k = need[j];
+                    let tasks = if full_eval {
+                        candidates[k].apply(base)
+                    } else {
+                        state.assemble(base, &candidates[k])
+                    };
+                    let ctx = AnalysisContext::with_crpd_approach_buffers(
+                        platform,
+                        &tasks,
+                        CrpdApproach::EcbUnion,
+                        &mut state.buffers,
+                    )
+                    .expect("candidates stay valid for the platform");
+                    // Workers chain warm-start state across the candidates
+                    // they happen to claim: neighbours differ from the
+                    // parent (and thus from each other) in a handful of
+                    // tasks, so the fingerprint delta certifies most cached
+                    // segments. This is safe at any thread count because
+                    // retention, seeding and parent certification never
+                    // change results, only skip re-derivations. `full_eval`
+                    // turns all of it off for independent solves.
+                    let result = if full_eval {
+                        state.scratch.forget_warm();
+                        analyze_with(&ctx, config, &mut state.scratch)
+                    } else if let Some(parent) = parent {
+                        analyze_with_parent(&ctx, config, &mut state.scratch, parent)
+                    } else {
+                        match seed {
+                            Some(seed) => analyze_with_seed(&ctx, config, &mut state.scratch, seed),
+                            None => analyze_with(&ctx, config, &mut state.scratch),
+                        }
+                    };
+                    let eval = evaluate_result(&tasks, &result);
+                    let responses = if track_responses {
+                        result
+                            .response_times()
+                            .iter()
+                            .map(|r| r.unwrap_or(Time::from_cycles(u64::MAX)))
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    let next_parent = if track_responses && !full_eval {
+                        ParentSolution::capture(&ctx, config, &result)
+                    } else {
+                        None
+                    };
+                    ctx.recycle(&mut state.buffers);
+                    if !full_eval {
+                        state.recycle_set(tasks);
+                    }
+                    (eval, responses, next_parent)
+                },
+            )
+        };
+
+        // Stitch, sequentially in solve order: memoize each fresh solve
+        // and fan duplicates out from their solved representative.
+        for &(k, j) in &*dups {
+            let (eval, responses, parent) = &solved[j];
+            rows[k] = Some((*eval, responses.clone(), parent.clone()));
+        }
+        for (j, row) in solved.into_iter().enumerate() {
+            let k = need[j];
+            if !full_eval {
+                memo.insert(keys[k], row.0, track_responses.then(|| row.1.clone()));
+            }
+            rows[k] = Some(row);
+        }
+        rows.into_iter()
+            .map(|row| row.expect("every candidate pruned, memoized, or solved"))
+            .collect()
     }
 
     /// Index of the best evaluation, ties to the earliest — the tiebreak
@@ -414,7 +705,10 @@ impl<'a> Searcher<'a> {
                     c
                 })
                 .collect();
-            let evals = self.evaluate_batch(&probes);
+            // Probes are never pruned: they share the default partition,
+            // and the seeding pass must stay a pure function of real
+            // evaluations.
+            let evals = self.evaluate_batch(&probes, false);
             let pick = evals
                 .iter()
                 .position(|e| (e.converged_mask >> level) & 1 == 1)
@@ -428,6 +722,40 @@ impl<'a> Searcher<'a> {
             shifts: default.shifts.clone(),
         }
     }
+}
+
+/// The memo key of one candidate: environment prefix plus the three
+/// candidate vectors. Equal keys rebuild identical task sets, so the
+/// memoized evaluation is exact.
+fn memo_key(env_key: u64, c: &Candidate) -> u64 {
+    let mut h = ContentHasher::new();
+    h.write_u64(env_key);
+    for &core in &c.cores {
+        h.write_usize(core);
+    }
+    for &rank in &c.ranks {
+        h.write_u64(u64::from(rank));
+    }
+    for &shift in &c.shifts {
+        h.write_usize(shift);
+    }
+    h.finish()
+}
+
+/// The canonical row of a pruned candidate in an `n`-task set: the worst
+/// score any real evaluation loses to, no converged tasks, sentinel
+/// responses.
+fn pruned_row(n: usize, track_responses: bool) -> EvalRow {
+    let eval = Evaluation {
+        score: Score::worst(),
+        converged_mask: 0,
+    };
+    let responses = if track_responses {
+        vec![Time::from_cycles(u64::MAX); n]
+    } else {
+        Vec::new()
+    };
+    (eval, responses, None)
 }
 
 fn factorial(n: u32) -> Option<u64> {
@@ -465,10 +793,41 @@ pub fn optimize(
     seed: u64,
     pool: PoolOptions,
 ) -> SearchOutcome {
+    optimize_with_memo(
+        base,
+        platform,
+        config,
+        knobs,
+        seed,
+        pool,
+        &mut SolveMemo::new(),
+        false,
+    )
+}
+
+/// [`optimize`] with a caller-owned [`SolveMemo`] — the service passes
+/// one memo per batch so solve fragments are shared across requests —
+/// and the `full_eval` escape hatch, which evaluates every admitted
+/// candidate independently (no memo, no warm chaining, no seeding, no
+/// parent certification; admission pruning stays because it defines the
+/// search semantics). Both knobs accelerate or de-accelerate the same
+/// deterministic trajectory: the outcome is byte-identical either way.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_with_memo(
+    base: &TaskSet,
+    platform: &Platform,
+    config: &AnalysisConfig,
+    knobs: &SearchKnobs,
+    seed: u64,
+    pool: PoolOptions,
+    memo: &mut SolveMemo,
+    full_eval: bool,
+) -> SearchOutcome {
     let _span = cpa_obs::span!("optimize.search");
-    let mut s = Searcher::new(base, platform, config, knobs, pool);
+    let mut s = Searcher::new(base, platform, config, knobs, pool, memo, full_eval);
     let default = Candidate::identity(base);
-    let default_eval = s.evaluate_batch(std::slice::from_ref(&default))[0];
+    let default_eval = s.evaluate_batch(std::slice::from_ref(&default), false)[0];
     let mut best = default.clone();
     let mut best_eval = default_eval;
     let mut stats = SearchStats {
@@ -478,6 +837,7 @@ pub fn optimize(
         moves_rejected: 0,
         restarts: 0,
         rounds: 0,
+        pruned: 0,
     };
 
     let space = s.space_size();
@@ -486,7 +846,7 @@ pub fn optimize(
         cpa_obs::counter("optimize.exhaustive_runs").incr();
         // One batch over the whole space; ties break to the lowest index.
         let candidates: Vec<Candidate> = (0..size).map(|ix| s.decode(ix)).collect();
-        let evals = s.evaluate_batch(&candidates);
+        let evals = s.evaluate_batch(&candidates, true);
         if !evals.is_empty() {
             let bi = Searcher::argmax(&evals);
             if evals[bi].score > best_eval.score {
@@ -497,6 +857,9 @@ pub fn optimize(
     } else {
         stats.strategy = "local-search".to_string();
         let n = base.len();
+        // One reused neighbour buffer for every round of every restart;
+        // `clone_from` refills the existing allocations.
+        let mut neighbors: Vec<Candidate> = Vec::new();
         for restart in 0..knobs.restarts.max(1) {
             stats.restarts += 1;
             cpa_obs::counter("optimize.restarts").incr();
@@ -515,8 +878,8 @@ pub fn optimize(
                 }
                 c
             };
-            let (mut current_eval, mut current_resp) = s
-                .evaluate_batch_seeded(std::slice::from_ref(&current), None)
+            let (mut current_eval, mut current_resp, mut current_parent) = s
+                .evaluate_batch_seeded(std::slice::from_ref(&current), None, None)
                 .pop()
                 .expect("one candidate in, one evaluation out");
             if current_eval.score > best_eval.score {
@@ -526,24 +889,29 @@ pub fn optimize(
             let mut stale = 0u32;
             for _ in 0..knobs.max_rounds {
                 stats.rounds += 1;
-                let neighbors: Vec<Candidate> = (0..knobs.neighbors)
-                    .map(|_| {
-                        let mut c = current.clone();
-                        s.mutate(&mut c, &mut rng);
-                        c
-                    })
-                    .collect();
+                neighbors.resize_with(knobs.neighbors as usize, || current.clone());
+                for c in &mut neighbors {
+                    c.cores.clone_from(&current.cores);
+                    c.ranks.clone_from(&current.ranks);
+                    c.shifts.clone_from(&current.shifts);
+                    s.mutate(c, &mut rng);
+                }
                 if neighbors.is_empty() {
                     break;
                 }
                 // The parent's converged response times seed every
-                // neighbour solve (pure hint — adopted per component only
-                // when provably exact, so outcomes match the unseeded
-                // search bit for bit).
-                let mut evals = s.evaluate_batch_seeded(&neighbors, Some(&current_resp));
+                // neighbour solve, and its captured solution certifies
+                // their untouched tasks (pure accelerators — adopted per
+                // component only when provably exact, so outcomes match
+                // the unassisted search bit for bit).
+                let mut evals = s.evaluate_batch_seeded(
+                    &neighbors,
+                    Some(&current_resp),
+                    current_parent.as_ref(),
+                );
                 let bi = {
                     let mut bi = 0;
-                    for (k, (e, _)) in evals.iter().enumerate().skip(1) {
+                    for (k, (e, _, _)) in evals.iter().enumerate().skip(1) {
                         if e.score > evals[bi].0.score {
                             bi = k;
                         }
@@ -556,6 +924,7 @@ pub fn optimize(
                     current = neighbors[bi].clone();
                     current_eval = evals[bi].0;
                     current_resp = std::mem::take(&mut evals[bi].1);
+                    current_parent = evals[bi].2.take();
                     stale = 0;
                     if current_eval.score > best_eval.score {
                         best = current.clone();
@@ -570,6 +939,7 @@ pub fn optimize(
                         current = neighbors[bi].clone();
                         current_eval = evals[bi].0;
                         current_resp = std::mem::take(&mut evals[bi].1);
+                        current_parent = evals[bi].2.take();
                     }
                     if stale >= knobs.patience.max(1) {
                         break;
@@ -580,6 +950,7 @@ pub fn optimize(
     }
 
     stats.candidates = s.evaluated;
+    stats.pruned = s.pruned;
     cpa_obs::counter("optimize.moves_accepted").add(stats.moves_accepted);
     cpa_obs::counter("optimize.moves_rejected").add(stats.moves_rejected);
     SearchOutcome {

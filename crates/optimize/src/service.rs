@@ -22,10 +22,10 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::cache::ResultCache;
+use crate::cache::{ResultCache, SolveMemo};
 use crate::candidate::Candidate;
 use crate::score::Score;
-use crate::search::{optimize, SearchKnobs, SearchStats};
+use crate::search::{optimize_with_memo, SearchKnobs, SearchStats};
 
 /// One design-space optimization request. Every field is required in the
 /// JSON form (the vendored serde has no `#[serde(default)]`).
@@ -92,13 +92,20 @@ pub struct OptimizeResponse {
 }
 
 /// Knobs of one `process_batch` invocation that must *not* influence the
-/// response bytes: worker threads and pool chunking.
+/// response bytes: worker threads, pool chunking, and the full-evaluation
+/// escape hatch.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServiceOptions {
     /// Worker threads for candidate evaluation (0 = auto).
     pub threads: usize,
     /// Pool chunk size (0 = auto).
     pub chunk: usize,
+    /// Evaluate every admitted candidate independently: disables the
+    /// batch-level solve memo, warm chaining, seeding and parent
+    /// certification (admission pruning stays — it is search semantics,
+    /// not an accelerator). Slower, byte-identical output; the acceptance
+    /// baseline the delta-scoped fast path is compared against.
+    pub full_eval: bool,
 }
 
 /// Aggregate accounting for one batch run. Reported out-of-band (stderr /
@@ -163,9 +170,15 @@ pub fn process_batch(
         requests: requests.len() as u64,
         ..BatchStats::default()
     };
+    // One solve memo per batch: fragments are shared across candidates
+    // *and* requests (same tasks under different seeds or knobs hit the
+    // same entries), but never across batches — the memo dies here.
+    let mut memo = SolveMemo::new();
     let mut docs = Vec::with_capacity(requests.len());
     for request in &requests {
-        docs.push(process_request(request, opts, cache, &mut stats)?);
+        docs.push(process_request(
+            request, opts, cache, &mut memo, &mut stats,
+        )?);
     }
     let body = if docs.is_empty() {
         "[]\n".to_string()
@@ -179,6 +192,7 @@ fn process_request(
     request: &OptimizeRequest,
     opts: &ServiceOptions,
     cache: &mut ResultCache,
+    memo: &mut SolveMemo,
     stats: &mut BatchStats,
 ) -> Result<String, String> {
     let fail = |what: String| format!("request '{}': {what}", request.name);
@@ -216,13 +230,15 @@ fn process_request(
         .with_threads(opts.threads)
         .with_chunk(opts.chunk);
 
-    let outcome = optimize(
+    let outcome = optimize_with_memo(
         &tasks,
         &platform,
         &config,
         &request.search,
         request.seed,
         pool,
+        memo,
+        opts.full_eval,
     );
     let response = OptimizeResponse {
         name: request.name.clone(),

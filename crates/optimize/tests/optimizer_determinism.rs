@@ -6,7 +6,11 @@
 //!   byte;
 //! * local search agrees with exhaustive enumeration on a toy space;
 //! * on a misconfigured seeded set the optimizer strictly improves on the
-//!   default configuration, flipping it to schedulable.
+//!   default configuration, flipping it to schedulable;
+//! * the delta-scoped fast path (solve memo + partial re-solve + warm
+//!   chaining) and the independent full-evaluation path produce
+//!   byte-identical responses, and admission pruning decides identically
+//!   in both.
 
 use cpa_analysis::{AnalysisConfig, BusPolicy, PersistenceMode};
 use cpa_model::{CacheBlockSet, CacheGeometry, CoreId, Platform, Priority, Task, TaskSet, Time};
@@ -34,7 +38,10 @@ fn responses_are_invariant_in_the_thread_count() {
     let batch = toy_batch();
     let run = |threads: usize| {
         let mut cache = ResultCache::in_memory();
-        let opts = ServiceOptions { threads, chunk: 0 };
+        let opts = ServiceOptions {
+            threads,
+            ..ServiceOptions::default()
+        };
         process_batch(&batch, &opts, &mut cache).expect("batch processes")
     };
     let warm_before = cpa_obs::counter("engine.warm_starts").get();
@@ -54,6 +61,7 @@ fn responses_are_invariant_in_the_thread_count() {
     let odd_chunk = ServiceOptions {
         threads: 3,
         chunk: 5,
+        ..ServiceOptions::default()
     };
     let (chunked, _) = process_batch(&batch, &odd_chunk, &mut cache).expect("batch processes");
     assert_eq!(single, chunked, "chunk size must not reach the output");
@@ -176,6 +184,67 @@ fn optimizer_strictly_improves_a_misordered_set() {
         urgent_rank < 2,
         "urgent task must be promoted, got rank {urgent_rank}"
     );
+}
+
+#[test]
+fn full_evaluation_and_delta_scoped_paths_agree_byte_for_byte() {
+    let batch = toy_batch();
+    let run = |full_eval: bool, threads: usize| {
+        let mut cache = ResultCache::in_memory();
+        let opts = ServiceOptions {
+            threads,
+            full_eval,
+            ..ServiceOptions::default()
+        };
+        process_batch(&batch, &opts, &mut cache).expect("batch processes")
+    };
+    let (full, full_stats) = run(true, 1);
+    let (fast, fast_stats) = run(false, 4);
+    assert_eq!(
+        full, fast,
+        "independent full evaluation and the delta-scoped pipeline must agree byte for byte"
+    );
+    assert_eq!(full_stats.candidates, fast_stats.candidates);
+    // And the fast path is itself thread-invariant under full_eval too.
+    let (full4, _) = run(true, 4);
+    assert_eq!(full, full4);
+}
+
+#[test]
+fn admission_pruning_fires_identically_in_both_modes() {
+    // Overloaded per-core utilization: any Reassign move that doubles up
+    // a core trips the residual-utilization bound, so the walk genuinely
+    // prunes.
+    let opts = GenOptions {
+        sets: 2,
+        seed: 9,
+        cores: 2,
+        tasks_per_core: 3,
+        cache_sets: 32,
+        util: 0.95,
+        toy: true,
+        ..GenOptions::default()
+    };
+    let batch = gen_batch(&opts).expect("batch generates");
+    let run = |full_eval: bool| {
+        let mut cache = ResultCache::in_memory();
+        let service = ServiceOptions {
+            full_eval,
+            ..ServiceOptions::default()
+        };
+        process_batch(&batch, &service, &mut cache).expect("batch processes")
+    };
+    let (fast, _) = run(false);
+    let (full, _) = run(true);
+    // `stats.pruned` is part of the response document, so byte equality
+    // pins the pruning decisions across modes.
+    assert_eq!(fast, full);
+    assert!(fast.contains("\"pruned\":"), "stats must report pruning");
+    let some_pruned = fast
+        .split("\"pruned\":")
+        .skip(1)
+        .any(|rest| !rest.starts_with('0'));
+    assert!(some_pruned, "fixture must actually prune candidates");
 }
 
 #[test]

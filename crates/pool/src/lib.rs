@@ -202,9 +202,8 @@ pub fn scope_key(epoch: u64, item: u64) -> u64 {
 ///   whatever `init` captured; it must not depend on which worker runs
 ///   it or on claim order.
 ///
-/// Always runs on spawned scoped threads (even for one worker) so the
-/// calling thread's obs scope and thread-local state are untouched, and
-/// single- vs multi-thread runs exercise the identical code path.
+/// Worker states are constructed fresh per call; see [`map_with`] for
+/// the variant that chains caller-owned states across calls.
 ///
 /// Counters: `pool.chunks_claimed` counts every chunk claim;
 /// `pool.chunks_stolen` counts claims beyond a worker's fair share
@@ -212,6 +211,40 @@ pub fn scope_key(epoch: u64, item: u64) -> u64 {
 /// static partitioning. `cpa-trace` reports the stolen/claimed ratio.
 pub fn map<S, R, I, W>(items: usize, opts: PoolOptions, epoch: u64, init: I, work: W) -> Vec<R>
 where
+    S: Send,
+    R: Send,
+    I: Fn(usize) -> S + Sync,
+    W: Fn(&mut S, usize) -> R + Sync,
+{
+    let mut states: Vec<S> = Vec::new();
+    map_with(items, opts, epoch, init, &mut states, work)
+}
+
+/// [`map`] over caller-owned worker states: worker `i` always borrows
+/// `states[i]`, so a driver that re-invokes with the same vector chains
+/// per-worker state *across* parallel regions — warm-started analysis
+/// scratches survive from one batch (or one sweep point) to the next
+/// instead of being rebuilt per call. Missing states are constructed
+/// with `init` on the calling thread before any worker starts; extra
+/// states (from an earlier call with more threads) are left untouched.
+///
+/// Single-worker runs execute inline on the calling thread — no spawn,
+/// no join — with the caller's obs ordering state saved and restored
+/// around the region, so per-item scoping stays canonical and the
+/// caller's own event ordering is unperturbed. Multi-worker runs use
+/// scoped threads exactly like before; outputs are byte-identical
+/// either way (the determinism argument in the crate docs does not
+/// depend on where an item runs).
+pub fn map_with<S, R, I, W>(
+    items: usize,
+    opts: PoolOptions,
+    epoch: u64,
+    init: I,
+    states: &mut Vec<S>,
+    work: W,
+) -> Vec<R>
+where
+    S: Send,
     R: Send,
     I: Fn(usize) -> S + Sync,
     W: Fn(&mut S, usize) -> R + Sync,
@@ -224,6 +257,23 @@ where
     // deterministic exports), the item count depends only on the workload:
     // it is the pool's work-unit counter for per-stage attribution.
     cpa_obs::counter("pool.items").add(items as u64);
+    while states.len() < threads {
+        states.push(init(states.len()));
+    }
+
+    if threads == 1 {
+        let caller = cpa_obs::scope_state();
+        let state = &mut states[0];
+        let mut out = Vec::with_capacity(items);
+        chunks_claimed.add(items.div_ceil(chunk) as u64);
+        for item in 0..items {
+            cpa_obs::set_scope(scope_key(epoch, item as u64));
+            out.push(work(state, item));
+        }
+        cpa_obs::restore_scope_state(caller);
+        return out;
+    }
+
     let total_chunks = items.div_ceil(chunk);
     let fair_share = total_chunks.div_ceil(threads.max(1));
     let cursor = AtomicUsize::new(0);
@@ -232,13 +282,13 @@ where
     // is racy but the post-join sort keyed on chunk_start restores the
     // one canonical item order.
     let mut per_worker: Vec<Vec<(usize, Vec<R>)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|worker| {
+        let handles: Vec<_> = states
+            .iter_mut()
+            .take(threads)
+            .map(|state| {
                 let cursor = &cursor;
-                let init = &init;
                 let work = &work;
                 scope.spawn(move || {
-                    let mut state = init(worker);
                     let mut claimed = Vec::new();
                     let mut claims = 0usize;
                     loop {
@@ -255,7 +305,7 @@ where
                         let mut results = Vec::with_capacity(end - start);
                         for item in start..end {
                             cpa_obs::set_scope(scope_key(epoch, item as u64));
-                            results.push(work(&mut state, item));
+                            results.push(work(state, item));
                         }
                         claimed.push((start, results));
                     }
@@ -370,6 +420,76 @@ mod tests {
             },
         );
         assert_eq!(out, (1..=64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn map_with_chains_state_across_calls() {
+        let opts = PoolOptions::new().with_threads(1).with_chunk(2);
+        let mut states: Vec<u64> = Vec::new();
+        let a = map_with(
+            4,
+            opts,
+            0,
+            |_| 0u64,
+            &mut states,
+            |acc, i| {
+                *acc += 1;
+                i
+            },
+        );
+        assert_eq!(a, vec![0, 1, 2, 3]);
+        assert_eq!(states, vec![4], "state survives the call");
+        let _ = map_with(3, opts, 1, |_| 0u64, &mut states, |acc, _| *acc += 1);
+        assert_eq!(states, vec![7], "second call chained onto the first");
+    }
+
+    #[test]
+    fn map_with_tops_up_missing_states_and_keeps_extras() {
+        let mut states: Vec<usize> = vec![100];
+        let _ = map_with(
+            8,
+            PoolOptions::new().with_threads(3).with_chunk(1),
+            0,
+            |worker| worker * 10,
+            &mut states,
+            |_, i| i,
+        );
+        // Worker 0 kept its pre-existing state; 1 and 2 were initialized.
+        assert_eq!(states.len(), 3);
+        assert_eq!(states[0], 100);
+        assert_eq!(&states[1..], &[10, 20]);
+        // A later single-threaded call must not drop the extra states.
+        let _ = map_with(
+            2,
+            PoolOptions::new().with_threads(1),
+            1,
+            |_| 0,
+            &mut states,
+            |_, i| i,
+        );
+        assert_eq!(states.len(), 3);
+    }
+
+    #[test]
+    fn inline_execution_restores_the_callers_ordering_state() {
+        // The single-worker path runs on the calling thread; afterwards
+        // the caller's scope and sequence counter must look exactly as
+        // they did before, or its later events would collide with its
+        // earlier ones in the canonical (scope, seq) order.
+        cpa_obs::set_scope(77);
+        cpa_obs::event!("pool.test_before");
+        let before = cpa_obs::scope_state();
+        let _ = map(
+            4,
+            PoolOptions::new().with_threads(1),
+            0,
+            |_| (),
+            |(), i| {
+                cpa_obs::event!("pool.test_item");
+                i
+            },
+        );
+        assert_eq!(cpa_obs::scope_state(), before);
     }
 
     proptest! {

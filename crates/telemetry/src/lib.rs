@@ -62,17 +62,20 @@ pub enum ExportScope {
 ///
 /// The three `engine.warm_*`-family meters measure warm-start chain
 /// history — what the *previous* solve on the same per-worker scratch
-/// left behind. Sweep and campaign runners sever chains at item
-/// boundaries, but the optimizer chains freely per worker, so which
-/// candidate warms which is a pool artifact. (Analysis *results* and the
-/// hit/miss meters stay bitwise-equal warm vs cold by construction; only
-/// these bookkeeping meters vary.)
+/// left behind. The optimizer and the chained sweep drivers
+/// (`evaluate_point_chained`) chain freely per worker, so which item
+/// warms which is a pool artifact; the `experiments.chain_*` meters
+/// count those cross-point links and scale with the worker count.
+/// (Analysis *results* and the hit/miss meters stay bitwise-equal warm
+/// vs cold by construction; only these bookkeeping meters vary.)
 pub const SCHEDULING_METERS: &[&str] = &[
     "analysis.context_recycles",
     "engine.scratch_reuses",
     "engine.warm_starts",
     "engine.segments_reused",
     "engine.inner_iters_saved",
+    "experiments.chain_points_linked",
+    "experiments.chain_workers",
     "pool.chunks_claimed",
     "pool.chunks_stolen",
 ];
@@ -100,6 +103,9 @@ mod tests {
         assert!(is_scheduling_meter("engine.scratch_reuses"));
         assert!(is_scheduling_meter("engine.segments_reused"));
         assert!(is_scheduling_meter("engine.inner_iters_saved"));
+        assert!(is_scheduling_meter("experiments.chain_points_linked"));
+        assert!(is_scheduling_meter("experiments.chain_workers"));
+        assert!(!is_scheduling_meter("experiments.sets_evaluated"));
         assert!(!is_scheduling_meter("engine.seed_hints_adopted"));
         assert!(!is_scheduling_meter("engine.curve_hit"));
         assert!(!is_scheduling_meter("pool.items"));

@@ -968,6 +968,7 @@ fn optimize_cmd(opts: &TraceOptions) -> Result<(), String> {
     let service = cpa_optimize::ServiceOptions {
         threads: opts.threads,
         chunk: opts.chunk,
+        ..cpa_optimize::ServiceOptions::default()
     };
 
     // Run the same batch twice against one cache: the cold run searches,

@@ -358,6 +358,31 @@ pub fn check_task_set_with(
         ctx.recycle(buffers);
     }
 
+    // Pruning soundness: whatever the optimizer's O(n) admission bounds
+    // would prune, the full analysis must agree is unschedulable, in
+    // every configuration of the matrix. The bounds are mode- and
+    // bus-independent lower bounds, so one admission verdict covers all
+    // columns.
+    let admission = cpa_optimize::AdmissionCheck::new(tasks, platform.memory_latency());
+    let identity_cores: Vec<usize> = tasks.iter().map(|t| t.core().index()).collect();
+    if admission.admit(&identity_cores, platform.cores()) != cpa_optimize::Admission::Admitted {
+        for entry in &entries {
+            for (mode, result) in [
+                (PersistenceMode::Aware, &entry.aware),
+                (PersistenceMode::Oblivious, &entry.oblivious),
+            ] {
+                out.record(OracleKind::Soundness, !result.is_schedulable(), || {
+                    format!(
+                        "{} {} {}: admission-pruned set reported schedulable by the analysis",
+                        entry.bus.label(),
+                        entry.approach.label(),
+                        mode.label()
+                    )
+                });
+            }
+        }
+    }
+
     drop(analysis_span);
 
     // Simulation + soundness/accounting oracles (the expensive part).
